@@ -1,0 +1,153 @@
+//! Scalar abstractions: counters and cells.
+
+use janus_core::{Store, TxView};
+use janus_log::LocId;
+use janus_relational::{Scalar, Value};
+
+/// A shared integer counter supporting blind increments — the `work`
+/// variable of Figure 1. `add`/`sub` are semantically commutative
+/// (reduction pattern); balanced add/sub pairs form the identity pattern.
+///
+/// # Example
+///
+/// ```
+/// use janus_adt::Counter;
+/// use janus_core::{Janus, Store, Task};
+/// use janus_detect::SequenceDetector;
+/// use std::sync::Arc;
+///
+/// let mut store = Store::new();
+/// let work = Counter::alloc(&mut store, "work", 0);
+/// let tasks = vec![Task::new(move |tx| {
+///     work.add(tx, 5);
+///     work.sub(tx, 5);
+/// })];
+/// let outcome = Janus::new(Arc::new(SequenceDetector::new())).run(store, tasks);
+/// assert_eq!(work.value(&outcome.store), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    loc: LocId,
+}
+
+impl Counter {
+    /// Allocates a counter with an initial value.
+    pub fn alloc(store: &mut Store, class: &str, initial: i64) -> Self {
+        Counter {
+            loc: store.alloc(class, Value::int(initial)),
+        }
+    }
+
+    /// The underlying location.
+    pub fn loc(&self) -> LocId {
+        self.loc
+    }
+
+    /// Adds a delta without observing the result (blind update).
+    pub fn add(&self, tx: &mut TxView, delta: i64) {
+        tx.add(self.loc, delta);
+    }
+
+    /// Subtracts a delta without observing the result.
+    pub fn sub(&self, tx: &mut TxView, delta: i64) {
+        tx.add(self.loc, -delta);
+    }
+
+    /// Reads the current value (an observing operation).
+    pub fn get(&self, tx: &mut TxView) -> i64 {
+        tx.read_int(self.loc)
+    }
+
+    /// The counter's value in a store (outside any transaction).
+    pub fn value(&self, store: &Store) -> i64 {
+        store
+            .value(self.loc)
+            .and_then(Value::as_int)
+            .expect("counter location holds an integer")
+    }
+}
+
+/// A shared scalar cell with blind writes and reads — the building block
+/// of the shared-as-local (write then read) and spurious-reads patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    loc: LocId,
+}
+
+impl Cell {
+    /// Allocates a cell with an initial value.
+    pub fn alloc(store: &mut Store, class: &str, initial: impl Into<Scalar>) -> Self {
+        Cell {
+            loc: store.alloc(class, Value::Scalar(initial.into())),
+        }
+    }
+
+    /// The underlying location.
+    pub fn loc(&self) -> LocId {
+        self.loc
+    }
+
+    /// Blind-writes the cell.
+    pub fn set(&self, tx: &mut TxView, value: impl Into<Scalar>) {
+        tx.write(self.loc, value);
+    }
+
+    /// Reads the cell.
+    pub fn get(&self, tx: &mut TxView) -> Scalar {
+        tx.read(self.loc)
+    }
+
+    /// The cell's value in a store (outside any transaction).
+    pub fn value(&self, store: &Store) -> Scalar {
+        store
+            .value(self.loc)
+            .and_then(|v| v.as_scalar().cloned())
+            .expect("cell location holds a scalar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_core::Janus;
+
+    #[test]
+    fn counter_blind_updates() {
+        let mut store = Store::new();
+        let c = Counter::alloc(&mut store, "c", 10);
+        let tasks = vec![janus_core::Task::new(move |tx: &mut TxView| {
+            c.add(tx, 5);
+            c.sub(tx, 3);
+        })];
+        let (final_store, run) = Janus::run_sequential(store, &tasks);
+        assert_eq!(c.value(&final_store), 12);
+        // Blind adds do not observe: log contains two ops, neither a read.
+        assert_eq!(run.task_logs[0].len(), 2);
+        assert!(run.task_logs[0]
+            .iter()
+            .all(|op| !janus_detect::observes(op)));
+    }
+
+    #[test]
+    fn counter_get_observes() {
+        let mut store = Store::new();
+        let c = Counter::alloc(&mut store, "c", 7);
+        let tasks = vec![janus_core::Task::new(move |tx: &mut TxView| {
+            assert_eq!(c.get(tx), 7);
+        })];
+        let (_, run) = Janus::run_sequential(store, &tasks);
+        assert!(janus_detect::observes(&run.task_logs[0][0]));
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let mut store = Store::new();
+        let c = Cell::alloc(&mut store, "name", "initial");
+        let tasks = vec![janus_core::Task::new(move |tx: &mut TxView| {
+            c.set(tx, "updated");
+            assert_eq!(c.get(tx), Scalar::str("updated"));
+        })];
+        let (final_store, _) = Janus::run_sequential(store, &tasks);
+        assert_eq!(c.value(&final_store), Scalar::str("updated"));
+    }
+}

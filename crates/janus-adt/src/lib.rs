@@ -1,0 +1,35 @@
+//! Abstraction specifications for shared data structures (§6 and §3
+//! stage 1 of the JANUS paper).
+//!
+//! The user maps each concrete data structure to its relational
+//! representation: the semantic state is a set of relations, and the
+//! structure's operations are expressed with the relational primitives of
+//! Table 2. The `BitSet` of Figure 3, for instance, becomes a 2-ary
+//! relation from integral indices to booleans; `get` is a select query,
+//! and `set` removes the matching tuple and inserts the new one — which
+//! [`janus_relational::Relation::insert`] does in one step thanks to the
+//! functional dependency.
+//!
+//! Each type here is such a specification: a typed handle over one (or
+//! two) shared locations, whose methods emit the relational model of the
+//! corresponding ADT operation through [`janus_core::TxView`]. Conflict
+//! detection then reasons about the *abstract* state, suppressing the
+//! spurious conflicts a concrete realization (arrays, hash buckets,
+//! resize counters) would exhibit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod canvas;
+mod counter;
+mod map;
+mod maxreg;
+mod stack;
+
+pub use bitset::BitSetAdt;
+pub use canvas::Canvas;
+pub use counter::{Cell, Counter};
+pub use map::MapAdt;
+pub use maxreg::MaxRegister;
+pub use stack::StackList;

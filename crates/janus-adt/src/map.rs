@@ -1,0 +1,154 @@
+//! The `Map` abstraction specification.
+
+use std::sync::Arc;
+
+use janus_core::{Store, TxView};
+use janus_log::{LocId, OpResult};
+use janus_relational::{Fd, Formula, Key, RelOp, Relation, Schema, Scalar, Tuple, Value};
+
+/// A shared map encoded as the relation `{(key, value)}` with the
+/// functional dependency `key → value`.
+///
+/// Conflict detection is per key: two transactions touching different
+/// keys never meet in a conflict query (the decomposition of Figure 8
+/// splits the relation's history by key). This is the structure behind
+/// PMD's `RuleContext` attributes and JGraphT's `color` array.
+#[derive(Debug, Clone)]
+pub struct MapAdt {
+    loc: LocId,
+    schema: Arc<Schema>,
+}
+
+impl MapAdt {
+    /// Allocates an empty map.
+    pub fn alloc(store: &mut Store, class: &str) -> Self {
+        let schema = Schema::with_fd(&["key", "value"], Fd::new(&[0], &[1]));
+        let loc = store.alloc(class, Value::Rel(Relation::empty(Arc::clone(&schema))));
+        MapAdt { loc, schema }
+    }
+
+    /// Allocates a map pre-populated with entries.
+    pub fn alloc_with(
+        store: &mut Store,
+        class: &str,
+        entries: impl IntoIterator<Item = (Scalar, Scalar)>,
+    ) -> Self {
+        let schema = Schema::with_fd(&["key", "value"], Fd::new(&[0], &[1]));
+        let rel = Relation::from_tuples(
+            Arc::clone(&schema),
+            entries
+                .into_iter()
+                .map(|(k, v)| Tuple::new(vec![k, v])),
+        );
+        let loc = store.alloc(class, Value::Rel(rel));
+        MapAdt { loc, schema }
+    }
+
+    /// The underlying location.
+    pub fn loc(&self) -> LocId {
+        self.loc
+    }
+
+    /// Binds `key` to `value` (displacing any previous binding).
+    pub fn put(&self, tx: &mut TxView, key: impl Into<Scalar>, value: impl Into<Scalar>) {
+        tx.rel(
+            self.loc,
+            RelOp::insert(Tuple::new(vec![key.into(), value.into()])),
+        );
+    }
+
+    /// The value bound to `key`, if any.
+    pub fn get(&self, tx: &mut TxView, key: impl Into<Scalar>) -> Option<Scalar> {
+        match tx.rel(self.loc, RelOp::select(Formula::Eq(0, key.into()))) {
+            OpResult::Tuples(ts) => ts.first().map(|t| t.get(1).clone()),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is bound.
+    pub fn contains(&self, tx: &mut TxView, key: impl Into<Scalar>) -> bool {
+        self.get(tx, key).is_some()
+    }
+
+    /// Removes any binding of `key`.
+    pub fn remove(&self, tx: &mut TxView, key: impl Into<Scalar>) {
+        tx.rel(self.loc, RelOp::RemoveKey(Key::new(vec![key.into()])));
+    }
+
+    /// The map contents in a store (outside any transaction).
+    pub fn entries(&self, store: &Store) -> Vec<(Scalar, Scalar)> {
+        store
+            .value(self.loc)
+            .and_then(Value::as_rel)
+            .expect("map location holds a relation")
+            .iter()
+            .map(|t| (t.get(0).clone(), t.get(1).clone()))
+            .collect()
+    }
+
+    /// The schema (exposed for tests and specs).
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_core::{Janus, Task};
+    use janus_detect::SequenceDetector;
+
+    #[test]
+    fn put_get_remove() {
+        let mut store = Store::new();
+        let m = MapAdt::alloc(&mut store, "attrs");
+        let h = m.clone();
+        let tasks = vec![Task::new(move |tx: &mut TxView| {
+            assert_eq!(h.get(tx, 1i64), None);
+            h.put(tx, 1i64, 10i64);
+            assert_eq!(h.get(tx, 1i64), Some(Scalar::Int(10)));
+            h.put(tx, 1i64, 20i64);
+            assert_eq!(h.get(tx, 1i64), Some(Scalar::Int(20)));
+            h.remove(tx, 1i64);
+            assert!(!h.contains(tx, 1i64));
+            h.put(tx, 2i64, 5i64);
+        })];
+        let (final_store, _) = Janus::run_sequential(store, &tasks);
+        assert_eq!(
+            m.entries(&final_store),
+            vec![(Scalar::Int(2), Scalar::Int(5))]
+        );
+    }
+
+    #[test]
+    fn disjoint_keys_run_conflict_free_in_parallel() {
+        let mut store = Store::new();
+        let m = MapAdt::alloc(&mut store, "color");
+        let tasks: Vec<Task> = (0..16)
+            .map(|i| {
+                let h = m.clone();
+                Task::new(move |tx: &mut TxView| {
+                    h.put(tx, i as i64, (i * 10) as i64);
+                })
+            })
+            .collect();
+        let janus = Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
+        let outcome = janus.run(store, tasks);
+        assert_eq!(outcome.store.value(m.loc()).unwrap().as_rel().unwrap().len(), 16);
+        assert_eq!(
+            outcome.stats.retries, 0,
+            "disjoint keys must not conflict"
+        );
+    }
+
+    #[test]
+    fn prepopulated_map() {
+        let mut store = Store::new();
+        let m = MapAdt::alloc_with(
+            &mut store,
+            "m",
+            [(Scalar::Int(1), Scalar::Int(10))],
+        );
+        assert_eq!(m.entries(&store).len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Renders a fixed-width table with a header row and a separator.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders a proportional bar of at most `width` cells ('█' blocks; at
+/// least one block for any positive value).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if value <= 0.0 || value.is_nan() || max <= 0.0 || max.is_nan() {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round() as usize;
+    "█".repeat(cells.clamp(1, width))
+}
+
+/// Formats an optional percentage.
+pub fn pct(x: Option<f64>) -> String {
+    match x {
+        Some(p) => format!("{p:.1}%"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(Some(16.67)), "16.7%");
+        assert_eq!(pct(None), "-");
+    }
+
+    #[test]
+    fn bars_are_proportional_and_clamped() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(10.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.01, 10.0, 10).chars().count(), 1, "positive => visible");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10, "clamped to width");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

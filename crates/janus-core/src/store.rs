@@ -1,0 +1,176 @@
+//! The shared store: location allocation and versioned state.
+
+use janus_detect::{EntryState, MapState};
+use janus_log::{ClassId, LocId};
+use janus_persist::PersistentMap;
+use janus_relational::Value;
+
+/// One shared location's metadata and current value.
+#[derive(Debug, Clone)]
+pub(crate) struct Slot {
+    pub class: ClassId,
+    pub value: Value,
+}
+
+/// The shared state: a persistent map from locations to values, plus the
+/// static class of each location.
+///
+/// Snapshots (`clone`) are O(1), which is what makes `CREATETRANSACTION`'s
+/// privatization cheap (§4 "Versioning").
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    pub(crate) slots: PersistentMap<LocId, Slot>,
+    next: u64,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Allocates a fresh shared location of the given class with an
+    /// initial value. The class is the generalization key under which
+    /// training knowledge about this location is filed.
+    pub fn alloc(&mut self, class: impl Into<ClassId>, initial: Value) -> LocId {
+        let loc = LocId(self.next);
+        self.next += 1;
+        self.slots.insert(
+            loc,
+            Slot {
+                class: class.into(),
+                value: initial,
+            },
+        );
+        loc
+    }
+
+    /// The current value of a location.
+    pub fn value(&self, loc: LocId) -> Option<&Value> {
+        self.slots.get(&loc).map(|s| &s.value)
+    }
+
+    /// The class of a location.
+    pub fn class(&self, loc: LocId) -> Option<&ClassId> {
+        self.slots.get(&loc).map(|s| &s.class)
+    }
+
+    /// Number of allocated locations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Starts a manually driven transaction against the current state:
+    /// an O(1) privatized view whose log can be harvested with
+    /// [`crate::TxView::into_log`]. This is the building block for
+    /// external schedulers (e.g. the virtual-time simulator in
+    /// `janus-bench`); the [`crate::Janus`] runtime drives the same
+    /// machinery internally.
+    pub fn begin(&self) -> crate::TxView {
+        crate::TxView::new(self.slots.clone())
+    }
+
+    /// The current state as an [`janus_detect::EntryState`] snapshot
+    /// (O(1)).
+    pub fn snapshot_state(&self) -> SnapshotState {
+        SnapshotState(self.slots.clone())
+    }
+
+    /// Replays a committed operation log onto the store
+    /// (`REPLAYLOGGEDOPERATIONS`), grouping per location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation targets an unallocated location.
+    pub fn apply_log(&mut self, ops: &[janus_log::Op]) {
+        let mut touched: std::collections::HashMap<LocId, Slot> = std::collections::HashMap::new();
+        for op in ops {
+            let slot = touched.entry(op.loc).or_insert_with(|| {
+                self.slots
+                    .get(&op.loc)
+                    .expect("committed op targets an allocated location")
+                    .clone()
+            });
+            op.kind.apply(&mut slot.value);
+        }
+        for (loc, slot) in touched {
+            self.slots.insert(loc, slot);
+        }
+    }
+
+    /// Extracts a plain location→value map (the [`MapState`] form used by
+    /// training).
+    pub fn to_map_state(&self) -> MapState {
+        MapState(
+            self.slots
+                .iter()
+                .map(|(loc, slot)| (*loc, slot.value.clone()))
+                .collect(),
+        )
+    }
+}
+
+/// An O(1) snapshot of a store, usable as the entry state for conflict
+/// detection (`t.SharedSnapshot` of Figure 7).
+#[derive(Debug, Clone)]
+pub struct SnapshotState(pub(crate) PersistentMap<LocId, Slot>);
+
+impl SnapshotState {
+    /// The snapshot's value for a location.
+    pub fn value(&self, loc: LocId) -> Option<&Value> {
+        self.0.get(&loc).map(|s| &s.value)
+    }
+}
+
+impl EntryState for SnapshotState {
+    fn value_of(&self, loc: LocId) -> Option<Value> {
+        self.0.get(&loc).map(|s| s.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_dense_ids() {
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(1));
+        let b = s.alloc("y", Value::int(2));
+        assert_ne!(a, b);
+        assert_eq!(s.value(a), Some(&Value::int(1)));
+        assert_eq!(s.class(b).map(|c| c.label().to_string()), Some("y".into()));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_isolated() {
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(1));
+        let snap = SnapshotState(s.slots.clone());
+        // Mutate through a fresh slot insert.
+        s.slots.insert(
+            a,
+            Slot {
+                class: ClassId::new("x"),
+                value: Value::int(9),
+            },
+        );
+        assert_eq!(snap.value(a), Some(&Value::int(1)));
+        assert_eq!(s.value(a), Some(&Value::int(9)));
+        assert_eq!(snap.value_of(a), Some(Value::int(1)));
+    }
+
+    #[test]
+    fn map_state_export() {
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(4));
+        let ms = s.to_map_state();
+        assert_eq!(ms.0[&a], Value::int(4));
+    }
+}

@@ -1,0 +1,45 @@
+//! Conflict detection for JANUS (§5 of the paper).
+//!
+//! The ideal conflict test is an explicit commutativity check: transaction
+//! `t` with operation sequence `b`, whose conflict history (the operations
+//! committed while it ran) is `a`, conflicts iff `⟦a·b⟧(s0) ≠ ⟦b·a⟧(s0)`
+//! where `s0` is `t`'s entry state. This crate implements three
+//! approximations of that check, all driven by the same per-location
+//! decomposition of [`janus_log::decompose`]:
+//!
+//! * [`WriteSetDetector`] — the standard STM baseline: a conflict is any
+//!   common location that one side writes. Implemented as a strict subset
+//!   of the sequence machinery so comparisons between the two are
+//!   implementation-fair (§7.1).
+//! * [`SequenceDetector`] — the *online* sequence-based check of Figure 8:
+//!   for every common location, `SAMEREAD` over every read prefix of both
+//!   subsequences plus a final `COMMUTE` over the composite effect. Exact
+//!   but expensive — the paper deems it "unlikely to be acceptable in
+//!   performance", which is why it exists here chiefly as the reference
+//!   oracle and ablation baseline.
+//! * [`CachedSequenceDetector`] — the production configuration: answers
+//!   per-location queries from a commutativity cache built by offline
+//!   training (a [`SequenceOracle`], implemented by `janus-train`),
+//!   falling back to the write-set test on a miss.
+//!
+//! [`Relaxation`]/[`RelaxationSpec`] carry the user-provided consistency
+//! relaxations of §5.3 (tolerating RAW and/or WAW conflicts per data
+//! structure) and the automatic WAW-tolerance inference for out-of-order
+//! runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod projection;
+mod relax;
+
+pub use detector::{
+    CachedSequenceDetector, ConflictDetector, DetectorStats, EntryState, MapState,
+    SequenceOracle, SequenceDetector, WriteSetDetector,
+};
+pub use projection::{
+    cell_value, commute, conflict_cell, last_write, net_delta, observes, read_prefixes, replay_cell,
+    same_read, CellValue,
+};
+pub use relax::{infer_waw_tolerance, Relaxation, RelaxationSpec};

@@ -1,0 +1,433 @@
+//! The projection-based sequence checks of Figure 8: `SAMEREAD`,
+//! `COMMUTE` and the per-location `CONFLICT` procedure.
+
+use janus_log::{CellKey, Op, OpKind, OpResult};
+use janus_relational::{Scalar, Value};
+
+use crate::Relaxation;
+
+/// The value of one cell of a shared object: for [`CellKey::Whole`] the
+/// whole location value, for a relational key the (possibly absent) tuple
+/// stored under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellValue {
+    /// The whole location value.
+    Whole(Value),
+    /// The tuple under a key, or `None` if absent.
+    Entry(Option<janus_relational::Tuple>),
+}
+
+/// Projects a location value onto a cell.
+pub fn cell_value(value: &Value, cell: &CellKey) -> CellValue {
+    match cell {
+        CellKey::Whole => CellValue::Whole(value.clone()),
+        CellKey::Key(k) => match value {
+            Value::Rel(r) => CellValue::Entry(r.lookup(k)),
+            // A scalar location has no keys; treat the whole value as the
+            // cell (conservative, should not arise from decomposition).
+            Value::Scalar(_) => CellValue::Whole(value.clone()),
+        },
+    }
+}
+
+/// Replays a subsequence of operations onto a copy of the entry value and
+/// returns the resulting value.
+pub fn replay_cell(entry: &Value, ops: &[&Op]) -> Value {
+    let mut v = entry.clone();
+    for op in ops {
+        op.kind.apply(&mut v);
+    }
+    v
+}
+
+/// Whether an operation *observes* the location: its result (or observed
+/// absence) can influence the enclosing transaction. This is `ISREAD` of
+/// Figure 8, refined at the semantic level: a fetch-add is a blind update
+/// whose result our API does not expose, so it does not observe.
+pub fn observes(op: &Op) -> bool {
+    match &op.kind {
+        OpKind::Scalar(janus_log::ScalarOp::Read) => true,
+        OpKind::Scalar(_) => false,
+        OpKind::Rel(janus_relational::RelOp::Select(_)) => true,
+        // A remove with a non-empty read footprint observed absence.
+        OpKind::Rel(_) => !op.footprint.read.is_empty(),
+    }
+}
+
+/// `GETREADSUBSEQUENCES` (Figure 8): the prefixes of `ops` ending at each
+/// observing operation.
+pub fn read_prefixes<'a, 'b>(ops: &'b [&'a Op]) -> Vec<&'b [&'a Op]> {
+    (0..ops.len())
+        .filter(|&i| observes(ops[i]))
+        .map(|i| &ops[..=i])
+        .collect()
+}
+
+/// Recomputes the result the final operation of `prefix` observes when
+/// the prefix is evaluated from `start`.
+fn eval_final_result(start: &Value, prefix: &[&Op]) -> OpResult {
+    let mut v = start.clone();
+    let mut last = OpResult::None;
+    for op in prefix {
+        last = op.kind.apply(&mut v);
+    }
+    last
+}
+
+/// `SAMEREAD` (Figure 8): whether the read ending `prefix` observes the
+/// same value when the prefix is evaluated directly in `entry` as when
+/// the concurrent subsequence `other` is evaluated first.
+///
+/// This is condition (2) of Lemma 5.2 — "every read of `l` results in the
+/// same value regardless of whether the other subsequence is evaluated
+/// before it" — which conservatively approximates the flow through local
+/// state between shared locations.
+pub fn same_read(entry: &Value, prefix: &[&Op], other: &[&Op]) -> bool {
+    let direct = eval_final_result(entry, prefix);
+    let mut shifted_start = entry.clone();
+    for op in other {
+        op.kind.apply(&mut shifted_start);
+    }
+    let shifted = eval_final_result(&shifted_start, prefix);
+    direct == shifted
+}
+
+/// `COMMUTE` restricted to one cell: whether the cell's value after
+/// `a · b` equals its value after `b · a`, both evaluated from `entry`
+/// (condition (1) of Lemma 5.2).
+pub fn commute(entry: &Value, cell: &CellKey, a: &[&Op], b: &[&Op]) -> bool {
+    let ab = {
+        let mut v = entry.clone();
+        for op in a.iter().chain(b) {
+            op.kind.apply(&mut v);
+        }
+        v
+    };
+    let ba = {
+        let mut v = entry.clone();
+        for op in b.iter().chain(a) {
+            op.kind.apply(&mut v);
+        }
+        v
+    };
+    cell_value(&ab, cell) == cell_value(&ba, cell)
+}
+
+/// `CONFLICT` (Figure 8) for one cell: returns `true` iff the two
+/// subsequences conflict in entry state `entry`.
+///
+/// Per §5.3's relaxed-consistency support, a data structure whose
+/// [`Relaxation`] tolerates RAW conflicts drops the `SAMEREAD` checks,
+/// and one that tolerates WAW conflicts drops the final `COMMUTE` test.
+pub fn conflict_cell(
+    entry: &Value,
+    cell: &CellKey,
+    txn: &[&Op],
+    committed: &[&Op],
+    relax: Relaxation,
+) -> bool {
+    if !relax.tolerate_raw {
+        for prefix in read_prefixes(txn) {
+            if !same_read(entry, prefix, committed) {
+                return true;
+            }
+        }
+        for prefix in read_prefixes(committed) {
+            if !same_read(entry, prefix, txn) {
+                return true;
+            }
+        }
+    }
+    if !relax.tolerate_waw && !commute(entry, cell, txn, committed) {
+        return true;
+    }
+    false
+}
+
+/// Integer helper used in tests and conditions: the net delta of a pure
+/// add sequence, or `None` if the sequence contains non-add writes.
+pub fn net_delta(ops: &[&Op]) -> Option<i64> {
+    let mut delta = 0i64;
+    for op in ops {
+        match &op.kind {
+            OpKind::Scalar(janus_log::ScalarOp::Add(d)) => delta = delta.wrapping_add(*d),
+            OpKind::Scalar(janus_log::ScalarOp::Read) => {}
+            _ => return None,
+        }
+    }
+    Some(delta)
+}
+
+/// Helper for conditions: the value written by the last unconditional
+/// whole-cell write in the sequence, if the sequence is write/read-only
+/// over scalars.
+pub fn last_write(ops: &[&Op]) -> Option<Scalar> {
+    let mut last = None;
+    for op in ops {
+        if let OpKind::Scalar(janus_log::ScalarOp::Write(v)) = &op.kind {
+            last = Some(v.clone());
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_log::{ClassId, LocId, ScalarOp};
+    use janus_relational::{tuple, Fd, Formula, RelOp, Relation, Schema};
+
+    fn mk_ops(kinds: Vec<OpKind>, start: &Value) -> Vec<Op> {
+        let mut v = start.clone();
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("t"), k, &mut v).0)
+            .collect()
+    }
+
+    fn refs(ops: &[Op]) -> Vec<&Op> {
+        ops.iter().collect()
+    }
+
+    fn add(d: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Add(d))
+    }
+
+    fn read() -> OpKind {
+        OpKind::Scalar(ScalarOp::Read)
+    }
+
+    fn write(v: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Write(Scalar::Int(v)))
+    }
+
+    #[test]
+    fn identity_sequences_commute() {
+        // The Figure 1 pattern: { work+=2; work-=2 } vs { work+=3; work-=3 }.
+        let entry = Value::int(0);
+        let a = mk_ops(vec![add(2), add(-2)], &entry);
+        let b = mk_ops(vec![add(3), add(-3)], &entry);
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn pure_adds_always_commute() {
+        let entry = Value::int(5);
+        let a = mk_ops(vec![add(7)], &entry);
+        let b = mk_ops(vec![add(-2), add(4)], &entry);
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn read_vs_nonzero_delta_conflicts() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![read()], &entry);
+        let b = mk_ops(vec![add(1)], &entry);
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn read_vs_identity_delta_does_not_conflict() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![read()], &entry);
+        let b = mk_ops(vec![add(1), add(-1)], &entry);
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn equal_writes_commute_different_writes_do_not() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![write(7)], &entry);
+        let b = mk_ops(vec![write(7)], &entry);
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+        let c = mk_ops(vec![write(8)], &entry);
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&c),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn shared_as_local_write_then_read_needs_waw_relaxation() {
+        // Both transactions write the scratch location then read it
+        // (PMD's ctx fields, Figure 4). Reads are covered by own writes
+        // so SAMEREAD passes, but final values differ: only the WAW
+        // relaxation admits this pattern.
+        let entry = Value::int(0);
+        let a = mk_ops(vec![write(1), read()], &entry);
+        let b = mk_ops(vec![write(2), read()], &entry);
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&a),
+            &refs(&b),
+            Relaxation {
+                tolerate_raw: false,
+                tolerate_waw: true
+            }
+        ));
+    }
+
+    #[test]
+    fn paper_counterexample_commute_alone_is_unsound() {
+        // §5.3: T1 = { b = x==0; if (b) y = 1; x = 1 }, T2 = { x = 1 }.
+        // The x-subsequences commute and the y-subsequences commute, yet
+        // the transactions do not: SAMEREAD must flag T1's read of x.
+        let entry = Value::int(0);
+        let t1_x = mk_ops(vec![read(), write(1)], &entry);
+        let t2_x = mk_ops(vec![write(1)], &entry);
+        // COMMUTE alone passes...
+        assert!(commute(&entry, &CellKey::Whole, &refs(&t1_x), &refs(&t2_x)));
+        // ...but the full check (with SAMEREAD) reports the conflict.
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&t1_x),
+            &refs(&t2_x),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn spurious_read_suppressed_by_raw_relaxation() {
+        // JGraphT-1's maxColor: one transaction only reads, the other
+        // writes a new value. RAW tolerance suppresses the conflict.
+        let entry = Value::int(3);
+        let reader = mk_ops(vec![read()], &entry);
+        let writer = mk_ops(vec![write(9)], &entry);
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&reader),
+            &refs(&writer),
+            Relaxation::default()
+        ));
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Whole,
+            &refs(&reader),
+            &refs(&writer),
+            Relaxation {
+                tolerate_raw: true,
+                tolerate_waw: true,
+            }
+        ));
+    }
+
+    #[test]
+    fn relational_insert_remove_identity() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::empty(schema));
+        let a = mk_ops(
+            vec![
+                OpKind::Rel(RelOp::insert(tuple![1, 10])),
+                OpKind::Rel(RelOp::remove(tuple![1, 10])),
+            ],
+            &entry,
+        );
+        let b = mk_ops(
+            vec![
+                OpKind::Rel(RelOp::insert(tuple![1, 20])),
+                OpKind::Rel(RelOp::remove(tuple![1, 20])),
+            ],
+            &entry,
+        );
+        let (ra, rb) = (refs(&a), refs(&b));
+        assert!(!conflict_cell(
+            &entry,
+            &CellKey::Key(janus_relational::Key::scalar(1i64)),
+            &ra,
+            &rb,
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn select_vs_insert_conflicts() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::empty(schema));
+        let a = mk_ops(vec![OpKind::Rel(RelOp::select(Formula::eq(0, 1i64)))], &entry);
+        let b = mk_ops(vec![OpKind::Rel(RelOp::insert(tuple![1, 10]))], &entry);
+        assert!(conflict_cell(
+            &entry,
+            &CellKey::Key(janus_relational::Key::scalar(1i64)),
+            &refs(&a),
+            &refs(&b),
+            Relaxation::default()
+        ));
+    }
+
+    #[test]
+    fn read_prefixes_end_at_observers() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![add(1), read(), add(2), read()], &entry);
+        let r = refs(&ops);
+        let prefixes = read_prefixes(&r);
+        assert_eq!(prefixes.len(), 2);
+        assert_eq!(prefixes[0].len(), 2);
+        assert_eq!(prefixes[1].len(), 4);
+    }
+
+    #[test]
+    fn net_delta_and_last_write_helpers() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![add(2), add(-5)], &entry);
+        assert_eq!(net_delta(&refs(&a)), Some(-3));
+        let b = mk_ops(vec![add(1), write(9)], &entry);
+        assert_eq!(net_delta(&refs(&b)), None);
+        assert_eq!(last_write(&refs(&b)), Some(Scalar::Int(9)));
+        assert_eq!(last_write(&refs(&a)), None);
+    }
+
+    #[test]
+    fn cell_value_projection() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let rel = Relation::from_tuples(schema, [tuple![1, 10]]);
+        let v = Value::Rel(rel);
+        let k1 = CellKey::Key(janus_relational::Key::scalar(1i64));
+        let k2 = CellKey::Key(janus_relational::Key::scalar(2i64));
+        assert_eq!(cell_value(&v, &k1), CellValue::Entry(Some(tuple![1, 10])));
+        assert_eq!(cell_value(&v, &k2), CellValue::Entry(None));
+        assert!(matches!(cell_value(&v, &CellKey::Whole), CellValue::Whole(_)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Consistency relaxations (§5.3).
+//!
+//! Beyond the baseline checks, JANUS supports a user-provided
+//! specification of consistency relaxations for data structures of
+//! choice: tolerating read-after-write (RAW) conflicts drops the
+//! `SAMEREAD` checks for the structure's locations, and tolerating
+//! write-after-write (WAW) conflicts drops the final `COMMUTE` test.
+//! JANUS also performs limited automatic inference: when out-of-order
+//! parallelization is permitted, WAW dependency chains between
+//! transactions whose reads are all covered by their own prior writes can
+//! be ignored — the final value is whichever transaction commits last,
+//! which coincides with a legal serial order.
+
+use std::collections::BTreeMap;
+
+use janus_log::{ClassId, Op};
+
+use crate::projection::observes;
+
+/// The relaxations in force for one data-structure class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relaxation {
+    /// Tolerate read-after-write conflicts: drop `SAMEREAD` checks.
+    pub tolerate_raw: bool,
+    /// Tolerate write-after-write conflicts: drop the `COMMUTE` test.
+    pub tolerate_waw: bool,
+}
+
+impl Relaxation {
+    /// No relaxation: full sequence checks (the default).
+    pub fn strict() -> Self {
+        Relaxation::default()
+    }
+
+    /// Tolerates RAW conflicts only.
+    pub fn raw() -> Self {
+        Relaxation {
+            tolerate_raw: true,
+            tolerate_waw: false,
+        }
+    }
+
+    /// Tolerates WAW conflicts only.
+    pub fn waw() -> Self {
+        Relaxation {
+            tolerate_raw: false,
+            tolerate_waw: true,
+        }
+    }
+
+    /// The union of two relaxations.
+    pub fn union(self, other: Relaxation) -> Relaxation {
+        Relaxation {
+            tolerate_raw: self.tolerate_raw || other.tolerate_raw,
+            tolerate_waw: self.tolerate_waw || other.tolerate_waw,
+        }
+    }
+}
+
+/// Per-class relaxation specification, plus the out-of-order WAW
+/// inference switch.
+#[derive(Debug, Clone, Default)]
+pub struct RelaxationSpec {
+    per_class: BTreeMap<ClassId, Relaxation>,
+    /// When true (unordered runs), WAW chains between sequences whose
+    /// reads are all self-covered are tolerated automatically.
+    pub infer_waw_out_of_order: bool,
+}
+
+impl RelaxationSpec {
+    /// A specification with no relaxations.
+    pub fn new() -> Self {
+        RelaxationSpec::default()
+    }
+
+    /// Declares a relaxation for a class, merging with any prior
+    /// declaration.
+    pub fn relax(&mut self, class: ClassId, relaxation: Relaxation) -> &mut Self {
+        let entry = self.per_class.entry(class).or_default();
+        *entry = entry.union(relaxation);
+        self
+    }
+
+    /// Enables the automatic WAW inference (sound only for out-of-order
+    /// runs).
+    pub fn with_ooo_inference(mut self) -> Self {
+        self.infer_waw_out_of_order = true;
+        self
+    }
+
+    /// The static relaxation declared for a class.
+    pub fn for_class(&self, class: &ClassId) -> Relaxation {
+        self.per_class.get(class).copied().unwrap_or_default()
+    }
+
+    /// The effective relaxation for a pair of concurrent subsequences of
+    /// a class: the declared relaxation, widened by the automatic WAW
+    /// inference when enabled.
+    pub fn effective(&self, class: &ClassId, txn: &[&Op], committed: &[&Op]) -> Relaxation {
+        let mut r = self.for_class(class);
+        if self.infer_waw_out_of_order && !r.tolerate_waw && infer_waw_tolerance(txn, committed)
+        {
+            r.tolerate_waw = true;
+        }
+        r
+    }
+}
+
+/// Whether every observing operation in `ops` is *covered* by the
+/// subsequence's own earlier writes — its read footprint falls entirely
+/// within cells the subsequence has already written, so the location is
+/// defined before it is read (Figure 4's pattern) and the observation
+/// cannot be influenced by concurrent transactions.
+fn reads_self_covered(ops: &[&Op]) -> bool {
+    let mut written = janus_relational::CellSet::Empty;
+    for op in ops {
+        if observes(op) && !op.footprint.read.subset_of(&written) {
+            return false;
+        }
+        written.extend(&op.footprint.write);
+    }
+    true
+}
+
+/// The automatic WAW-tolerance inference of §5.3: two subsequences form
+/// an ignorable WAW chain when both write, and neither exposes a read
+/// that is not covered by its own prior write. In that case the cell's
+/// final value is the last committer's — which matches the serial order
+/// in which that transaction runs last, so out-of-order runs may ignore
+/// the non-commutativity.
+pub fn infer_waw_tolerance(a: &[&Op], b: &[&Op]) -> bool {
+    let a_writes = a.iter().any(|op| op.is_write());
+    let b_writes = b.iter().any(|op| op.is_write());
+    a_writes && b_writes && reads_self_covered(a) && reads_self_covered(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_log::{LocId, OpKind, ScalarOp};
+    use janus_relational::{Scalar, Value};
+
+    fn mk_ops(kinds: Vec<OpKind>) -> Vec<Op> {
+        let mut v = Value::int(0);
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("t"), k, &mut v).0)
+            .collect()
+    }
+
+    fn refs(ops: &[Op]) -> Vec<&Op> {
+        ops.iter().collect()
+    }
+
+    #[test]
+    fn relaxation_union() {
+        assert_eq!(Relaxation::raw().union(Relaxation::waw()), Relaxation {
+            tolerate_raw: true,
+            tolerate_waw: true
+        });
+        assert_eq!(Relaxation::strict().union(Relaxation::strict()), Relaxation::strict());
+    }
+
+    #[test]
+    fn spec_merges_declarations() {
+        let mut spec = RelaxationSpec::new();
+        spec.relax(ClassId::new("ctx"), Relaxation::raw());
+        spec.relax(ClassId::new("ctx"), Relaxation::waw());
+        let r = spec.for_class(&ClassId::new("ctx"));
+        assert!(r.tolerate_raw && r.tolerate_waw);
+        assert_eq!(spec.for_class(&ClassId::new("other")), Relaxation::strict());
+    }
+
+    #[test]
+    fn waw_inference_requires_covered_reads() {
+        let write_then_read = mk_ops(vec![
+            OpKind::Scalar(ScalarOp::Write(Scalar::Int(1))),
+            OpKind::Scalar(ScalarOp::Read),
+        ]);
+        let read_then_write = mk_ops(vec![
+            OpKind::Scalar(ScalarOp::Read),
+            OpKind::Scalar(ScalarOp::Write(Scalar::Int(1))),
+        ]);
+        let wr = refs(&write_then_read);
+        let rw = refs(&read_then_write);
+        assert!(infer_waw_tolerance(&wr, &wr));
+        assert!(!infer_waw_tolerance(&wr, &rw), "exposed read blocks inference");
+        assert!(!infer_waw_tolerance(&rw, &wr));
+    }
+
+    #[test]
+    fn waw_inference_requires_both_sides_to_write() {
+        let write_only = mk_ops(vec![OpKind::Scalar(ScalarOp::Write(Scalar::Int(1)))]);
+        let nothing: Vec<Op> = Vec::new();
+        assert!(!infer_waw_tolerance(&refs(&write_only), &refs(&nothing)));
+    }
+
+    #[test]
+    fn effective_combines_static_and_inferred() {
+        let write_then_read = mk_ops(vec![
+            OpKind::Scalar(ScalarOp::Write(Scalar::Int(1))),
+            OpKind::Scalar(ScalarOp::Read),
+        ]);
+        let wr = refs(&write_then_read);
+        let class = ClassId::new("t");
+
+        let spec = RelaxationSpec::new();
+        assert!(!spec.effective(&class, &wr, &wr).tolerate_waw);
+
+        let spec = RelaxationSpec::new().with_ooo_inference();
+        assert!(spec.effective(&class, &wr, &wr).tolerate_waw);
+        assert!(!spec.effective(&class, &wr, &wr).tolerate_raw);
+    }
+}

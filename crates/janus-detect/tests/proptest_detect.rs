@@ -1,0 +1,143 @@
+//! Property tests for the conflict detectors.
+
+use janus_detect::{
+    conflict_cell, ConflictDetector, MapState, Relaxation, SequenceDetector, WriteSetDetector,
+};
+use janus_log::{CellKey, ClassId, LocId, Op, OpKind, ScalarOp};
+use janus_relational::{Scalar, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum K {
+    Read,
+    Add(i64),
+    Write(i64),
+    Max(i64),
+}
+
+fn kind(k: K) -> OpKind {
+    match k {
+        K::Read => OpKind::Scalar(ScalarOp::Read),
+        K::Add(d) => OpKind::Scalar(ScalarOp::Add(d)),
+        K::Write(v) => OpKind::Scalar(ScalarOp::Write(Scalar::Int(v))),
+        K::Max(v) => OpKind::Scalar(ScalarOp::Max(v)),
+    }
+}
+
+fn k_strategy() -> impl Strategy<Value = K> {
+    prop_oneof![
+        Just(K::Read),
+        (-2i64..3).prop_map(K::Add),
+        (0i64..3).prop_map(K::Write),
+        (0i64..3).prop_map(K::Max),
+    ]
+}
+
+fn mk_ops(ks: &[K], entry: i64) -> Vec<Op> {
+    let mut v = Value::int(entry);
+    ks.iter()
+        .map(|&k| Op::execute(LocId(0), ClassId::new("x"), kind(k), &mut v).0)
+        .collect()
+}
+
+/// Ground truth for blind (read-free) histories: replay both orders.
+fn replays_equal(a: &[Op], b: &[Op], entry: i64) -> bool {
+    let run = |first: &[Op], second: &[Op]| {
+        let mut v = Value::int(entry);
+        for op in first.iter().chain(second) {
+            op.kind.apply(&mut v);
+        }
+        v
+    };
+    run(a, b) == run(b, a)
+}
+
+proptest! {
+    /// Refinement: every conflict the sequence detector reports, the
+    /// write-set detector reports too.
+    #[test]
+    fn sequence_refines_write_set(
+        ka in proptest::collection::vec(k_strategy(), 0..6),
+        kb in proptest::collection::vec(k_strategy(), 0..6),
+        entry in -2i64..3,
+    ) {
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(entry));
+        let a = mk_ops(&ka, entry);
+        let b = mk_ops(&kb, entry);
+        let seq = SequenceDetector::new().detect(&state, &a, &b);
+        let ws = WriteSetDetector::new().detect(&state, &a, &b);
+        prop_assert!(!seq || ws, "{ka:?} vs {kb:?} at {entry}");
+    }
+
+    /// Validity: an empty conflict history never conflicts, under either
+    /// detector.
+    #[test]
+    fn empty_history_is_valid(
+        ka in proptest::collection::vec(k_strategy(), 0..8),
+        entry in -2i64..3,
+    ) {
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(entry));
+        let a = mk_ops(&ka, entry);
+        prop_assert!(!SequenceDetector::new().detect(&state, &a, &[]));
+        prop_assert!(!WriteSetDetector::new().detect(&state, &a, &[]));
+    }
+
+    /// Soundness on blind histories: if the sequence detector clears a
+    /// pair of read-free histories, the two orders really produce the
+    /// same final value.
+    #[test]
+    fn no_conflict_implies_commutes_for_blind_histories(
+        ka in proptest::collection::vec(k_strategy(), 0..6),
+        kb in proptest::collection::vec(k_strategy(), 0..6),
+        entry in -2i64..3,
+    ) {
+        prop_assume!(ka.iter().chain(&kb).all(|k| !matches!(k, K::Read)));
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(entry));
+        let a = mk_ops(&ka, entry);
+        let b = mk_ops(&kb, entry);
+        if !SequenceDetector::new().detect(&state, &a, &b) {
+            prop_assert!(replays_equal(&a, &b, entry), "{ka:?} vs {kb:?} at {entry}");
+        }
+    }
+
+    /// Symmetry: `CONFLICT` is symmetric in its two histories.
+    #[test]
+    fn conflict_cell_is_symmetric(
+        ka in proptest::collection::vec(k_strategy(), 0..6),
+        kb in proptest::collection::vec(k_strategy(), 0..6),
+        entry in -2i64..3,
+    ) {
+        let entry_value = Value::int(entry);
+        let a = mk_ops(&ka, entry);
+        let b = mk_ops(&kb, entry);
+        let ra: Vec<&Op> = a.iter().collect();
+        let rb: Vec<&Op> = b.iter().collect();
+        prop_assert_eq!(
+            conflict_cell(&entry_value, &CellKey::Whole, &ra, &rb, Relaxation::default()),
+            conflict_cell(&entry_value, &CellKey::Whole, &rb, &ra, Relaxation::default())
+        );
+    }
+
+    /// Relaxation monotonicity: weakening the checks can only remove
+    /// conflicts.
+    #[test]
+    fn relaxations_are_monotone(
+        ka in proptest::collection::vec(k_strategy(), 0..6),
+        kb in proptest::collection::vec(k_strategy(), 0..6),
+        entry in -2i64..3,
+    ) {
+        let entry_value = Value::int(entry);
+        let a = mk_ops(&ka, entry);
+        let b = mk_ops(&kb, entry);
+        let ra: Vec<&Op> = a.iter().collect();
+        let rb: Vec<&Op> = b.iter().collect();
+        let strict = conflict_cell(&entry_value, &CellKey::Whole, &ra, &rb, Relaxation::default());
+        for relax in [Relaxation::raw(), Relaxation::waw()] {
+            let relaxed = conflict_cell(&entry_value, &CellKey::Whole, &ra, &rb, relax);
+            prop_assert!(!relaxed || strict, "relaxation added a conflict");
+        }
+    }
+}

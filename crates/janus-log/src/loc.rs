@@ -1,0 +1,68 @@
+//! Location identity and static classes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The runtime identity of one shared location (a scalar variable or one
+/// ADT instance). Allocated densely by the runtime's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub u64);
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// The *static class* of a shared location: a stable label (analogous to
+/// a field name or allocation site in the paper's Java setting) shared by
+/// all locations playing the same role across runs.
+///
+/// Training generalizes along classes: a commutativity condition learned
+/// for sequences over one location applies to any production location of
+/// the same class (§5.2 — training inputs differ from production inputs,
+/// so runtime identities never coincide).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(Arc<str>);
+
+impl ClassId {
+    /// Creates (or interns) a class from its label.
+    pub fn new(label: impl AsRef<str>) -> Self {
+        ClassId(Arc::from(label.as_ref()))
+    }
+
+    /// The class label.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for ClassId {
+    fn from(s: &str) -> Self {
+        ClassId::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_equality_is_by_label() {
+        assert_eq!(ClassId::new("monitor.itemsWeight"), "monitor.itemsWeight".into());
+        assert_ne!(ClassId::new("a"), ClassId::new("b"));
+        assert_eq!(ClassId::new("x").label(), "x");
+    }
+
+    #[test]
+    fn loc_ordering() {
+        assert!(LocId(1) < LocId(2));
+        assert_eq!(format!("{}", LocId(3)), "loc3");
+    }
+}

@@ -1,0 +1,363 @@
+//! Logged operations over shared locations.
+
+use std::fmt;
+
+use janus_relational::{CellSet, Footprint, RelOp, Scalar, Value};
+
+use crate::{ClassId, LocId};
+
+/// A memory-level operation over a scalar location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalarOp {
+    /// Reads the location's value.
+    Read,
+    /// Stores a value (a *blind* write: the previous value is not read).
+    Write(Scalar),
+    /// Adds a (possibly negative) delta to an integer location —
+    /// `work += weightOf(item)` in Figure 1. The paper's reduction and
+    /// identity patterns are built from these.
+    Add(i64),
+    /// Raises an integer location to at least the given value — the
+    /// semantic lifting of `if (v > loc) loc = v` (JGraphT's `maxColor`
+    /// bookkeeping, Figure 3). Like `Add`, it is a *blind* commutative
+    /// update: max-updates always commute with each other.
+    Max(i64),
+}
+
+impl ScalarOp {
+    /// Whether the operation writes the location.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ScalarOp::Read)
+    }
+
+    /// Whether the operation reads the location. `Add` is a *blind*
+    /// read-modify-write at the semantic level — its effect does not
+    /// depend on the current value — but the write-set approach treats it
+    /// as both a read and a write, which is exactly the conservatism
+    /// sequence-based detection refines away.
+    pub fn is_read(&self) -> bool {
+        matches!(self, ScalarOp::Read | ScalarOp::Add(_) | ScalarOp::Max(_))
+    }
+}
+
+impl fmt::Display for ScalarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarOp::Read => write!(f, "read"),
+            ScalarOp::Write(v) => write!(f, "write {v}"),
+            ScalarOp::Add(d) if *d >= 0 => write!(f, "add {d}"),
+            ScalarOp::Add(d) => write!(f, "sub {}", -d),
+            ScalarOp::Max(v) => write!(f, "max {v}"),
+        }
+    }
+}
+
+/// The kind of a logged operation: memory-level or relational (ADT-level,
+/// under an abstraction specification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// A scalar memory operation.
+    Scalar(ScalarOp),
+    /// A primitive relational operation (Table 2).
+    Rel(RelOp),
+}
+
+impl OpKind {
+    /// Whether the operation can modify the location.
+    pub fn is_write(&self) -> bool {
+        match self {
+            OpKind::Scalar(s) => s.is_write(),
+            OpKind::Rel(r) => r.is_mutation(),
+        }
+    }
+
+    /// Whether the operation observes the location (`ISREAD` in Figure 8).
+    ///
+    /// Scalar reads and selects observe; a `remove` of an absent tuple
+    /// observes absence (per the §6.2 soundness note) — but absence
+    /// observation is state-dependent, so it is captured in the footprint
+    /// at logging time rather than here.
+    pub fn is_read(&self) -> bool {
+        match self {
+            OpKind::Scalar(s) => s.is_read(),
+            OpKind::Rel(r) => matches!(r, RelOp::Select(_)),
+        }
+    }
+
+    /// Applies the operation to a location value in place and returns its
+    /// result (what the program observed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation is applied to a value of the wrong shape
+    /// (e.g. `Add` on a relation) — abstraction specifications guarantee
+    /// well-typedness, so a mismatch is a logic error in the caller.
+    pub fn apply(&self, value: &mut Value) -> OpResult {
+        match self {
+            OpKind::Scalar(ScalarOp::Read) => match value {
+                Value::Scalar(s) => OpResult::Scalar(s.clone()),
+                Value::Rel(_) => panic!("scalar read applied to relational value"),
+            },
+            OpKind::Scalar(ScalarOp::Write(v)) => {
+                *value = Value::Scalar(v.clone());
+                OpResult::None
+            }
+            OpKind::Scalar(ScalarOp::Add(d)) => match value {
+                Value::Scalar(Scalar::Int(i)) => {
+                    *i = i.wrapping_add(*d);
+                    OpResult::Scalar(Scalar::Int(*i))
+                }
+                _ => panic!("add applied to non-integer value"),
+            },
+            OpKind::Scalar(ScalarOp::Max(v)) => match value {
+                Value::Scalar(Scalar::Int(i)) => {
+                    *i = (*i).max(*v);
+                    OpResult::None
+                }
+                _ => panic!("max applied to non-integer value"),
+            },
+            OpKind::Rel(op) => match value {
+                Value::Rel(r) => {
+                    if let RelOp::Select(f) = op {
+                        OpResult::Tuples(r.select(f))
+                    } else {
+                        op.apply(r);
+                        OpResult::None
+                    }
+                }
+                Value::Scalar(_) => panic!("relational op applied to scalar value"),
+            },
+        }
+    }
+
+    /// The footprint of this operation against the given pre-state value
+    /// (Table 3 for relational operations; scalar locations have a single
+    /// whole-value cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch, as for [`OpKind::apply`].
+    pub fn footprint(&self, value: &Value) -> Footprint {
+        match self {
+            OpKind::Scalar(ScalarOp::Read) => Footprint::read_only(CellSet::All),
+            OpKind::Scalar(ScalarOp::Write(_)) => Footprint::write_only(CellSet::All),
+            // The write-set level treats fetch-add and fetch-max as
+            // read+write of the cell.
+            OpKind::Scalar(ScalarOp::Add(_)) | OpKind::Scalar(ScalarOp::Max(_)) => Footprint {
+                read: CellSet::All,
+                write: CellSet::All,
+            },
+            OpKind::Rel(op) => match value {
+                Value::Rel(r) => op.footprint(r),
+                Value::Scalar(_) => panic!("relational op applied to scalar value"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Scalar(s) => write!(f, "{s}"),
+            OpKind::Rel(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<ScalarOp> for OpKind {
+    fn from(s: ScalarOp) -> Self {
+        OpKind::Scalar(s)
+    }
+}
+
+impl From<RelOp> for OpKind {
+    fn from(r: RelOp) -> Self {
+        OpKind::Rel(r)
+    }
+}
+
+/// The observable result of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// No observable result (blind writes, mutations).
+    None,
+    /// A scalar result (reads, fetch-add results).
+    Scalar(Scalar),
+    /// The selected tuples of a select.
+    Tuples(Vec<janus_relational::Tuple>),
+}
+
+impl OpResult {
+    /// The scalar payload, if any.
+    pub fn as_scalar(&self) -> Option<&Scalar> {
+        match self {
+            OpResult::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One logged operation instance: the location it targets, its kind, the
+/// footprint it had against the transaction's private state, and the
+/// result the program observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// The location the operation targets.
+    pub loc: LocId,
+    /// The location's static class (the generalization key for training).
+    pub class: ClassId,
+    /// What the operation does.
+    pub kind: OpKind,
+    /// The read/write footprint recorded at execution time.
+    pub footprint: Footprint,
+    /// The result observed at execution time.
+    pub result: OpResult,
+}
+
+impl Op {
+    /// Creates an operation record by applying `kind` to `value`,
+    /// computing the footprint against the pre-state and capturing the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch between the operation and the value.
+    pub fn execute(loc: LocId, class: ClassId, kind: OpKind, value: &mut Value) -> (Op, OpResult) {
+        let footprint = kind.footprint(value);
+        let result = kind.apply(value);
+        (
+            Op {
+                loc,
+                class,
+                kind,
+                footprint,
+                result: result.clone(),
+            },
+            result,
+        )
+    }
+
+    /// Whether this op writes its location.
+    pub fn is_write(&self) -> bool {
+        self.footprint.is_write()
+    }
+
+    /// Whether this op reads its location (footprint-level, so a `remove`
+    /// of an absent tuple counts as a read).
+    pub fn is_read(&self) -> bool {
+        !self.footprint.read.is_empty()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.class, self.loc, self.kind)
+    }
+}
+
+/// Replays a slice of logged operations onto a value (used by `COMMIT`'s
+/// `REPLAYLOGGEDOPERATIONS` and by sequence evaluation in conflict
+/// detection). Reads are no-ops on the state; results are discarded.
+pub fn replay(ops: &[&Op], value: &mut Value) {
+    for op in ops {
+        op.kind.apply(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_relational::{tuple, Fd, Formula, Relation, Schema};
+
+    fn loc() -> (LocId, ClassId) {
+        (LocId(0), ClassId::new("test"))
+    }
+
+    #[test]
+    fn scalar_read_observes() {
+        let (l, c) = loc();
+        let mut v = Value::int(42);
+        let (op, result) = Op::execute(l, c, OpKind::Scalar(ScalarOp::Read), &mut v);
+        assert_eq!(result.as_scalar(), Some(&Scalar::Int(42)));
+        assert!(!op.is_write());
+        assert!(op.is_read());
+        assert_eq!(v, Value::int(42));
+    }
+
+    #[test]
+    fn scalar_write_is_blind() {
+        let (l, c) = loc();
+        let mut v = Value::int(1);
+        let (op, _) = Op::execute(l, c, OpKind::Scalar(ScalarOp::Write(Scalar::Int(9))), &mut v);
+        assert!(op.is_write());
+        assert!(!op.is_read());
+        assert_eq!(v, Value::int(9));
+    }
+
+    #[test]
+    fn add_updates_and_reports() {
+        let (l, c) = loc();
+        let mut v = Value::int(10);
+        let (op, result) = Op::execute(l, c, OpKind::Scalar(ScalarOp::Add(-3)), &mut v);
+        assert_eq!(v, Value::int(7));
+        assert_eq!(result.as_scalar(), Some(&Scalar::Int(7)));
+        // Write-set level: add is read+write.
+        assert!(op.is_write() && op.is_read());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-integer")]
+    fn add_on_bool_panics() {
+        let mut v = Value::bool(true);
+        OpKind::Scalar(ScalarOp::Add(1)).apply(&mut v);
+    }
+
+    #[test]
+    fn relational_ops_flow_through() {
+        let (l, c) = loc();
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let mut v = Value::Rel(Relation::empty(schema));
+        let (ins, _) = Op::execute(
+            l,
+            c.clone(),
+            OpKind::Rel(RelOp::insert(tuple![1, 10])),
+            &mut v,
+        );
+        assert!(ins.is_write());
+        let (_sel, result) = Op::execute(
+            l,
+            c,
+            OpKind::Rel(RelOp::select(Formula::eq(0, 1i64))),
+            &mut v,
+        );
+        assert_eq!(result, OpResult::Tuples(vec![tuple![1, 10]]));
+    }
+
+    #[test]
+    fn replay_applies_in_order() {
+        let (l, c) = loc();
+        let mut v = Value::int(0);
+        let mut ops = Vec::new();
+        for kind in [
+            OpKind::Scalar(ScalarOp::Add(5)),
+            OpKind::Scalar(ScalarOp::Write(Scalar::Int(100))),
+            OpKind::Scalar(ScalarOp::Add(-1)),
+        ] {
+            let (op, _) = Op::execute(l, c.clone(), kind, &mut v);
+            ops.push(op);
+        }
+        assert_eq!(v, Value::int(99));
+        let mut fresh = Value::int(0);
+        let refs: Vec<&Op> = ops.iter().collect();
+        replay(&refs, &mut fresh);
+        assert_eq!(fresh, Value::int(99));
+    }
+
+    #[test]
+    fn op_display_mentions_class() {
+        let (l, c) = loc();
+        let mut v = Value::int(0);
+        let (op, _) = Op::execute(l, c, OpKind::Scalar(ScalarOp::Read), &mut v);
+        assert!(format!("{op}").contains("test"));
+    }
+}

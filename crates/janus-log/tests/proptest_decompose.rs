@@ -1,0 +1,99 @@
+//! Property tests for history decomposition.
+
+use janus_log::{decompose, ClassId, LocId, Op, OpKind, ScalarOp};
+use janus_relational::{Scalar, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum K {
+    Read,
+    Add(i64),
+    Write(i64),
+    Max(i64),
+}
+
+fn kind(k: K) -> OpKind {
+    match k {
+        K::Read => OpKind::Scalar(ScalarOp::Read),
+        K::Add(d) => OpKind::Scalar(ScalarOp::Add(d)),
+        K::Write(v) => OpKind::Scalar(ScalarOp::Write(Scalar::Int(v))),
+        K::Max(v) => OpKind::Scalar(ScalarOp::Max(v)),
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = (u8, K)> {
+    let k = prop_oneof![
+        Just(K::Read),
+        (-3i64..4).prop_map(K::Add),
+        (0i64..4).prop_map(K::Write),
+        (0i64..4).prop_map(K::Max),
+    ];
+    (0u8..4, k)
+}
+
+fn build(steps: &[(u8, K)]) -> Vec<Op> {
+    let mut values = [0i64; 4].map(Value::int);
+    steps
+        .iter()
+        .map(|&(l, k)| {
+            Op::execute(
+                LocId(l as u64),
+                ClassId::new(format!("loc{l}")),
+                kind(k),
+                &mut values[l as usize],
+            )
+            .0
+        })
+        .collect()
+}
+
+proptest! {
+    /// Decomposition partitions: every op lands in exactly its location's
+    /// bucket, order is preserved, and no op is lost or duplicated.
+    #[test]
+    fn decomposition_partitions_the_history(
+        steps in proptest::collection::vec(step_strategy(), 0..40),
+    ) {
+        let ops = build(&steps);
+        let d = decompose(ops.iter());
+        // Totals match.
+        let total: usize = d.values().map(|h| h.ops.len()).sum();
+        prop_assert_eq!(total, ops.len());
+        // Per-location order is the subsequence of the history.
+        for (loc, h) in &d {
+            let expected: Vec<&Op> = ops.iter().filter(|op| op.loc == *loc).collect();
+            prop_assert_eq!(h.ops.len(), expected.len());
+            for (a, b) in h.ops.iter().zip(expected) {
+                prop_assert!(std::ptr::eq(*a, b), "order must be preserved");
+            }
+            // Scalar locations are whole-object.
+            prop_assert!(h.has_whole);
+            // The class is the location's class.
+            prop_assert_eq!(h.class.label(), format!("loc{}", loc.0));
+        }
+    }
+
+    /// `writes()` agrees with the presence of any writing op.
+    #[test]
+    fn writes_flag_matches_ops(
+        steps in proptest::collection::vec(step_strategy(), 1..30),
+    ) {
+        let ops = build(&steps);
+        let d = decompose(ops.iter());
+        for h in d.values() {
+            let expect = h.ops.iter().any(|op| op.is_write());
+            prop_assert_eq!(h.writes(), expect);
+        }
+    }
+
+    /// Replay determinism: executing the same kinds from the same entry
+    /// state yields identical logs (footprints, results and all).
+    #[test]
+    fn op_execution_is_deterministic(
+        steps in proptest::collection::vec(step_strategy(), 0..30),
+    ) {
+        let a = build(&steps);
+        let b = build(&steps);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,545 @@
+//! A fully persistent ordered map for cheap state privatization.
+//!
+//! §4 of the JANUS paper ("Versioning") prescribes (fully) persistent data
+//! structures in the sense of Driscoll et al. to reduce the cost of state
+//! privatization: a persistent structure preserves the previous version of
+//! itself when modified, so every transaction can snapshot the shared
+//! state in O(1) and modify its private copy without copying the whole
+//! store.
+//!
+//! [`PersistentMap`] is a path-copying AVL tree: `get` is O(log n),
+//! `insert`/`remove` are O(log n) and allocate only the rewritten path
+//! (sharing the rest with prior versions via [`std::sync::Arc`]), and
+//! [`PersistentMap::clone`] — the snapshot operation — is O(1).
+//!
+//! # Example
+//!
+//! ```
+//! use janus_persist::PersistentMap;
+//!
+//! let mut shared = PersistentMap::new();
+//! shared.insert(1, "a");
+//! let snapshot = shared.clone();      // O(1) privatization
+//! shared.insert(1, "b");              // does not disturb the snapshot
+//! assert_eq!(snapshot.get(&1), Some(&"a"));
+//! assert_eq!(shared.get(&1), Some(&"b"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    height: u8,
+    size: usize,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+fn height<K, V>(link: &Link<K, V>) -> u8 {
+    link.as_ref().map_or(0, |n| n.height)
+}
+
+fn size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+fn mk<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let height = 1 + height(&left).max(height(&right));
+    let size = 1 + size(&left) + size(&right);
+    Some(Arc::new(Node {
+        key,
+        value,
+        height,
+        size,
+        left,
+        right,
+    }))
+}
+
+/// A fully persistent ordered map with O(1) snapshots (via `clone`) and
+/// O(log n) path-copying updates.
+pub struct PersistentMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for PersistentMap<K, V> {
+    /// O(1): shares the entire tree with the source version.
+    fn clone(&self) -> Self {
+        PersistentMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V> Default for PersistentMap<K, V> {
+    fn default() -> Self {
+        PersistentMap::new()
+    }
+}
+
+impl<K, V> PersistentMap<K, V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        PersistentMap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PersistentMap<K, V> {
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            match key.cmp(node.key.borrow()) {
+                std::cmp::Ordering::Less => cur = &node.left,
+                std::cmp::Ordering::Greater => cur = &node.right,
+                std::cmp::Ordering::Equal => return Some(&node.value),
+            }
+        }
+        None
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a key/value pair, returning the previous value if any.
+    /// O(log n); only the path to the key is copied.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (root, old) = Self::insert_at(&self.root, key, value);
+        self.root = root;
+        old
+    }
+
+    fn insert_at(link: &Link<K, V>, key: K, value: V) -> (Link<K, V>, Option<V>) {
+        match link {
+            None => (mk(key, value, None, None), None),
+            Some(node) => match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => (
+                    mk(key, value, node.left.clone(), node.right.clone()),
+                    Some(node.value.clone()),
+                ),
+                std::cmp::Ordering::Less => {
+                    let (left, old) = Self::insert_at(&node.left, key, value);
+                    (
+                        Self::balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            left,
+                            node.right.clone(),
+                        ),
+                        old,
+                    )
+                }
+                std::cmp::Ordering::Greater => {
+                    let (right, old) = Self::insert_at(&node.right, key, value);
+                    (
+                        Self::balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            node.left.clone(),
+                            right,
+                        ),
+                        old,
+                    )
+                }
+            },
+        }
+    }
+
+    /// Removes a key, returning its value if present. O(log n).
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let (root, old) = Self::remove_at(&self.root, key);
+        if old.is_some() {
+            self.root = root;
+        }
+        old
+    }
+
+    fn remove_at<Q>(link: &Link<K, V>, key: &Q) -> (Link<K, V>, Option<V>)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match link {
+            None => (None, None),
+            Some(node) => match key.cmp(node.key.borrow()) {
+                std::cmp::Ordering::Less => {
+                    let (left, old) = Self::remove_at(&node.left, key);
+                    if old.is_none() {
+                        return (link.clone(), None);
+                    }
+                    (
+                        Self::balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            left,
+                            node.right.clone(),
+                        ),
+                        old,
+                    )
+                }
+                std::cmp::Ordering::Greater => {
+                    let (right, old) = Self::remove_at(&node.right, key);
+                    if old.is_none() {
+                        return (link.clone(), None);
+                    }
+                    (
+                        Self::balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            node.left.clone(),
+                            right,
+                        ),
+                        old,
+                    )
+                }
+                std::cmp::Ordering::Equal => {
+                    let old = Some(node.value.clone());
+                    match (&node.left, &node.right) {
+                        (None, r) => (r.clone(), old),
+                        (l, None) => (l.clone(), old),
+                        (l, Some(_)) => {
+                            // Replace with the successor (min of right).
+                            let (min_k, min_v) = Self::min_entry(&node.right);
+                            let (right, _) = Self::remove_at(&node.right, min_k.borrow());
+                            (Self::balance(min_k, min_v, l.clone(), right), old)
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    fn min_entry(link: &Link<K, V>) -> (K, V) {
+        let mut cur = link.as_ref().expect("min of non-empty subtree");
+        while let Some(left) = &cur.left {
+            cur = left;
+        }
+        (cur.key.clone(), cur.value.clone())
+    }
+
+    /// Rebuilds a node, restoring the AVL balance invariant.
+    fn balance(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+        let hl = height(&left);
+        let hr = height(&right);
+        if hl > hr + 1 {
+            // Left-heavy.
+            let l = left.expect("left-heavy implies left child");
+            if height(&l.left) >= height(&l.right) {
+                // Single right rotation.
+                let new_right = mk(key, value, l.right.clone(), right);
+                mk(l.key.clone(), l.value.clone(), l.left.clone(), new_right)
+            } else {
+                // Left-right double rotation.
+                let lr = l.right.as_ref().expect("LR rotation has pivot");
+                let new_left = mk(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                );
+                let new_right = mk(key, value, lr.right.clone(), right);
+                mk(lr.key.clone(), lr.value.clone(), new_left, new_right)
+            }
+        } else if hr > hl + 1 {
+            // Right-heavy (mirror).
+            let r = right.expect("right-heavy implies right child");
+            if height(&r.right) >= height(&r.left) {
+                let new_left = mk(key, value, left, r.left.clone());
+                mk(r.key.clone(), r.value.clone(), new_left, r.right.clone())
+            } else {
+                let rl = r.left.as_ref().expect("RL rotation has pivot");
+                let new_left = mk(key, value, left, rl.left.clone());
+                let new_right = mk(
+                    r.key.clone(),
+                    r.value.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                );
+                mk(rl.key.clone(), rl.value.clone(), new_left, new_right)
+            }
+        } else {
+            mk(key, value, left, right)
+        }
+    }
+
+    /// Iterates over entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        push_left(&self.root, &mut stack);
+        Iter { stack }
+    }
+
+    /// Iterates over entries with keys `>= lower`, in ascending order.
+    /// O(log n) to position, then O(1) amortized per step.
+    pub fn iter_from<Q>(&self, lower: &Q) -> Iter<'_, K, V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut stack = Vec::new();
+        let mut link = &self.root;
+        while let Some(node) = link {
+            match lower.cmp(node.key.borrow()) {
+                std::cmp::Ordering::Less => {
+                    stack.push(node.as_ref());
+                    link = &node.left;
+                }
+                std::cmp::Ordering::Equal => {
+                    stack.push(node.as_ref());
+                    break;
+                }
+                std::cmp::Ordering::Greater => link = &node.right,
+            }
+        }
+        Iter { stack }
+    }
+
+    /// The keys, in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// The values, in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+fn push_left<'a, K, V>(mut link: &'a Link<K, V>, stack: &mut Vec<&'a Node<K, V>>) {
+    while let Some(node) = link {
+        stack.push(node);
+        link = &node.left;
+    }
+}
+
+/// In-order iterator over a [`PersistentMap`], created by
+/// [`PersistentMap::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        push_left(&node.right, &mut self.stack);
+        Some((&node.key, &node.value))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for PersistentMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = PersistentMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Extend<(K, V)> for PersistentMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for PersistentMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + PartialEq> PartialEq for PersistentMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Eq> Eq for PersistentMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_avl<K: Ord + Clone, V: Clone>(link: &Link<K, V>) -> u8 {
+        match link {
+            None => 0,
+            Some(n) => {
+                let hl = check_avl(&n.left);
+                let hr = check_avl(&n.right);
+                assert!(hl.abs_diff(hr) <= 1, "AVL invariant violated");
+                assert_eq!(n.height, 1 + hl.max(hr), "height cache wrong");
+                assert_eq!(
+                    n.size,
+                    1 + size(&n.left) + size(&n.right),
+                    "size cache wrong"
+                );
+                n.height
+            }
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = PersistentMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "b"), None);
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.insert(2, "B"), Some("b"));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&2), Some(&"B"));
+        assert_eq!(m.remove(&2), Some("B"));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 2);
+        check_avl(&m.root);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let mut m: PersistentMap<i32, i32> = (0..100).map(|i| (i, i)).collect();
+        let snap = m.clone();
+        for i in 0..100 {
+            m.insert(i, i * 10);
+        }
+        m.remove(&50);
+        for i in 0..100 {
+            assert_eq!(snap.get(&i), Some(&i), "snapshot must be unchanged");
+        }
+        assert_eq!(m.get(&50), None);
+        assert_eq!(m.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn balance_under_ascending_inserts() {
+        let m: PersistentMap<i32, ()> = (0..1000).map(|i| (i, ())).collect();
+        check_avl(&m.root);
+        assert!(height(&m.root) <= 15, "AVL height must be logarithmic");
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn balance_under_descending_inserts_and_removes() {
+        let mut m: PersistentMap<i32, ()> = (0..1000).rev().map(|i| (i, ())).collect();
+        check_avl(&m.root);
+        for i in (0..1000).step_by(2) {
+            assert_eq!(m.remove(&i), Some(()));
+        }
+        check_avl(&m.root);
+        assert_eq!(m.len(), 500);
+        for i in 0..1000 {
+            assert_eq!(m.contains_key(&i), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m: PersistentMap<i32, i32> =
+            [(5, 50), (1, 10), (3, 30), (2, 20), (4, 40)].into_iter().collect();
+        let keys: Vec<i32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+        let values: Vec<i32> = m.values().copied().collect();
+        assert_eq!(values, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let mut m = PersistentMap::new();
+        m.insert(String::from("alpha"), 1);
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert_eq!(m.remove("alpha"), Some(1));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a: PersistentMap<i32, i32> = [(1, 1), (2, 2)].into_iter().collect();
+        let b: PersistentMap<i32, i32> = [(2, 2), (1, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.insert(3, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn remove_from_empty() {
+        let mut m: PersistentMap<i32, i32> = PersistentMap::new();
+        assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn many_versions_coexist() {
+        let mut versions = Vec::new();
+        let mut m = PersistentMap::new();
+        for i in 0..50 {
+            m.insert(i, i);
+            versions.push(m.clone());
+        }
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(v.len(), i + 1);
+            assert_eq!(v.get(&(i as i32)), Some(&(i as i32)));
+            assert_eq!(v.get(&(i as i32 + 1)), None);
+        }
+    }
+
+    #[test]
+    fn iter_from_starts_at_lower_bound() {
+        let m: PersistentMap<i32, i32> = (0..100).step_by(2).map(|i| (i, i)).collect();
+        // Exact hit.
+        let keys: Vec<i32> = m.iter_from(&10).map(|(k, _)| *k).collect();
+        assert_eq!(keys.first(), Some(&10));
+        assert_eq!(keys.len(), 45);
+        // Between keys.
+        let keys: Vec<i32> = m.iter_from(&11).map(|(k, _)| *k).collect();
+        assert_eq!(keys.first(), Some(&12));
+        // Before everything / after everything.
+        assert_eq!(m.iter_from(&-5).count(), 50);
+        assert_eq!(m.iter_from(&99).count(), 0);
+        // Order is preserved.
+        let keys: Vec<i32> = m.iter_from(&40).map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn debug_format() {
+        let m: PersistentMap<i32, i32> = [(1, 10)].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "{1: 10}");
+    }
+}

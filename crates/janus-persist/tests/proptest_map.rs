@@ -1,0 +1,76 @@
+//! Property tests: `PersistentMap` behaves exactly like `BTreeMap`, and
+//! snapshots are immune to later mutation.
+
+use std::collections::BTreeMap;
+
+use janus_persist::PersistentMap;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, i32),
+    Remove(u8),
+    Get(u8),
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+        any::<u8>().prop_map(MapOp::Get),
+        Just(MapOp::Snapshot),
+    ]
+}
+
+proptest! {
+    /// `iter_from` agrees with the model's `range(lower..)`.
+    #[test]
+    fn iter_from_matches_btreemap_range(
+        entries in proptest::collection::vec((any::<u8>(), any::<i32>()), 0..120),
+        lower in any::<u8>(),
+    ) {
+        let subject: PersistentMap<u8, i32> = entries.iter().copied().collect();
+        let model: BTreeMap<u8, i32> = entries.iter().copied().collect();
+        let got: Vec<(u8, i32)> = subject.iter_from(&lower).map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u8, i32)> = model.range(lower..).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut subject: PersistentMap<u8, i32> = PersistentMap::new();
+        let mut model: BTreeMap<u8, i32> = BTreeMap::new();
+        let mut snapshots: Vec<(PersistentMap<u8, i32>, BTreeMap<u8, i32>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(subject.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(subject.remove(&k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(subject.get(&k), model.get(&k));
+                }
+                MapOp::Snapshot => {
+                    snapshots.push((subject.clone(), model.clone()));
+                }
+            }
+            prop_assert_eq!(subject.len(), model.len());
+        }
+
+        // Iteration agrees entry-for-entry (sorted order).
+        let got: Vec<(u8, i32)> = subject.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u8, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+
+        // Every snapshot still matches the model state at snapshot time.
+        for (snap, snap_model) in snapshots {
+            let got: Vec<(u8, i32)> = snap.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(u8, i32)> = snap_model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want, "snapshot was disturbed by later mutation");
+        }
+    }
+}

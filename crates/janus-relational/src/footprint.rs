@@ -1,0 +1,331 @@
+//! Read/write footprints at key granularity (Table 3 and §5.1).
+//!
+//! The paper defines footprints over the *subvalue lattice*: for a
+//! relational value the subvalues are sets of tuples ordered by inclusion.
+//! Because every relation in JANUS carries at most one functional
+//! dependency whose domain identifies tuples, footprints can be tracked at
+//! the granularity of FD-domain *keys* — exactly the information the
+//! write-set approach records, which is what lets sequence-based detection
+//! run with "no instrumentation overhead beyond that of the write-set
+//! approach" (§3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::Scalar;
+
+/// The valuation of a relation's key columns, identifying one "cell" of a
+/// relational object (e.g. the index of a bit in a `BitSet`, the key of a
+/// `Map` entry).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(Vec<Scalar>);
+
+impl Key {
+    /// Creates a key from its component scalars (in key-column order).
+    pub fn new(components: Vec<Scalar>) -> Self {
+        Key(components)
+    }
+
+    /// A single-component key.
+    pub fn scalar(s: impl Into<Scalar>) -> Self {
+        Key(vec![s.into()])
+    }
+
+    /// The key's components.
+    pub fn components(&self) -> &[Scalar] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl From<Vec<Scalar>> for Key {
+    fn from(components: Vec<Scalar>) -> Self {
+        Key::new(components)
+    }
+}
+
+/// A set of accessed cells within one shared object: either every cell
+/// (`All`, e.g. a `clear()` or an unconstrained select) or a finite set of
+/// keys.
+///
+/// `All` is the conservative top element; overlap checks treat it as
+/// intersecting everything.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CellSet {
+    /// No cells.
+    #[default]
+    Empty,
+    /// The cells identified by these keys.
+    Keys(BTreeSet<Key>),
+    /// Every cell of the object (including absent ones — covers phantom
+    /// reads by unconstrained selects).
+    All,
+}
+
+impl CellSet {
+    /// The empty cell set.
+    pub fn empty() -> Self {
+        CellSet::Empty
+    }
+
+    /// A singleton cell set.
+    pub fn key(k: Key) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(k);
+        CellSet::Keys(s)
+    }
+
+    /// A cell set from an iterator of keys.
+    pub fn keys(keys: impl IntoIterator<Item = Key>) -> Self {
+        let s: BTreeSet<Key> = keys.into_iter().collect();
+        if s.is_empty() {
+            CellSet::Empty
+        } else {
+            CellSet::Keys(s)
+        }
+    }
+
+    /// Whether no cell is covered.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            CellSet::Empty => true,
+            CellSet::Keys(s) => s.is_empty(),
+            CellSet::All => false,
+        }
+    }
+
+    /// Whether the two cell sets share at least one cell (the `⊓ ... ≠ ⊥`
+    /// test of Equation 1).
+    pub fn overlaps(&self, other: &CellSet) -> bool {
+        match (self, other) {
+            (CellSet::Empty, _) | (_, CellSet::Empty) => false,
+            (CellSet::All, _) | (_, CellSet::All) => true,
+            (CellSet::Keys(a), CellSet::Keys(b)) => {
+                // Iterate the smaller set.
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|k| large.contains(k))
+            }
+        }
+    }
+
+    /// Whether this cell set covers the given key.
+    pub fn covers(&self, key: &Key) -> bool {
+        match self {
+            CellSet::Empty => false,
+            CellSet::Keys(s) => s.contains(key),
+            CellSet::All => true,
+        }
+    }
+
+    /// Whether every cell of `self` is covered by `other`.
+    pub fn subset_of(&self, other: &CellSet) -> bool {
+        match (self, other) {
+            (CellSet::Empty, _) => true,
+            (_, CellSet::All) => true,
+            (CellSet::All, _) => false,
+            (CellSet::Keys(a), CellSet::Keys(b)) => a.is_subset(b),
+            (CellSet::Keys(a), CellSet::Empty) => a.is_empty(),
+        }
+    }
+
+    /// The join (union) of two cell sets.
+    pub fn union(&self, other: &CellSet) -> CellSet {
+        match (self, other) {
+            (CellSet::All, _) | (_, CellSet::All) => CellSet::All,
+            (CellSet::Empty, s) | (s, CellSet::Empty) => s.clone(),
+            (CellSet::Keys(a), CellSet::Keys(b)) => {
+                CellSet::Keys(a.union(b).cloned().collect())
+            }
+        }
+    }
+
+    /// Merges another cell set into this one in place.
+    pub fn extend(&mut self, other: &CellSet) {
+        *self = self.union(other);
+    }
+
+    /// The finite keys, if this set is finite.
+    pub fn as_keys(&self) -> Option<&BTreeSet<Key>> {
+        match self {
+            CellSet::Keys(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+
+
+impl fmt::Display for CellSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellSet::Empty => write!(f, "∅"),
+            CellSet::All => write!(f, "⊤"),
+            CellSet::Keys(s) => {
+                write!(f, "{{")?;
+                for (i, k) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The read and write footprint of an operation restricted to one shared
+/// object (§5.1 and Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Cells the operation reads (`op_s^r`).
+    pub read: CellSet,
+    /// Cells the operation writes (`op_s^w`).
+    pub write: CellSet,
+}
+
+impl Footprint {
+    /// A footprint that reads the given cells and writes nothing.
+    pub fn read_only(read: CellSet) -> Self {
+        Footprint {
+            read,
+            write: CellSet::Empty,
+        }
+    }
+
+    /// A footprint that writes the given cells and reads nothing.
+    pub fn write_only(write: CellSet) -> Self {
+        Footprint {
+            read: CellSet::Empty,
+            write,
+        }
+    }
+
+    /// Whether this operation writes at all.
+    pub fn is_write(&self) -> bool {
+        !self.write.is_empty()
+    }
+
+    /// The cells accessed either way (`op^w ∪ op^r`), i.e.
+    /// `GETACCESSEDLOCATIONS` restricted to this object.
+    pub fn accessed(&self) -> CellSet {
+        self.read.union(&self.write)
+    }
+
+    /// Equation 1 instantiated for footprints: the two operations depend
+    /// on each other iff they access a common subvalue, either for reading
+    /// or for writing. (Input dependencies — read/read — are subsumed, as
+    /// in the paper.)
+    pub fn depends(&self, other: &Footprint) -> bool {
+        self.accessed().overlaps(&other.accessed())
+    }
+
+    /// The write-set conflict test: a common cell that at least one side
+    /// writes.
+    pub fn ws_conflicts(&self, other: &Footprint) -> bool {
+        self.write.overlaps(&other.accessed()) || other.write.overlaps(&self.accessed())
+    }
+
+    /// The cumulative footprint of a transformer: the union of its
+    /// operations' footprints (§6.2).
+    pub fn union(&self, other: &Footprint) -> Footprint {
+        Footprint {
+            read: self.read.union(&other.read),
+            write: self.write.union(&other.write),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: i64) -> Key {
+        Key::scalar(i)
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let a = CellSet::keys([k(1), k(2)]);
+        let b = CellSet::keys([k(2), k(3)]);
+        let c = CellSet::keys([k(4)]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(CellSet::All.overlaps(&a));
+        assert!(!CellSet::All.overlaps(&CellSet::Empty));
+        assert!(!CellSet::Empty.overlaps(&CellSet::Empty));
+    }
+
+    #[test]
+    fn union_and_covers() {
+        let a = CellSet::key(k(1));
+        let b = CellSet::key(k(2));
+        let u = a.union(&b);
+        assert!(u.covers(&k(1)) && u.covers(&k(2)) && !u.covers(&k(3)));
+        assert_eq!(a.union(&CellSet::All), CellSet::All);
+        assert_eq!(a.union(&CellSet::Empty), a);
+        assert!(CellSet::All.covers(&k(99)));
+    }
+
+    #[test]
+    fn keys_of_empty_iterator_is_empty() {
+        assert!(CellSet::keys(std::iter::empty()).is_empty());
+        assert_eq!(CellSet::keys(std::iter::empty()), CellSet::Empty);
+    }
+
+    #[test]
+    fn write_set_conflict_semantics() {
+        let read1 = Footprint::read_only(CellSet::key(k(1)));
+        let write1 = Footprint::write_only(CellSet::key(k(1)));
+        let write2 = Footprint::write_only(CellSet::key(k(2)));
+        // read/read: no conflict, but a dependency.
+        assert!(!read1.ws_conflicts(&read1));
+        assert!(read1.depends(&read1));
+        // read/write on same cell: conflict.
+        assert!(read1.ws_conflicts(&write1));
+        // write/write on same cell: conflict.
+        assert!(write1.ws_conflicts(&write1));
+        // disjoint cells: nothing.
+        assert!(!write1.ws_conflicts(&write2));
+        assert!(!write1.depends(&write2));
+    }
+
+    #[test]
+    fn footprint_union_accumulates() {
+        let a = Footprint {
+            read: CellSet::key(k(1)),
+            write: CellSet::Empty,
+        };
+        let b = Footprint {
+            read: CellSet::Empty,
+            write: CellSet::key(k(2)),
+        };
+        let u = a.union(&b);
+        assert!(u.read.covers(&k(1)));
+        assert!(u.write.covers(&k(2)));
+        assert!(u.is_write());
+        assert!(!a.is_write());
+    }
+
+    #[test]
+    fn accessed_joins_read_write() {
+        let fp = Footprint {
+            read: CellSet::key(k(1)),
+            write: CellSet::key(k(2)),
+        };
+        let acc = fp.accessed();
+        assert!(acc.covers(&k(1)) && acc.covers(&k(2)));
+    }
+}

@@ -1,0 +1,266 @@
+//! The propositional formula language of Table 1.
+//!
+//! ```text
+//! f := true | false | c = v | ¬f | f ∧ f | f ∨ f
+//! ```
+//!
+//! Formulas serve two roles in JANUS: as *selection criteria* for
+//! [`crate::RelOp::Select`] (a tuple `t` satisfies `c = v` iff `t_c = v`),
+//! and as *symbolic descriptions of relation contents* (Table 4, see
+//! [`crate::content`]).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Scalar, Tuple};
+
+/// A propositional formula over column-equality atoms (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// `true` — satisfied by every tuple.
+    True,
+    /// `false` — satisfied by no tuple.
+    False,
+    /// `c = v` — satisfied by tuples whose column `c` holds `v`.
+    Eq(usize, Scalar),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// The atom `c = v`.
+    pub fn eq(column: usize, value: impl Into<Scalar>) -> Self {
+        Formula::Eq(column, value.into())
+    }
+
+    /// Negation `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction `self ∧ other`, with constant folding.
+    pub fn and(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::True, g) => g,
+            (f, Formula::True) => f,
+            (f, g) => Formula::And(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Disjunction `self ∨ other`, with constant folding.
+    pub fn or(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::False, g) => g,
+            (f, Formula::False) => f,
+            (f, g) => Formula::Or(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Conjunction of `columns[i] = values[i]` for every component —
+    /// the formula `⋀_{c ∈ C} c = t_c` used by the Table 4 update rules.
+    pub fn tuple_eq(columns: &[usize], values: &[Scalar]) -> Self {
+        assert_eq!(columns.len(), values.len());
+        let mut f = Formula::True;
+        for (&c, v) in columns.iter().zip(values) {
+            f = f.and(Formula::eq(c, v.clone()));
+        }
+        f
+    }
+
+    /// Whether tuple `t` satisfies this formula (`t |= f`).
+    pub fn sat(&self, t: &Tuple) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Eq(c, v) => t.try_get(*c) == Some(v),
+            Formula::Not(f) => !f.sat(t),
+            Formula::And(f, g) => f.sat(t) && g.sat(t),
+            Formula::Or(f, g) => f.sat(t) || g.sat(t),
+        }
+    }
+
+    /// All `(column, value)` atoms appearing in the formula.
+    pub fn atoms(&self) -> BTreeSet<(usize, Scalar)> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<(usize, Scalar)>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Eq(c, v) => {
+                out.insert((*c, v.clone()));
+            }
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(f, g) | Formula::Or(f, g) => {
+                f.collect_atoms(out);
+                g.collect_atoms(out);
+            }
+        }
+    }
+
+    /// If this formula is a *positive conjunction of equality atoms* that
+    /// pins each of the given columns to exactly one value, returns the
+    /// pinned valuation in column order. Used to compute key-granular
+    /// footprints for selects (Table 3).
+    pub fn pinned_valuation(&self, columns: &[usize]) -> Option<Vec<Scalar>> {
+        let mut bindings: Vec<Option<Scalar>> = vec![None; columns.len()];
+        if !self.collect_positive_bindings(columns, &mut bindings) {
+            return None;
+        }
+        bindings.into_iter().collect()
+    }
+
+    /// Walks a positive conjunction collecting `c = v` bindings. Returns
+    /// `false` if the formula is not a positive conjunction or binds a
+    /// column to two different values.
+    fn collect_positive_bindings(
+        &self,
+        columns: &[usize],
+        bindings: &mut [Option<Scalar>],
+    ) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::Eq(c, v) => {
+                if let Some(i) = columns.iter().position(|k| k == c) {
+                    match &bindings[i] {
+                        Some(prev) => prev == v,
+                        None => {
+                            bindings[i] = Some(v.clone());
+                            true
+                        }
+                    }
+                } else {
+                    // An equality over a non-key column does not prevent the
+                    // key columns from being pinned.
+                    true
+                }
+            }
+            Formula::And(f, g) => {
+                f.collect_positive_bindings(columns, bindings)
+                    && g.collect_positive_bindings(columns, bindings)
+            }
+            Formula::False | Formula::Not(_) | Formula::Or(_, _) => false,
+        }
+    }
+
+    /// Structural size of the formula (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(f, g) | Formula::Or(f, g) => 1 + f.size() + g.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Eq(c, v) => write!(f, "c{c}={v}"),
+            Formula::Not(g) => write!(f, "¬({g})"),
+            Formula::And(g, h) => write!(f, "({g} ∧ {h})"),
+            Formula::Or(g, h) => write!(f, "({g} ∨ {h})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn atoms_evaluate_by_component() {
+        let t = tuple![3, true];
+        assert!(Formula::eq(0, 3i64).sat(&t));
+        assert!(!Formula::eq(0, 4i64).sat(&t));
+        assert!(Formula::eq(1, true).sat(&t));
+        // Out-of-bounds column never matches.
+        assert!(!Formula::eq(5, 3i64).sat(&t));
+    }
+
+    #[test]
+    fn connectives() {
+        let t = tuple![3, true];
+        let f = Formula::eq(0, 3i64).and(Formula::eq(1, true));
+        assert!(f.sat(&t));
+        let g = Formula::eq(0, 4i64).or(Formula::eq(1, true));
+        assert!(g.sat(&t));
+        assert!(!g.clone().not().sat(&t));
+        assert!(Formula::True.sat(&t));
+        assert!(!Formula::False.sat(&t));
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Formula::True.and(Formula::False), Formula::False);
+        assert_eq!(Formula::False.or(Formula::True), Formula::True);
+        assert_eq!(
+            Formula::True.and(Formula::eq(0, 1i64)),
+            Formula::eq(0, 1i64)
+        );
+        assert_eq!(Formula::True.not(), Formula::False);
+        assert_eq!(Formula::eq(0, 1i64).not().not(), Formula::eq(0, 1i64));
+    }
+
+    #[test]
+    fn tuple_eq_builds_conjunction() {
+        let f = Formula::tuple_eq(&[0, 1], &[Scalar::Int(3), Scalar::Bool(true)]);
+        assert!(f.sat(&tuple![3, true]));
+        assert!(!f.sat(&tuple![3, false]));
+    }
+
+    #[test]
+    fn pinned_valuation_positive_conjunction() {
+        let f = Formula::eq(0, 3i64).and(Formula::eq(1, true));
+        assert_eq!(
+            f.pinned_valuation(&[0]),
+            Some(vec![Scalar::Int(3)])
+        );
+        assert_eq!(
+            f.pinned_valuation(&[0, 1]),
+            Some(vec![Scalar::Int(3), Scalar::Bool(true)])
+        );
+        // Disjunction cannot pin.
+        let g = Formula::eq(0, 3i64).or(Formula::eq(0, 4i64));
+        assert_eq!(g.pinned_valuation(&[0]), None);
+        // Unbound column cannot pin.
+        assert_eq!(Formula::eq(1, true).pinned_valuation(&[0]), None);
+        // Contradictory bindings fail.
+        let h = Formula::eq(0, 3i64).and(Formula::eq(0, 4i64));
+        assert_eq!(h.pinned_valuation(&[0]), None);
+    }
+
+    #[test]
+    fn atoms_are_collected() {
+        let f = Formula::eq(0, 3i64)
+            .and(Formula::eq(1, true).or(Formula::eq(0, 4i64)).not());
+        let atoms = f.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert!(atoms.contains(&(0, Scalar::Int(3))));
+        assert!(atoms.contains(&(0, Scalar::Int(4))));
+        assert!(atoms.contains(&(1, Scalar::Bool(true))));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Formula::True.size(), 1);
+        assert_eq!(Formula::eq(0, 1i64).and(Formula::eq(1, 2i64)).size(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Relational state model for JANUS (§6 of the paper).
+//!
+//! JANUS represents the semantic state of shared objects as *relations*:
+//! sets of tuples over named columns, optionally constrained by a single
+//! functional dependency whose domain and range partition the columns
+//! (specializing the relation as a finite map from keys to values).
+//! Operations over relations are expressed with three primitives —
+//! [`RelOp::Insert`], [`RelOp::Remove`] and [`RelOp::Select`] (Table 2) —
+//! whose read/write *footprints* (Table 3) drive dependence tracking, and
+//! whose composite effect on a relation's content can be captured
+//! symbolically as a propositional formula (Table 4) for equivalence
+//! checking with a SAT solver.
+//!
+//! This crate is self-contained: it defines
+//!
+//! * [`Scalar`] and [`Value`] — the value universe (integers, booleans,
+//!   strings, unit, and relations),
+//! * [`Tuple`], [`Schema`], [`Fd`] and [`Relation`] — relational states,
+//! * [`Formula`] — the selection/content formula language of Table 1,
+//! * [`RelOp`] — the primitive operations of Table 2 with the matching
+//!   (`~r`) semantics of §6.1,
+//! * [`CellSet`] and [`Key`] — footprint regions at the granularity of
+//!   FD-domain keys (Table 3),
+//! * [`content`] — the symbolic content transformers of Table 4.
+//!
+//! # Example
+//!
+//! ```
+//! use janus_relational::{Relation, Schema, Fd, Tuple, Scalar, RelOp, Formula};
+//!
+//! // A BitSet is a 2-ary relation mapping integral indices to booleans,
+//! // with the functional dependency {index} -> {bit} (§3, stage 1).
+//! let schema = Schema::with_fd(&["index", "bit"], Fd::new(&[0], &[1]));
+//! let mut bits = Relation::empty(schema);
+//!
+//! // Setting bit 3 removes the unique tuple whose first component is 3
+//! // and inserts (3, true).
+//! let set3 = RelOp::insert(Tuple::new(vec![Scalar::Int(3), Scalar::Bool(true)]));
+//! set3.apply(&mut bits);
+//! assert_eq!(bits.len(), 1);
+//!
+//! // `get` is a select query.
+//! let get3 = RelOp::select(Formula::eq(0, Scalar::Int(3)));
+//! let result = get3.eval(&bits);
+//! assert_eq!(result.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scalar;
+mod tuple;
+mod schema;
+mod relation;
+mod formula;
+mod ops;
+mod footprint;
+pub mod content;
+
+pub use footprint::{CellSet, Footprint, Key};
+pub use formula::Formula;
+pub use ops::RelOp;
+pub use relation::Relation;
+pub use scalar::{Scalar, Value};
+pub use schema::{Fd, Schema};
+pub use tuple::Tuple;

@@ -1,0 +1,345 @@
+//! Relations: sets of tuples over a shared schema.
+
+use std::fmt;
+use std::sync::Arc;
+
+use janus_persist::PersistentMap;
+
+use crate::{Formula, Key, Schema, Tuple};
+
+/// A relation: a set of [`Tuple`]s over identical columns (§6.1).
+///
+/// The partial ordering on relations is the subset relation, join is set
+/// union, meet is set intersection, and subtraction is set subtraction.
+/// When the schema carries a functional dependency, [`Relation::insert`]
+/// maintains it by displacing matching tuples.
+///
+/// The tuple set is a persistent ordered map, so cloning a relation —
+/// which happens on every transaction privatization touching the object —
+/// is O(1), per §4's "Versioning" prescription.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: PersistentMap<Tuple, ()>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.tuples.len() == other.tuples.len()
+            && self
+                .tuples
+                .keys()
+                .zip(other.tuples.keys())
+                .all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for Relation {}
+
+impl Relation {
+    /// The empty relation over the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation {
+            schema,
+            tuples: PersistentMap::new(),
+        }
+    }
+
+    /// Builds a relation from tuples.
+    ///
+    /// Tuples are inserted in order with FD maintenance, so later tuples
+    /// displace earlier matching ones.
+    pub fn from_tuples(schema: Arc<Schema>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::empty(schema);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The schema shared by all tuples of this relation.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether the relation contains exactly this tuple.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    /// Tuple matching `t ~r t'` (§6.1): if the schema defines an FD, the
+    /// tuples must agree on the FD's domain columns; otherwise they must
+    /// agree on all columns.
+    pub fn matches(&self, t: &Tuple, other: &Tuple) -> bool {
+        let keys = self.schema.key_columns();
+        t.agrees_on(other, &keys)
+    }
+
+    /// The tuples whose key-column projection equals `key`. When the key
+    /// columns form a prefix of the schema (the common case for ADT
+    /// specifications), this is an O(log n + matches) range scan over the
+    /// ordered tuple set; otherwise it falls back to a full scan.
+    fn with_key(&self, key: &[crate::Scalar]) -> Vec<Tuple> {
+        let keys = self.schema.key_columns();
+        let is_prefix = keys.iter().enumerate().all(|(i, &c)| c == i);
+        if is_prefix {
+            let lower = Tuple::new(key.to_vec());
+            self.tuples
+                .iter_from(&lower)
+                .map(|(t, _)| t)
+                .take_while(|t| t.project(&keys) == key)
+                .cloned()
+                .collect()
+        } else {
+            self.tuples
+                .keys()
+                .filter(|t| t.project(&keys) == key)
+                .cloned()
+                .collect()
+        }
+    }
+
+    /// All tuples matching `t` under `~r`.
+    pub fn matching(&self, t: &Tuple) -> Vec<Tuple> {
+        self.with_key(&t.project(&self.schema.key_columns()))
+    }
+
+    /// `insert r t`: removes the tuples matching `t`, then adds `t`
+    /// (Table 2). Returns the displaced tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's arity does not match the schema.
+    pub fn insert(&mut self, t: Tuple) -> Vec<Tuple> {
+        assert_eq!(
+            t.arity(),
+            self.schema.arity(),
+            "tuple arity must match schema arity"
+        );
+        let displaced = self.matching(&t);
+        for d in &displaced {
+            self.tuples.remove(d);
+        }
+        self.tuples.insert(t, ());
+        displaced
+    }
+
+    /// `remove r t`: ensures `t` is not in the relation (Table 2).
+    /// Returns whether the tuple was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t).is_some()
+    }
+
+    /// Removes every tuple whose key columns equal `key`. Returns the
+    /// removed tuples. This is the effect of `remove` addressed by key,
+    /// used by ADT models (e.g. `Map::remove(k)`).
+    pub fn remove_key(&mut self, key: &Key) -> Vec<Tuple> {
+        let removed = self.with_key(key.components());
+        for t in &removed {
+            self.tuples.remove(t);
+        }
+        removed
+    }
+
+    /// `w := select r f`: the tuples satisfying `f` (Table 2). The
+    /// relation itself is unchanged. Selections that pin the key columns
+    /// use the ordered range scan.
+    pub fn select(&self, f: &Formula) -> Vec<Tuple> {
+        if let Some(vals) = f.pinned_valuation(&self.schema.key_columns()) {
+            self.with_key(&vals)
+                .into_iter()
+                .filter(|t| f.sat(t))
+                .collect()
+        } else {
+            self.tuples
+                .keys()
+                .filter(|t| f.sat(t))
+                .cloned()
+                .collect()
+        }
+    }
+
+    /// Looks up the unique tuple with the given key valuation (projection
+    /// onto the schema's key columns), if any.
+    pub fn lookup(&self, key: &Key) -> Option<Tuple> {
+        self.with_key(key.components()).into_iter().next()
+    }
+
+    /// The key of a tuple: its projection onto the schema's key columns.
+    pub fn key_of(&self, t: &Tuple) -> Key {
+        Key::new(t.project(&self.schema.key_columns()))
+    }
+
+    /// Iterates over the tuples in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.keys()
+    }
+
+    /// Set union (join in the relation lattice).
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut tuples = self.tuples.clone();
+        for t in other.iter() {
+            tuples.insert(t.clone(), ());
+        }
+        Relation {
+            schema: Arc::clone(&self.schema),
+            tuples,
+        }
+    }
+
+    /// Set intersection (meet in the relation lattice).
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        let mut tuples = PersistentMap::new();
+        for t in self.iter() {
+            if other.contains(t) {
+                tuples.insert(t.clone(), ());
+            }
+        }
+        Relation {
+            schema: Arc::clone(&self.schema),
+            tuples,
+        }
+    }
+
+    /// Set subtraction.
+    pub fn subtract(&self, other: &Relation) -> Relation {
+        let mut tuples = PersistentMap::new();
+        for t in self.iter() {
+            if !other.contains(t) {
+                tuples.insert(t.clone(), ());
+            }
+        }
+        Relation {
+            schema: Arc::clone(&self.schema),
+            tuples,
+        }
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples = PersistentMap::new();
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Fd, Scalar};
+
+    fn bitset_schema() -> Arc<Schema> {
+        Schema::with_fd(&["index", "bit"], Fd::new(&[0], &[1]))
+    }
+
+    #[test]
+    fn insert_displaces_matching_tuples() {
+        let mut r = Relation::empty(bitset_schema());
+        assert!(r.insert(tuple![3, false]).is_empty());
+        let displaced = r.insert(tuple![3, true]);
+        assert_eq!(displaced, vec![tuple![3, false]]);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![3, true]));
+    }
+
+    #[test]
+    fn insert_without_fd_matches_whole_tuple() {
+        let mut r = Relation::empty(Schema::new(&["a", "b"]));
+        r.insert(tuple![1, 2]);
+        let displaced = r.insert(tuple![1, 3]);
+        assert!(displaced.is_empty(), "different tuples do not match");
+        assert_eq!(r.len(), 2);
+        let displaced = r.insert(tuple![1, 2]);
+        assert_eq!(displaced, vec![tuple![1, 2]]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![1, true]);
+        assert!(r.remove(&tuple![1, true]));
+        assert!(!r.remove(&tuple![1, true]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_key_removes_by_domain() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![1, true]);
+        r.insert(tuple![2, false]);
+        let removed = r.remove_key(&Key::new(vec![Scalar::Int(1)]));
+        assert_eq!(removed, vec![tuple![1, true]]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_filters_by_formula() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![1, true]);
+        r.insert(tuple![2, false]);
+        r.insert(tuple![3, true]);
+        let sel = r.select(&Formula::eq(1, true));
+        assert_eq!(sel.len(), 2);
+        let sel = r.select(&Formula::eq(0, 2i64));
+        assert_eq!(sel, vec![tuple![2, false]]);
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![7, true]);
+        let k = Key::new(vec![Scalar::Int(7)]);
+        assert_eq!(r.lookup(&k), Some(tuple![7, true]));
+        assert_eq!(r.lookup(&Key::new(vec![Scalar::Int(8)])), None);
+        assert_eq!(r.key_of(&tuple![7, true]), k);
+    }
+
+    #[test]
+    fn lattice_operations() {
+        let s = bitset_schema();
+        let a = Relation::from_tuples(Arc::clone(&s), [tuple![1, true], tuple![2, true]]);
+        let b = Relation::from_tuples(Arc::clone(&s), [tuple![2, true], tuple![3, true]]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.subtract(&b).len(), 1);
+        assert!(a.subtract(&b).contains(&tuple![1, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![1]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r = Relation::empty(bitset_schema());
+        r.insert(tuple![1, true]);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tuples: mappings from columns to scalar values.
+
+use std::fmt;
+
+use crate::Scalar;
+
+/// A tuple `t = (c1 : v1, ..., ck : vk)` over the columns of a
+/// [`crate::Schema`], stored positionally.
+///
+/// Column names live in the schema; the tuple stores only the valuation.
+/// `t.get(c)` is the paper's `t_c`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Vec<Scalar>);
+
+impl Tuple {
+    /// Creates a tuple from a column valuation.
+    pub fn new(values: Vec<Scalar>) -> Self {
+        Tuple(values)
+    }
+
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The valuation of column `c` (`t_c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds for this tuple's arity.
+    pub fn get(&self, c: usize) -> &Scalar {
+        &self.0[c]
+    }
+
+    /// The valuation of column `c`, or `None` if out of bounds.
+    pub fn try_get(&self, c: usize) -> Option<&Scalar> {
+        self.0.get(c)
+    }
+
+    /// Returns the projection of this tuple onto the given columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of bounds.
+    pub fn project(&self, columns: &[usize]) -> Vec<Scalar> {
+        columns.iter().map(|&c| self.0[c].clone()).collect()
+    }
+
+    /// Whether two tuples agree on all the given columns.
+    pub fn agrees_on(&self, other: &Tuple, columns: &[usize]) -> bool {
+        columns
+            .iter()
+            .all(|&c| self.try_get(c).is_some() && self.try_get(c) == other.try_get(c))
+    }
+
+    /// Iterates over the scalar components in column order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Scalar> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Scalar>> for Tuple {
+    fn from(values: Vec<Scalar>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Scalar;
+    type IntoIter = std::slice::Iter<'a, Scalar>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Builds a tuple from scalar-convertible components.
+///
+/// ```
+/// use janus_relational::{Tuple, Scalar};
+/// let t = janus_relational::tuple![1, true, "x"];
+/// assert_eq!(t.get(0), &Scalar::Int(1));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Scalar::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_and_agreement() {
+        let t1 = tuple![1, true, "a"];
+        let t2 = tuple![1, false, "a"];
+        assert!(t1.agrees_on(&t2, &[0, 2]));
+        assert!(!t1.agrees_on(&t2, &[1]));
+        assert_eq!(
+            t1.project(&[2, 0]),
+            vec![Scalar::str("a"), Scalar::Int(1)]
+        );
+    }
+
+    #[test]
+    fn agreement_is_false_out_of_bounds() {
+        let t1 = tuple![1];
+        let t2 = tuple![1];
+        assert!(!t1.agrees_on(&t2, &[3]));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let t = tuple![1, true];
+        assert_eq!(format!("{t}"), "(1, true)");
+    }
+
+    #[test]
+    fn iteration_order_is_columnar() {
+        let t = tuple![1, 2, 3];
+        let ints: Vec<i64> = t.iter().filter_map(Scalar::as_int).collect();
+        assert_eq!(ints, vec![1, 2, 3]);
+    }
+}

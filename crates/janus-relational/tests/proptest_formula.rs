@@ -1,0 +1,95 @@
+//! Property tests for the Table 1 formula language.
+
+use janus_relational::{Formula, Scalar, Tuple};
+use proptest::prelude::*;
+
+fn scalar_strategy() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        (0i64..4).prop_map(Scalar::Int),
+        any::<bool>().prop_map(Scalar::Bool),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0usize..3, scalar_strategy()).prop_map(|(c, v)| Formula::Eq(c, v)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Formula::And(Box::new(f), Box::new(g))),
+            (inner.clone(), inner).prop_map(|(f, g)| Formula::Or(Box::new(f), Box::new(g))),
+        ]
+    })
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(scalar_strategy(), 3).prop_map(Tuple::new)
+}
+
+proptest! {
+    /// The folding constructors (`not`/`and`/`or`) preserve semantics
+    /// relative to the raw AST constructors.
+    #[test]
+    fn folding_constructors_preserve_semantics(
+        f in formula_strategy(),
+        g in formula_strategy(),
+        t in tuple_strategy(),
+    ) {
+        prop_assert_eq!(f.clone().not().sat(&t), !f.sat(&t));
+        prop_assert_eq!(f.clone().and(g.clone()).sat(&t), f.sat(&t) && g.sat(&t));
+        prop_assert_eq!(f.clone().or(g.clone()).sat(&t), f.sat(&t) || g.sat(&t));
+    }
+
+    /// De Morgan duality holds pointwise.
+    #[test]
+    fn de_morgan(f in formula_strategy(), g in formula_strategy(), t in tuple_strategy()) {
+        let lhs = f.clone().and(g.clone()).not();
+        let rhs = f.not().or(g.not());
+        prop_assert_eq!(lhs.sat(&t), rhs.sat(&t));
+    }
+
+    /// A pinned valuation, when reported, really is the only key the
+    /// formula can match: any satisfying tuple projects onto it.
+    #[test]
+    fn pinned_valuation_is_sound(
+        f in formula_strategy(),
+        t in tuple_strategy(),
+    ) {
+        let columns = [0usize, 1, 2];
+        if let Some(vals) = f.pinned_valuation(&columns) {
+            if f.sat(&t) {
+                prop_assert_eq!(t.project(&columns), vals);
+            }
+        }
+    }
+
+    /// Atom collection covers exactly the atoms evaluation can consult:
+    /// two tuples agreeing on every collected atom's column get the same
+    /// verdict.
+    #[test]
+    fn atoms_determine_evaluation(
+        f in formula_strategy(),
+        t1 in tuple_strategy(),
+        t2 in tuple_strategy(),
+    ) {
+        let atoms = f.atoms();
+        let agree = atoms.iter().all(|(c, v)| {
+            (t1.try_get(*c) == Some(v)) == (t2.try_get(*c) == Some(v))
+        });
+        if agree {
+            prop_assert_eq!(f.sat(&t1), f.sat(&t2));
+        }
+    }
+
+    /// Size is positive and monotone under composition.
+    #[test]
+    fn size_is_structural(f in formula_strategy(), g in formula_strategy()) {
+        prop_assert!(f.size() >= 1);
+        let both = Formula::And(Box::new(f.clone()), Box::new(g.clone()));
+        prop_assert_eq!(both.size(), 1 + f.size() + g.size());
+    }
+}

@@ -1,0 +1,196 @@
+//! CNF representation: variables, literals and clauses.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`, positive iff `positive`.
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense code suitable for indexing watch lists (`2*var + sign`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        self.negated()
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A formula in conjunctive normal form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+    /// Number of variables (all clause literals range over `0..num_vars`).
+    pub num_vars: u32,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) CNF.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures `num_vars` covers variable `v`.
+    pub fn ensure_var(&mut self, v: Var) {
+        if v.0 >= self.num_vars {
+            self.num_vars = v.0 + 1;
+        }
+    }
+
+    /// Adds a clause, growing the variable count as needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            self.ensure_var(lit.var());
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the CNF under a total assignment (indexed by variable).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_positive());
+        assert!(!v.neg().is_positive());
+        assert_eq!(v.pos().negated(), v.neg());
+        assert_eq!(!!v.pos(), v.pos());
+        assert_eq!(v.pos().code(), 14);
+        assert_eq!(v.neg().code(), 15);
+    }
+
+    #[test]
+    fn cnf_var_accounting() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        assert_eq!((a, b), (Var(0), Var(1)));
+        cnf.add_clause(vec![Var(5).pos()]);
+        assert_eq!(cnf.num_vars, 6);
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(vec![Var(0).pos(), Var(1).neg()]);
+        cnf.add_clause(vec![Var(1).pos()]);
+        assert!(cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, false])); // second clause falsified
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let cnf = Cnf::new();
+        assert!(cnf.eval(&[]));
+        assert_eq!(format!("{cnf}"), "⊤");
+    }
+}

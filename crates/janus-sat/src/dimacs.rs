@@ -1,0 +1,153 @@
+//! DIMACS CNF import/export.
+//!
+//! The solver doubles as a small standalone SAT library; DIMACS support
+//! makes it testable against standard instances and lets the symbolic
+//! queries JANUS discharges be dumped for offline inspection.
+
+use std::fmt::Write as _;
+
+use crate::{Cnf, Lit, Var};
+
+/// An error while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Serializes a CNF in DIMACS format (`p cnf <vars> <clauses>` header,
+/// 1-based signed literals, `0`-terminated clauses).
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for lit in clause {
+            let v = lit.var().0 as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_positive() { v } else { -v });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DIMACS CNF input. Comment lines (`c ...`) and `%`/empty lines
+/// are skipped; clauses may span lines.
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] on a missing/malformed header, a
+/// malformed literal, a variable out of the declared range, or an
+/// unterminated final clause.
+pub fn from_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let err = |line: usize, message: String| ParseDimacsError { line, message };
+    let mut declared_vars: Option<u32> = None;
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            if declared_vars.is_some() {
+                return Err(err(lineno, "duplicate header".to_string()));
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 || fields[1] != "cnf" {
+                return Err(err(lineno, format!("bad header {line:?}")));
+            }
+            let nv: u32 = fields[2]
+                .parse()
+                .map_err(|_| err(lineno, format!("bad var count {:?}", fields[2])))?;
+            declared_vars = Some(nv);
+            cnf.num_vars = nv;
+            continue;
+        }
+        let nv = declared_vars.ok_or_else(|| err(lineno, "clause before header".to_string()))?;
+        for tok in line.split_whitespace() {
+            let lit: i64 = tok
+                .parse()
+                .map_err(|_| err(lineno, format!("bad literal {tok:?}")))?;
+            if lit == 0 {
+                cnf.add_clause(std::mem::take(&mut current));
+                continue;
+            }
+            let var = lit.unsigned_abs() as u32 - 1;
+            if var >= nv {
+                return Err(err(lineno, format!("variable {} out of range", lit.abs())));
+            }
+            current.push(if lit > 0 { Var(var).pos() } else { Var(var).neg() });
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "unterminated clause (missing 0)".to_string(),
+        });
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Solution, Solver};
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        let (a, b, c) = (cnf.fresh_var(), cnf.fresh_var(), cnf.fresh_var());
+        cnf.add_clause(vec![a.pos(), b.neg()]);
+        cnf.add_clause(vec![b.pos(), c.pos()]);
+        cnf.add_clause(vec![c.neg()]);
+        let text = to_dimacs(&cnf);
+        let parsed = from_dimacs(&text).expect("parse");
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn parses_standard_layout() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = from_dimacs(text).expect("parse");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert!(Solver::new(&cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let text = "p cnf 2 1\n1\n-2\n0\n";
+        let cnf = from_dimacs(text).expect("parse");
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_dimacs("1 2 0\n").is_err(), "clause before header");
+        assert!(from_dimacs("p cnf x 1\n1 0\n").is_err(), "bad var count");
+        assert!(from_dimacs("p cnf 1 1\n2 0\n").is_err(), "var out of range");
+        assert!(from_dimacs("p cnf 1 1\n1\n").is_err(), "unterminated");
+        assert!(from_dimacs("p cnf 1 1\np cnf 1 1\n").is_err(), "dup header");
+        assert!(from_dimacs("p cnf 1 1\nq 0\n").is_err(), "bad literal");
+    }
+
+    #[test]
+    fn solves_a_dimacs_unsat_instance() {
+        // (x) ∧ (¬x)
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let cnf = from_dimacs(text).expect("parse");
+        assert_eq!(Solver::new(&cnf).solve(), Solution::Unsat);
+    }
+}

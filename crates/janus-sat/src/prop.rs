@@ -1,0 +1,325 @@
+//! Propositional formulas and the Tseitin CNF transformation.
+
+use std::fmt;
+
+use crate::{Cnf, Lit, Solver, Var};
+
+/// An arbitrary propositional formula over numbered variables.
+///
+/// This is the interface through which JANUS poses equivalence queries:
+/// relational content formulas (Table 4) are translated to `PropFormula`s
+/// over tuple-membership atoms, and `f ≡ g` is decided by checking
+/// `¬(f ↔ g)` for unsatisfiability (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropFormula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A propositional variable.
+    Var(u32),
+    /// Negation.
+    Not(Box<PropFormula>),
+    /// Conjunction.
+    And(Box<PropFormula>, Box<PropFormula>),
+    /// Disjunction.
+    Or(Box<PropFormula>, Box<PropFormula>),
+    /// Biconditional.
+    Iff(Box<PropFormula>, Box<PropFormula>),
+}
+
+impl PropFormula {
+    /// The variable `x_i`.
+    pub fn var(i: u32) -> Self {
+        PropFormula::Var(i)
+    }
+
+    /// Negation with constant folding.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            PropFormula::True => PropFormula::False,
+            PropFormula::False => PropFormula::True,
+            PropFormula::Not(f) => *f,
+            f => PropFormula::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction with constant folding.
+    pub fn and(self, other: PropFormula) -> Self {
+        match (self, other) {
+            (PropFormula::False, _) | (_, PropFormula::False) => PropFormula::False,
+            (PropFormula::True, g) => g,
+            (f, PropFormula::True) => f,
+            (f, g) => PropFormula::And(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(self, other: PropFormula) -> Self {
+        match (self, other) {
+            (PropFormula::True, _) | (_, PropFormula::True) => PropFormula::True,
+            (PropFormula::False, g) => g,
+            (f, PropFormula::False) => f,
+            (f, g) => PropFormula::Or(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Biconditional `self ↔ other`.
+    pub fn iff(self, other: PropFormula) -> Self {
+        match (self, other) {
+            (PropFormula::True, g) => g,
+            (f, PropFormula::True) => f,
+            (PropFormula::False, g) => g.not(),
+            (f, PropFormula::False) => f.not(),
+            (f, g) => PropFormula::Iff(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            PropFormula::True | PropFormula::False => None,
+            PropFormula::Var(i) => Some(*i),
+            PropFormula::Not(f) => f.max_var(),
+            PropFormula::And(f, g) | PropFormula::Or(f, g) | PropFormula::Iff(f, g) => {
+                match (f.max_var(), g.max_var()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the formula under a total assignment indexed by variable.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            PropFormula::True => true,
+            PropFormula::False => false,
+            PropFormula::Var(i) => assignment[*i as usize],
+            PropFormula::Not(f) => !f.eval(assignment),
+            PropFormula::And(f, g) => f.eval(assignment) && g.eval(assignment),
+            PropFormula::Or(f, g) => f.eval(assignment) || g.eval(assignment),
+            PropFormula::Iff(f, g) => f.eval(assignment) == g.eval(assignment),
+        }
+    }
+}
+
+impl fmt::Display for PropFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropFormula::True => write!(f, "⊤"),
+            PropFormula::False => write!(f, "⊥"),
+            PropFormula::Var(i) => write!(f, "x{i}"),
+            PropFormula::Not(g) => write!(f, "¬{g}"),
+            PropFormula::And(g, h) => write!(f, "({g} ∧ {h})"),
+            PropFormula::Or(g, h) => write!(f, "({g} ∨ {h})"),
+            PropFormula::Iff(g, h) => write!(f, "({g} ↔ {h})"),
+        }
+    }
+}
+
+/// Tseitin-transforms `f` into an equisatisfiable CNF.
+///
+/// Input variables `0..=max_var` keep their indices; auxiliary definition
+/// variables are allocated above them. The returned CNF asserts the
+/// root definition literal, so it is satisfiable iff `f` is.
+pub fn tseitin(f: &PropFormula) -> Cnf {
+    let mut cnf = Cnf::new();
+    let input_vars = f.max_var().map_or(0, |m| m + 1);
+    cnf.num_vars = input_vars;
+    let root = encode(f, &mut cnf);
+    cnf.add_clause(vec![root]);
+    cnf
+}
+
+/// Returns a literal equivalent to `f` under the definitions added to
+/// `cnf`.
+fn encode(f: &PropFormula, cnf: &mut Cnf) -> Lit {
+    match f {
+        PropFormula::True => {
+            let v = cnf.fresh_var();
+            cnf.add_clause(vec![v.pos()]);
+            v.pos()
+        }
+        PropFormula::False => {
+            let v = cnf.fresh_var();
+            cnf.add_clause(vec![v.pos()]);
+            v.neg()
+        }
+        PropFormula::Var(i) => {
+            let v = Var(*i);
+            cnf.ensure_var(v);
+            v.pos()
+        }
+        PropFormula::Not(g) => !encode(g, cnf),
+        PropFormula::And(g, h) => {
+            let a = encode(g, cnf);
+            let b = encode(h, cnf);
+            let d = cnf.fresh_var().pos();
+            // d ↔ a ∧ b
+            cnf.add_clause(vec![!d, a]);
+            cnf.add_clause(vec![!d, b]);
+            cnf.add_clause(vec![d, !a, !b]);
+            d
+        }
+        PropFormula::Or(g, h) => {
+            let a = encode(g, cnf);
+            let b = encode(h, cnf);
+            let d = cnf.fresh_var().pos();
+            // d ↔ a ∨ b
+            cnf.add_clause(vec![!d, a, b]);
+            cnf.add_clause(vec![d, !a]);
+            cnf.add_clause(vec![d, !b]);
+            d
+        }
+        PropFormula::Iff(g, h) => {
+            let a = encode(g, cnf);
+            let b = encode(h, cnf);
+            let d = cnf.fresh_var().pos();
+            // d ↔ (a ↔ b)
+            cnf.add_clause(vec![!d, !a, b]);
+            cnf.add_clause(vec![!d, a, !b]);
+            cnf.add_clause(vec![d, a, b]);
+            cnf.add_clause(vec![d, !a, !b]);
+            d
+        }
+    }
+}
+
+/// Whether `f` is satisfiable, assuming every clause in `axioms`
+/// (additional CNF clauses over the same variables, e.g. column
+/// exclusivity constraints) holds.
+pub fn is_satisfiable(f: &PropFormula, axioms: &[Vec<Lit>]) -> bool {
+    let mut cnf = tseitin(f);
+    for clause in axioms {
+        cnf.add_clause(clause.clone());
+    }
+    Solver::new(&cnf).solve().is_sat()
+}
+
+/// Whether `f ≡ g` under the given axioms: checks `¬(f ↔ g) ∧ axioms`
+/// for unsatisfiability, exactly as §6.2 prescribes.
+pub fn is_equivalent(f: &PropFormula, g: &PropFormula, axioms: &[Vec<Lit>]) -> bool {
+    let query = f.clone().iff(g.clone()).not();
+    match query {
+        PropFormula::True => false,
+        PropFormula::False => true,
+        q => !is_satisfiable(&q, axioms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P = PropFormula;
+
+    #[test]
+    fn tseitin_preserves_satisfiability() {
+        // (x0 ∨ x1) ∧ ¬x0 is satisfiable (x1 = true).
+        let f = P::var(0).or(P::var(1)).and(P::var(0).not());
+        let cnf = tseitin(&f);
+        let sol = Solver::new(&cnf).solve();
+        let m = sol.model().expect("sat");
+        assert!(!m[0] && m[1]);
+    }
+
+    #[test]
+    fn tseitin_unsat() {
+        let f = P::And(
+            Box::new(P::var(0)),
+            Box::new(P::Not(Box::new(P::var(0)))),
+        );
+        assert!(!is_satisfiable(&f, &[]));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(is_satisfiable(&P::True, &[]));
+        assert!(!is_satisfiable(&P::False, &[]));
+        assert!(is_equivalent(&P::True, &P::True, &[]));
+        assert!(!is_equivalent(&P::True, &P::False, &[]));
+    }
+
+    #[test]
+    fn de_morgan() {
+        let lhs = P::var(0).and(P::var(1)).not();
+        let rhs = P::var(0).not().or(P::var(1).not());
+        assert!(is_equivalent(&lhs, &rhs, &[]));
+    }
+
+    #[test]
+    fn distribution() {
+        // x0 ∧ (x1 ∨ x2) ≡ (x0 ∧ x1) ∨ (x0 ∧ x2)
+        let lhs = P::var(0).and(P::var(1).or(P::var(2)));
+        let rhs = P::var(0).and(P::var(1)).or(P::var(0).and(P::var(2)));
+        assert!(is_equivalent(&lhs, &rhs, &[]));
+        // but not ≡ x0 ∨ (x1 ∧ x2)
+        let other = P::var(0).or(P::var(1).and(P::var(2)));
+        assert!(!is_equivalent(&lhs, &other, &[]));
+    }
+
+    #[test]
+    fn equivalence_modulo_axioms() {
+        // With the axiom ¬x0 ∨ ¬x1 (x0 and x1 mutually exclusive),
+        // x0 ∧ x1 ≡ false.
+        let f = P::var(0).and(P::var(1));
+        let axioms = vec![vec![Var(0).neg(), Var(1).neg()]];
+        assert!(is_equivalent(&f, &P::False, &axioms));
+        assert!(!is_equivalent(&f, &P::False, &[]));
+    }
+
+    #[test]
+    fn iff_connective() {
+        let f = P::var(0).iff(P::var(1));
+        // Satisfiable both ways.
+        assert!(is_satisfiable(&f, &[]));
+        assert!(is_satisfiable(&f.clone().not(), &[]));
+        // (x0 ↔ x1) ≡ (x0∧x1) ∨ (¬x0∧¬x1)
+        let expanded = P::var(0)
+            .and(P::var(1))
+            .or(P::var(0).not().and(P::var(1).not()));
+        assert!(is_equivalent(&f, &expanded, &[]));
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let f = P::var(0).or(P::var(1)).and(P::var(2).not());
+        assert!(f.eval(&[true, false, false]));
+        assert!(!f.eval(&[true, false, true]));
+        assert!(!f.eval(&[false, false, false]));
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_exhaustive() {
+        // Enumerate a family of small formulas and cross-check tseitin
+        // satisfiability against brute-force evaluation.
+        let formulas = vec![
+            P::var(0),
+            P::var(0).not(),
+            P::var(0).and(P::var(1)),
+            P::var(0).or(P::var(1)).and(P::var(0).not().or(P::var(1).not())),
+            P::var(0).iff(P::var(1)).iff(P::var(2)),
+            P::var(0)
+                .and(P::var(1).or(P::var(2)))
+                .and(P::var(0).not().or(P::var(2).not()))
+                .and(P::var(1).not()),
+        ];
+        for f in formulas {
+            let n = f.max_var().map_or(0, |m| m + 1);
+            let brute = (0..1u32 << n).any(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                f.eval(&a)
+            });
+            assert_eq!(is_satisfiable(&f, &[]), brute, "formula {f}");
+        }
+    }
+
+    #[test]
+    fn max_var_is_computed() {
+        assert_eq!(P::True.max_var(), None);
+        assert_eq!(P::var(3).max_var(), Some(3));
+        assert_eq!(P::var(3).and(P::var(7)).max_var(), Some(7));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the CDCL solver and the Tseitin transformation agree
+//! with brute-force evaluation on random formulas and CNFs.
+
+use janus_sat::{is_equivalent, is_satisfiable, tseitin, Cnf, PropFormula, Solver, Var};
+use proptest::prelude::*;
+
+const MAX_VARS: u32 = 6;
+
+fn formula_strategy() -> impl Strategy<Value = PropFormula> {
+    let leaf = prop_oneof![
+        (0..MAX_VARS).prop_map(PropFormula::var),
+        Just(PropFormula::True),
+        Just(PropFormula::False),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
+            (inner.clone(), inner).prop_map(|(f, g)| f.iff(g)),
+        ]
+    })
+}
+
+fn brute_sat(f: &PropFormula) -> bool {
+    let n = f.max_var().map_or(0, |m| m + 1);
+    (0..1u32 << n).any(|bits| {
+        let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        f.eval(&a)
+    })
+}
+
+proptest! {
+    #[test]
+    fn tseitin_satisfiability_matches_brute_force(f in formula_strategy()) {
+        prop_assert_eq!(is_satisfiable(&f, &[]), brute_sat(&f));
+    }
+
+    #[test]
+    fn equivalence_matches_brute_force(f in formula_strategy(), g in formula_strategy()) {
+        let n = f.max_var().max(g.max_var()).map_or(0, |m| m + 1);
+        let brute_equiv = (0..1u32 << n).all(|bits| {
+            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            f.eval(&a) == g.eval(&a)
+        });
+        prop_assert_eq!(is_equivalent(&f, &g, &[]), brute_equiv);
+    }
+
+    #[test]
+    fn solver_models_satisfy_random_cnfs(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0..MAX_VARS, any::<bool>()), 1..4),
+            1..24
+        )
+    ) {
+        let mut cnf = Cnf::new();
+        for clause in &clauses {
+            cnf.add_clause(
+                clause
+                    .iter()
+                    .map(|&(v, pos)| if pos { Var(v).pos() } else { Var(v).neg() })
+                    .collect(),
+            );
+        }
+        let n = cnf.num_vars;
+        let brute = (0..1u32 << n).any(|bits| {
+            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&a)
+        });
+        let solution = Solver::new(&cnf).solve();
+        prop_assert_eq!(solution.is_sat(), brute);
+        if let Some(model) = solution.model() {
+            prop_assert!(cnf.eval(model), "reported model must satisfy the CNF");
+        }
+    }
+
+    #[test]
+    fn tseitin_preserves_input_variable_semantics(f in formula_strategy()) {
+        // Any model of the Tseitin CNF, restricted to the input
+        // variables, satisfies the original formula.
+        let cnf = tseitin(&f);
+        if let Some(model) = Solver::new(&cnf).solve().model() {
+            let n = f.max_var().map_or(0, |m| m + 1) as usize;
+            let inputs: Vec<bool> = model.iter().copied().take(n.max(1)).collect();
+            if n > 0 {
+                prop_assert!(f.eval(&inputs));
+            }
+        }
+    }
+}

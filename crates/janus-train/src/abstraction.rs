@@ -1,0 +1,529 @@
+//! Sequence abstraction (§5.2): generalizing concrete operation sequences
+//! into a regular form with the Kleene-cross operator.
+//!
+//! Concrete sequences on shared locations vary dynamically with the input
+//! — the add/subtract chains induced by `work` in Figure 2 are length-wise
+//! proportional to the complexity of the input items — so caching
+//! commutativity information for particular concrete sequences would tie
+//! the cache to the training payloads. JANUS instead searches bottom-up
+//! for *idempotent* adjacent repeated blocks within the concrete sequence
+//! and collapses them under `+` (Lemma 5.1 justifies that the projection
+//! algorithm cannot distinguish `s1·s2·s3` from `s1·s2·s2·s3` when `s2`
+//! is idempotent). A production sequence matches the abstract pattern via
+//! ordinary regular-expression matching over the abstract op alphabet.
+
+use janus_log::{CellKey, Op, OpKind, ScalarOp};
+use janus_relational::{CellSet, RelOp};
+
+use crate::effect::{summarize, Determined, Summary};
+
+/// The abstract operation alphabet: operation kinds with their parameters
+/// abstracted away ("concrete values are substituted by symbolic values",
+/// §3 stage 3 — the symbolic values are re-bound from the production
+/// sequence when the cached condition is evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractOp {
+    /// A scalar read.
+    Read,
+    /// A fetch-add with a symbolic delta.
+    Add,
+    /// A blind fetch-max with a symbolic bound.
+    Max,
+    /// A blind scalar write of a symbolic value.
+    Write,
+    /// A relational insert of a symbolic tuple.
+    Insert,
+    /// A relational exact-tuple remove.
+    Remove,
+    /// A relational remove-by-key.
+    RemoveKey,
+    /// A select whose formula pins the key columns.
+    SelectPinned,
+    /// A select over the whole object.
+    SelectAll,
+    /// A whole-object clear.
+    Clear,
+}
+
+impl std::fmt::Display for AbstractOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbstractOp::Read => "r",
+            AbstractOp::Add => "a",
+            AbstractOp::Max => "m",
+            AbstractOp::Write => "w",
+            AbstractOp::Insert => "i",
+            AbstractOp::Remove => "d",
+            AbstractOp::RemoveKey => "k",
+            AbstractOp::SelectPinned => "s",
+            AbstractOp::SelectAll => "S",
+            AbstractOp::Clear => "C",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Abstracts one logged operation.
+pub fn abstract_kind(op: &Op) -> AbstractOp {
+    match &op.kind {
+        OpKind::Scalar(ScalarOp::Read) => AbstractOp::Read,
+        OpKind::Scalar(ScalarOp::Add(_)) => AbstractOp::Add,
+        OpKind::Scalar(ScalarOp::Max(_)) => AbstractOp::Max,
+        OpKind::Scalar(ScalarOp::Write(_)) => AbstractOp::Write,
+        OpKind::Rel(RelOp::Insert(_)) => AbstractOp::Insert,
+        OpKind::Rel(RelOp::Remove(_)) => AbstractOp::Remove,
+        OpKind::Rel(RelOp::RemoveKey(_)) => AbstractOp::RemoveKey,
+        OpKind::Rel(RelOp::Select(_)) => {
+            if op.footprint.read == CellSet::All {
+                AbstractOp::SelectAll
+            } else {
+                AbstractOp::SelectPinned
+            }
+        }
+        OpKind::Rel(RelOp::Clear) => AbstractOp::Clear,
+    }
+}
+
+/// One element of an abstract pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Element {
+    /// A single abstract operation.
+    Atom(AbstractOp),
+    /// One or more repetitions of a block (the Kleene cross, `{...}+`).
+    Plus(Vec<Element>),
+}
+
+/// A regular abstraction of a concrete operation sequence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pattern(pub Vec<Element>);
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn write_elems(
+            elems: &[Element],
+            f: &mut std::fmt::Formatter<'_>,
+        ) -> std::fmt::Result {
+            for e in elems {
+                match e {
+                    Element::Atom(a) => write!(f, "{a}")?,
+                    Element::Plus(block) => {
+                        write!(f, "{{")?;
+                        write_elems(block, f)?;
+                        write!(f, "}}+")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        write_elems(&self.0, f)
+    }
+}
+
+/// Whether a block with this composite summary is *idempotent* in the
+/// sense of Lemma 5.1: evaluating it twice from any state is
+/// indistinguishable (to `CONFLICT`) from evaluating it once.
+///
+/// Two sufficient conditions:
+/// * the block provably restores the entry state (identity / zero shift):
+///   every repetition then starts from the same state, so both final
+///   state and internal reads repeat exactly;
+/// * the block pins the cell to a constant and none of its observations
+///   escape its own writes: the post-state is a fixed point and repeated
+///   observations see the pinned constant.
+fn is_idempotent(summary: &Summary) -> bool {
+    match &summary.determined {
+        Determined::Identity => true,
+        Determined::Shifted(0) => true,
+        Determined::Shifted(_) => false,
+        Determined::Const(_) => !summary.exposed,
+        Determined::MaxedWith(_) => !summary.exposed,
+        Determined::Opaque => false,
+    }
+}
+
+/// Whether a block may be collapsed under `+`. Idempotent blocks qualify
+/// by Lemma 5.1. Pure blind-add blocks (the *reduction* pattern) qualify
+/// too, even though repeating them shifts the value: a conflict history
+/// spanning several committed reducer transactions concatenates their
+/// add-sequences, and the cached condition is re-evaluated on the
+/// concrete production sequences anyway, so matching `a+` is sound.
+fn is_pumpable(ops: &[&Op], summary: &Summary) -> bool {
+    is_idempotent(summary)
+        || ops
+            .iter()
+            .all(|op| matches!(op.kind, OpKind::Scalar(ScalarOp::Add(_))))
+}
+
+/// Abstracts a concrete per-cell subsequence into a [`Pattern`].
+///
+/// With `use_abstraction = false` the pattern is the plain abstract-op
+/// string (ablation D2 / the "without sequence abstraction" configuration
+/// of Figure 11). With `use_abstraction = true`, idempotent repeated
+/// adjacent blocks are collapsed under `+`, bottom-up, to fixpoint.
+pub fn abstract_sequence(cell: &CellKey, ops: &[&Op], use_abstraction: bool) -> Pattern {
+    let mut items: Vec<(Element, Vec<usize>)> = ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (Element::Atom(abstract_kind(op)), vec![i]))
+        .collect();
+    if !use_abstraction {
+        return Pattern(items.into_iter().map(|(e, _)| e).collect());
+    }
+    let block_pumpable = |items: &[(Element, Vec<usize>)]| -> bool {
+        let block_ops: Vec<&Op> = items
+            .iter()
+            .flat_map(|(_, idxs)| idxs.iter().map(|&k| ops[k]))
+            .collect();
+        is_pumpable(&block_ops, &summarize(cell, &block_ops))
+    };
+    loop {
+        // Phase 1: collapse adjacent repetitions of idempotent blocks,
+        // smallest window first, to fixpoint.
+        let mut changed = false;
+        'collapse: for w in 1..=items.len() / 2 {
+            for i in 0..=(items.len() - 2 * w) {
+                let block_equal = (0..w).all(|j| items[i + j].0 == items[i + w + j].0);
+                if !block_equal || !block_pumpable(&items[i..i + w]) {
+                    continue;
+                }
+                // Greedily absorb further occurrences.
+                let mut end = i + 2 * w;
+                while end + w <= items.len()
+                    && (0..w).all(|j| items[i + j].0 == items[end + j].0)
+                {
+                    end += w;
+                }
+                let block: Vec<Element> =
+                    items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
+                let covered: Vec<usize> = items[i..end]
+                    .iter()
+                    .flat_map(|(_, idxs)| idxs.iter().copied())
+                    .collect();
+                items.splice(i..end, [(Element::Plus(block), covered)]);
+                changed = true;
+                break 'collapse;
+            }
+        }
+        if changed {
+            continue;
+        }
+        // Phase 2: Kleene-cross a single idempotent block even without an
+        // adjacent repetition — the paper's `{work+=x; work-=x}` becomes
+        // `{work+=x; work-=x}+` from one training occurrence. Skip blocks
+        // that are already a lone `+` element.
+        'wrap: for w in 1..=items.len() {
+            for i in 0..=(items.len() - w) {
+                if w == 1 && matches!(items[i].0, Element::Plus(_)) {
+                    continue;
+                }
+                if !block_pumpable(&items[i..i + w]) {
+                    continue;
+                }
+                let block: Vec<Element> =
+                    items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
+                let covered: Vec<usize> = items[i..i + w]
+                    .iter()
+                    .flat_map(|(_, idxs)| idxs.iter().copied())
+                    .collect();
+                items.splice(i..i + w, [(Element::Plus(block), covered)]);
+                changed = true;
+                break 'wrap;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Pattern(items.into_iter().map(|(e, _)| e).collect())
+}
+
+/// Whether the abstract-op string `s` is in the language of `pattern`.
+///
+/// Matching compiles the pattern to a Thompson NFA and simulates it with
+/// a state set — linear in `|s| × states`, immune to the exponential
+/// backtracking a naive matcher exhibits on long conflict histories
+/// (which concatenate many committed transactions' subsequences).
+pub fn matches_pattern(pattern: &Pattern, s: &[AbstractOp]) -> bool {
+    let nfa = Nfa::compile(pattern);
+    nfa.matches(s)
+}
+
+/// A Thompson NFA over the abstract-op alphabet. Compile once per
+/// pattern (the cache precompiles its entries); [`Nfa::matches`] is
+/// linear in the input.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `consuming[q]` = (op, target) transition out of state `q`, if any.
+    consuming: Vec<Option<(AbstractOp, usize)>>,
+    /// `epsilon[q]` = ε-successors of state `q`.
+    epsilon: Vec<Vec<usize>>,
+    accept: usize,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> usize {
+        self.consuming.push(None);
+        self.epsilon.push(Vec::new());
+        self.consuming.len() - 1
+    }
+
+    /// Compiles `elems` as a concatenation from `entry`, returning the
+    /// exit state.
+    fn compile_seq(&mut self, elems: &[Element], entry: usize) -> usize {
+        let mut cur = entry;
+        for e in elems {
+            cur = match e {
+                Element::Atom(op) => {
+                    let next = self.new_state();
+                    self.consuming[cur] = Some((*op, next));
+                    next
+                }
+                Element::Plus(block) => {
+                    // cur -ε-> body_entry; body_exit -ε-> body_entry (repeat)
+                    // and body_exit -ε-> out.
+                    let body_entry = self.new_state();
+                    self.epsilon[cur].push(body_entry);
+                    let body_exit = self.compile_seq(block, body_entry);
+                    let out = self.new_state();
+                    self.epsilon[body_exit].push(body_entry);
+                    self.epsilon[body_exit].push(out);
+                    out
+                }
+            };
+        }
+        cur
+    }
+
+    /// Compiles a pattern.
+    pub fn compile(pattern: &Pattern) -> Nfa {
+        let mut nfa = Nfa {
+            consuming: Vec::new(),
+            epsilon: Vec::new(),
+            accept: 0,
+        };
+        let entry = nfa.new_state();
+        nfa.accept = nfa.compile_seq(&pattern.0, entry);
+        nfa
+    }
+
+    fn closure(&self, set: &mut [bool]) {
+        let mut stack: Vec<usize> = (0..set.len()).filter(|&q| set[q]).collect();
+        while let Some(q) = stack.pop() {
+            for &t in &self.epsilon[q] {
+                if !set[t] {
+                    set[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    /// Whether `s` is in the pattern's language.
+    pub fn matches(&self, s: &[AbstractOp]) -> bool {
+        let n = self.consuming.len();
+        let mut current = vec![false; n];
+        current[0] = true;
+        self.closure(&mut current);
+        for &op in s {
+            let mut next = vec![false; n];
+            let mut any = false;
+            for (q, _) in current.iter().enumerate().filter(|(_, &live)| live) {
+                if let Some((t_op, t)) = self.consuming[q] {
+                    if t_op == op {
+                        next[t] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            self.closure(&mut next);
+            current = next;
+        }
+        current[self.accept]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_log::{ClassId, LocId};
+    use janus_relational::{tuple, Fd, Relation, Schema, Value};
+
+    fn mk_ops(kinds: Vec<OpKind>, start: &Value) -> Vec<Op> {
+        let mut v = start.clone();
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("t"), k, &mut v).0)
+            .collect()
+    }
+
+    fn refs(ops: &[Op]) -> Vec<&Op> {
+        ops.iter().collect()
+    }
+
+    fn add(d: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Add(d))
+    }
+
+    fn string(ops: &[&Op]) -> Vec<AbstractOp> {
+        ops.iter().map(|op| abstract_kind(op)).collect()
+    }
+
+    #[test]
+    fn identity_block_collapses_to_plus() {
+        // { +x; -x; +y; -y } abstracts to {add add}+ .
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![add(2), add(-2), add(3), add(-3)], &entry);
+        let r = refs(&ops);
+        let p = abstract_sequence(&CellKey::Whole, &r, true);
+        // Blind adds are pumpable (reduction pattern), so the whole chain
+        // collapses to a single crossed add.
+        assert_eq!(format!("{p}"), "{a}+");
+        // It matches itself and any pumping.
+        assert!(matches_pattern(&p, &string(&r)));
+        let pumped = mk_ops(
+            vec![add(1), add(-1), add(5), add(-5), add(7), add(-7)],
+            &entry,
+        );
+        assert!(matches_pattern(&p, &string(&refs(&pumped))));
+        let single = mk_ops(vec![add(9), add(-9)], &entry);
+        assert!(matches_pattern(&p, &string(&refs(&single))));
+    }
+
+    #[test]
+    fn exposed_shifting_block_not_collapsed() {
+        // { read; +1 } both shifts the value and exposes a read:
+        // repetitions are distinguishable, so no Plus may cover the pair.
+        let entry = Value::int(0);
+        let rd = OpKind::Scalar(ScalarOp::Read);
+        let ops = mk_ops(vec![rd.clone(), add(1), rd, add(1)], &entry);
+        let p = abstract_sequence(&CellKey::Whole, &refs(&ops), true);
+        use AbstractOp::*;
+        // Whatever nesting emerges, pumping the read/add *alternation*
+        // must not be admitted (the reads observe different values);
+        // only homogeneous read or add runs may stretch.
+        assert!(matches_pattern(&p, &[Read, Add, Read, Add]));
+        assert!(matches_pattern(&p, &[Read, Read, Add, Read, Add, Add]));
+        assert!(
+            !matches_pattern(&p, &[Read, Add, Read, Add, Read, Add]),
+            "a third read/add alternation must not match"
+        );
+    }
+
+    #[test]
+    fn write_read_block_collapses() {
+        // { write v; read } pins the value and covers its read.
+        let entry = Value::int(0);
+        let w = |v: i64| OpKind::Scalar(ScalarOp::Write(janus_relational::Scalar::Int(v)));
+        let rd = OpKind::Scalar(ScalarOp::Read);
+        let ops = mk_ops(vec![w(1), rd.clone(), w(2), rd], &entry);
+        let p = abstract_sequence(&CellKey::Whole, &refs(&ops), true);
+        assert_eq!(format!("{p}"), "{wr}+");
+    }
+
+    #[test]
+    fn exposed_read_write_pair_cannot_pump() {
+        // { read; write v } exposes its read: the block as a whole is not
+        // idempotent, so the abstraction must not allow pumping the
+        // read/write alternation from a single occurrence.
+        let entry = Value::int(0);
+        let w = |v: i64| OpKind::Scalar(ScalarOp::Write(janus_relational::Scalar::Int(v)));
+        let rd = OpKind::Scalar(ScalarOp::Read);
+        let ops = mk_ops(vec![rd, w(1)], &entry);
+        let r = refs(&ops);
+        let p = abstract_sequence(&CellKey::Whole, &r, true);
+        // Individually, reads and covered writes are idempotent, so each
+        // is crossed on its own — but the pair never is.
+        assert_eq!(format!("{p}"), "{r}+{w}+");
+        assert!(matches_pattern(&p, &string(&r)));
+        use AbstractOp::*;
+        assert!(
+            !matches_pattern(&p, &[Read, Write, Read, Write]),
+            "the exposed read/write alternation must not pump"
+        );
+    }
+
+    #[test]
+    fn without_abstraction_pattern_is_exact() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![add(2), add(-2), add(3), add(-3)], &entry);
+        let r = refs(&ops);
+        let p = abstract_sequence(&CellKey::Whole, &r, false);
+        assert_eq!(format!("{p}"), "aaaa");
+        assert!(matches_pattern(&p, &string(&r)));
+        // A shorter production sequence does not match the exact pattern.
+        let short = mk_ops(vec![add(1), add(-1)], &entry);
+        assert!(!matches_pattern(&p, &string(&refs(&short))));
+    }
+
+    #[test]
+    fn insert_remove_identity_collapses_per_key() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::empty(schema));
+        let cell = CellKey::Key(janus_relational::Key::scalar(1i64));
+        let ops = mk_ops(
+            vec![
+                OpKind::Rel(RelOp::insert(tuple![1, 10])),
+                OpKind::Rel(RelOp::remove(tuple![1, 10])),
+                OpKind::Rel(RelOp::insert(tuple![1, 20])),
+                OpKind::Rel(RelOp::remove(tuple![1, 20])),
+            ],
+            &entry,
+        );
+        let p = abstract_sequence(&cell, &refs(&ops), true);
+        assert_eq!(format!("{p}"), "{id}+");
+    }
+
+    #[test]
+    fn nested_plus_matching() {
+        // Pattern {{a a}+ w}+ built by hand matches strings of the shape
+        // ((aa)+ w)+.
+        let inner = Element::Plus(vec![
+            Element::Atom(AbstractOp::Add),
+            Element::Atom(AbstractOp::Add),
+        ]);
+        let p = Pattern(vec![Element::Plus(vec![
+            inner,
+            Element::Atom(AbstractOp::Write),
+        ])]);
+        use AbstractOp::*;
+        assert!(matches_pattern(&p, &[Add, Add, Write]));
+        assert!(matches_pattern(&p, &[Add, Add, Add, Add, Write]));
+        assert!(matches_pattern(
+            &p,
+            &[Add, Add, Write, Add, Add, Add, Add, Write]
+        ));
+        assert!(!matches_pattern(&p, &[Add, Write]));
+        assert!(!matches_pattern(&p, &[Add, Add]));
+        assert!(!matches_pattern(&p, &[]));
+    }
+
+    #[test]
+    fn empty_sequence_abstracts_to_empty_pattern() {
+        let p = abstract_sequence(&CellKey::Whole, &[], true);
+        assert_eq!(p, Pattern::default());
+        assert!(matches_pattern(&p, &[]));
+        assert!(!matches_pattern(&p, &[AbstractOp::Read]));
+    }
+
+    /// Lemma 5.1, as a property: pumping an idempotent block yields a
+    /// sequence the abstraction still matches.
+    #[test]
+    fn pumping_property() {
+        let entry = Value::int(0);
+        let base = mk_ops(vec![add(4), add(-4)], &entry);
+        let p = abstract_sequence(&CellKey::Whole, &refs(&base), true);
+        for reps in 1..6 {
+            let kinds: Vec<OpKind> = (0..reps)
+                .flat_map(|i| vec![add(i + 1), add(-(i + 1))])
+                .collect();
+            let pumped = mk_ops(kinds, &entry);
+            assert!(
+                matches_pattern(&p, &string(&refs(&pumped))),
+                "pumped {reps}x must match"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The commutativity cache: what training produces and production
+//! queries (Figure 6).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use janus_detect::{Relaxation, SequenceOracle};
+use janus_log::{CellKey, ClassId, Op};
+use janus_relational::Value;
+
+use crate::abstraction::{abstract_kind, AbstractOp, Nfa, Pattern};
+use crate::condition::{evaluate_condition, Condition};
+
+/// The granularity of a cached cell: whole-object or per-key. The key
+/// value itself is abstracted away — conditions are key-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellShape {
+    /// A scalar location or whole relational object.
+    Whole,
+    /// One key of a relational object.
+    Keyed,
+}
+
+impl CellShape {
+    /// The shape of a concrete cell.
+    pub fn of(cell: &CellKey) -> CellShape {
+        match cell {
+            CellKey::Whole => CellShape::Whole,
+            CellKey::Key(_) => CellShape::Keyed,
+        }
+    }
+}
+
+/// The bucket key of the cache: a location class at a cell granularity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey {
+    /// The location class.
+    pub class: ClassId,
+    /// The cell granularity.
+    pub shape: CellShape,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    pat_a: Pattern,
+    pat_b: Pattern,
+    /// Precompiled matchers: queries run the NFA directly, so per-query
+    /// matching is linear with no compilation cost.
+    nfa_a: Nfa,
+    nfa_b: Nfa,
+    condition: Condition,
+}
+
+/// Statistics of cache usage. Following §7.1, *unique* queries are
+/// counted: multiple hits/misses for the same abstract query signature
+/// count once.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Total per-cell queries answered from the cache.
+    pub hits: AtomicU64,
+    /// Total per-cell queries that missed.
+    pub misses: AtomicU64,
+    unique: Mutex<BTreeMap<String, bool>>,
+}
+
+impl CacheStats {
+    /// Unique query signatures that hit, and that missed.
+    pub fn unique_counts(&self) -> (u64, u64) {
+        let unique = self.unique.lock().expect("cache stats mutex");
+        let hits = unique.values().filter(|&&h| h).count() as u64;
+        let misses = unique.len() as u64 - hits;
+        (hits, misses)
+    }
+
+    /// The unique-query miss rate in percent (the Figure 11 metric), or
+    /// `None` if no queries were recorded.
+    pub fn miss_rate_percent(&self) -> Option<f64> {
+        let (h, m) = self.unique_counts();
+        let total = h + m;
+        (total > 0).then(|| 100.0 * m as f64 / total as f64)
+    }
+
+    /// Resets all statistics.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.unique.lock().expect("cache stats mutex").clear();
+    }
+
+    fn record(&self, sig: String, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut unique = self.unique.lock().expect("cache stats mutex");
+        unique.entry(sig).or_insert(hit);
+    }
+}
+
+/// Summary of a training session.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TrainReport {
+    /// Candidate pairs mined from the dependence graphs.
+    pub pairs_mined: u64,
+    /// Distinct cache entries added.
+    pub entries_added: u64,
+    /// Pairs rejected because the condition evaluation disagreed with the
+    /// exact online check on the training observation.
+    pub pairs_rejected: u64,
+    /// Relational pairs submitted to the SAT-backed symbolic verifier.
+    pub symbolic_attempted: u64,
+    /// Relational pairs proven universally commutative by the verifier.
+    pub symbolic_proved: u64,
+}
+
+/// The commutativity cache built by [`crate::train`] and queried — as a
+/// [`SequenceOracle`] — by `janus_detect::CachedSequenceDetector`.
+#[derive(Debug, Default)]
+pub struct CommutativityCache {
+    buckets: BTreeMap<CacheKey, Vec<Entry>>,
+    use_abstraction: bool,
+    stats: CacheStats,
+}
+
+impl CommutativityCache {
+    /// An empty cache. `use_abstraction` controls whether production
+    /// queries are matched against Kleene-cross patterns (it must match
+    /// the setting used during training).
+    pub fn new(use_abstraction: bool) -> Self {
+        CommutativityCache {
+            buckets: BTreeMap::new(),
+            use_abstraction,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether sequence abstraction is in force.
+    pub fn uses_abstraction(&self) -> bool {
+        self.use_abstraction
+    }
+
+    /// Adds an entry for a class/shape bucket.
+    pub fn insert(
+        &mut self,
+        class: ClassId,
+        shape: CellShape,
+        pat_a: Pattern,
+        pat_b: Pattern,
+        condition: Condition,
+    ) {
+        let (pat_a, pat_b) = if pat_a <= pat_b {
+            (pat_a, pat_b)
+        } else {
+            (pat_b, pat_a)
+        };
+        let (nfa_a, nfa_b) = (Nfa::compile(&pat_a), Nfa::compile(&pat_b));
+        self.buckets
+            .entry(CacheKey { class, shape })
+            .or_default()
+            .push(Entry {
+                pat_a,
+                pat_b,
+                nfa_a,
+                nfa_b,
+                condition,
+            });
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache usage statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Iterates over the cached entries (for serialization and
+    /// diagnostics).
+    pub fn entries_iter(
+        &self,
+    ) -> impl Iterator<Item = (&ClassId, CellShape, &Pattern, &Pattern, Condition)> {
+        self.buckets.iter().flat_map(|(key, entries)| {
+            entries
+                .iter()
+                .map(move |e| (&key.class, key.shape, &e.pat_a, &e.pat_b, e.condition))
+        })
+    }
+
+    fn find(&self, key: &CacheKey, qa: &[AbstractOp], qb: &[AbstractOp]) -> Option<Condition> {
+        let entries = self.buckets.get(key)?;
+        entries
+            .iter()
+            .find(|e| {
+                (e.nfa_a.matches(qa) && e.nfa_b.matches(qb))
+                    || (e.nfa_a.matches(qb) && e.nfa_b.matches(qa))
+            })
+            .map(|e| e.condition)
+    }
+}
+
+fn signature(class: &ClassId, shape: CellShape, qa: &[AbstractOp], qb: &[AbstractOp]) -> String {
+    use std::fmt::Write;
+    let render = |s: &[AbstractOp]| {
+        let mut out = String::with_capacity(s.len());
+        for op in s {
+            let _ = write!(out, "{op}");
+        }
+        out
+    };
+    let (sa, sb) = (render(qa), render(qb));
+    let (lo, hi) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+    format!("{class}#{shape:?}#{lo}#{hi}")
+}
+
+impl SequenceOracle for CommutativityCache {
+    fn query(
+        &self,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+        relax: Relaxation,
+    ) -> Option<bool> {
+        let qa: Vec<AbstractOp> = txn.iter().map(|op| abstract_kind(op)).collect();
+        let qb: Vec<AbstractOp> = committed.iter().map(|op| abstract_kind(op)).collect();
+        let key = CacheKey {
+            class: class.clone(),
+            shape: CellShape::of(cell),
+        };
+        let sig = signature(class, key.shape, &qa, &qb);
+        let condition = self.find(&key, &qa, &qb);
+        let answer = condition
+            .and_then(|c| evaluate_condition(c, entry, cell, txn, committed, relax));
+        self.stats.record(sig, answer.is_some());
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::Element;
+    use janus_log::{LocId, OpKind, ScalarOp};
+
+    fn mk_ops(kinds: Vec<OpKind>, class: &str) -> Vec<Op> {
+        let mut v = Value::int(0);
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new(class), k, &mut v).0)
+            .collect()
+    }
+
+    fn add_pattern_plus() -> Pattern {
+        Pattern(vec![Element::Plus(vec![
+            Element::Atom(AbstractOp::Add),
+            Element::Atom(AbstractOp::Add),
+        ])])
+    }
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let mut cache = CommutativityCache::new(true);
+        cache.insert(
+            ClassId::new("work"),
+            CellShape::Whole,
+            add_pattern_plus(),
+            add_pattern_plus(),
+            Condition::CommutesAlways,
+        );
+        assert_eq!(cache.len(), 1);
+        let a = mk_ops(
+            vec![
+                OpKind::Scalar(ScalarOp::Add(1)),
+                OpKind::Scalar(ScalarOp::Add(-1)),
+            ],
+            "work",
+        );
+        let ra: Vec<&Op> = a.iter().collect();
+        let answer = cache.query(
+            &ClassId::new("work"),
+            None,
+            &CellKey::Whole,
+            &ra,
+            &ra,
+            Relaxation::strict(),
+        );
+        assert_eq!(answer, Some(false));
+        let (uh, um) = cache.stats().unique_counts();
+        assert_eq!((uh, um), (1, 0));
+    }
+
+    #[test]
+    fn wrong_class_misses() {
+        let mut cache = CommutativityCache::new(true);
+        cache.insert(
+            ClassId::new("work"),
+            CellShape::Whole,
+            add_pattern_plus(),
+            add_pattern_plus(),
+            Condition::CommutesAlways,
+        );
+        let a = mk_ops(
+            vec![
+                OpKind::Scalar(ScalarOp::Add(1)),
+                OpKind::Scalar(ScalarOp::Add(-1)),
+            ],
+            "other",
+        );
+        let ra: Vec<&Op> = a.iter().collect();
+        assert_eq!(
+            cache.query(
+                &ClassId::new("other"),
+                None,
+                &CellKey::Whole,
+                &ra,
+                &ra,
+                Relaxation::strict()
+            ),
+            None
+        );
+        let (uh, um) = cache.stats().unique_counts();
+        assert_eq!((uh, um), (0, 1));
+        assert_eq!(cache.stats().miss_rate_percent(), Some(100.0));
+    }
+
+    #[test]
+    fn unique_counting_deduplicates() {
+        let cache = CommutativityCache::new(true);
+        let a = mk_ops(vec![OpKind::Scalar(ScalarOp::Read)], "x");
+        let ra: Vec<&Op> = a.iter().collect();
+        for _ in 0..5 {
+            cache.query(
+                &ClassId::new("x"),
+                None,
+                &CellKey::Whole,
+                &ra,
+                &ra,
+                Relaxation::strict(),
+            );
+        }
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 5);
+        let (uh, um) = cache.stats().unique_counts();
+        assert_eq!((uh, um), (0, 1), "five identical queries count once");
+    }
+
+    #[test]
+    fn symmetric_matching() {
+        let mut cache = CommutativityCache::new(true);
+        // pat_a = read, pat_b = {aa}+ — inserted in one order, queried in
+        // the other.
+        cache.insert(
+            ClassId::new("x"),
+            CellShape::Whole,
+            Pattern(vec![Element::Atom(AbstractOp::Read)]),
+            add_pattern_plus(),
+            Condition::InputDependent,
+        );
+        let reader = mk_ops(vec![OpKind::Scalar(ScalarOp::Read)], "x");
+        let adder = mk_ops(
+            vec![
+                OpKind::Scalar(ScalarOp::Add(2)),
+                OpKind::Scalar(ScalarOp::Add(-2)),
+            ],
+            "x",
+        );
+        let rr: Vec<&Op> = reader.iter().collect();
+        let rad: Vec<&Op> = adder.iter().collect();
+        let entry = Value::int(0);
+        // (adder, reader) — reversed relative to insertion order.
+        let ans = cache.query(
+            &ClassId::new("x"),
+            Some(&entry),
+            &CellKey::Whole,
+            &rad,
+            &rr,
+            Relaxation::strict(),
+        );
+        assert_eq!(ans, Some(false), "identity delta does not disturb the read");
+    }
+
+    #[test]
+    fn stats_reset() {
+        let cache = CommutativityCache::new(true);
+        let a = mk_ops(vec![OpKind::Scalar(ScalarOp::Read)], "x");
+        let ra: Vec<&Op> = a.iter().collect();
+        cache.query(
+            &ClassId::new("x"),
+            None,
+            &CellKey::Whole,
+            &ra,
+            &ra,
+            Relaxation::strict(),
+        );
+        cache.stats().reset();
+        assert_eq!(cache.stats().unique_counts(), (0, 0));
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 0);
+    }
+}

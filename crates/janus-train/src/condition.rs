@@ -1,0 +1,278 @@
+//! Commutativity conditions: the values stored in the cache.
+//!
+//! A condition is a predicate over *input states* (§5.1: "the conditions
+//! refer to the input state in which the sequences are evaluated"),
+//! re-bound at production time to the concrete matched sequences. The
+//! evaluation cost is linear in the sequence lengths — one effect-summary
+//! fold per side plus O(1) algebra — in contrast to the quadratic
+//! prefix-replay of the online detector, which is what keeps cached
+//! detection "on a par with" write-set detection.
+
+use janus_detect::{cell_value, commute, same_read, read_prefixes, Relaxation};
+use janus_log::{CellKey, Op};
+use janus_relational::Value;
+
+use crate::effect::{compose, summarize, Summary};
+
+/// A cached commutativity condition for a pair of abstract sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// The pair commutes for every input state and every binding of the
+    /// symbolic parameters (e.g. two pure fetch-add sequences).
+    CommutesAlways,
+    /// Commutativity depends on the input state and the bound parameters;
+    /// evaluate the designated-input-state predicate at query time.
+    InputDependent,
+}
+
+/// Evaluates a condition for a concrete query. Returns `Some(conflict)`;
+/// `None` when the entry state needed by an input-dependent condition is
+/// unavailable.
+pub fn evaluate_condition(
+    condition: Condition,
+    entry: Option<&Value>,
+    cell: &CellKey,
+    txn: &[&Op],
+    committed: &[&Op],
+    relax: Relaxation,
+) -> Option<bool> {
+    match condition {
+        Condition::CommutesAlways => Some(false),
+        Condition::InputDependent => {
+            let entry = entry?;
+            Some(input_dependent_conflict(entry, cell, txn, committed, relax))
+        }
+    }
+}
+
+/// The general input-dependent check. Semantically equivalent to
+/// [`janus_detect::conflict_cell`], but fast-pathed through effect
+/// summaries:
+///
+/// * `SAMEREAD` passes outright when a side has no exposed observation,
+///   or when the other side provably restores the entry value;
+/// * `COMMUTE` is decided by comparing the composed summaries' final
+///   values.
+///
+/// Only when the summaries are inconclusive (opaque effects) does the
+/// check fall back to precise replay — bounded by the same sequences the
+/// online detector would replay, and rare in practice.
+fn input_dependent_conflict(
+    entry: &Value,
+    cell: &CellKey,
+    txn: &[&Op],
+    committed: &[&Op],
+    relax: Relaxation,
+) -> bool {
+    let st = summarize(cell, txn);
+    let sc = summarize(cell, committed);
+
+    if !relax.tolerate_raw {
+        if !same_read_fast(entry, cell, &st, &sc, txn, committed) {
+            return true;
+        }
+        if !same_read_fast(entry, cell, &sc, &st, committed, txn) {
+            return true;
+        }
+    }
+
+    if !relax.tolerate_waw {
+        let ab = compose(&st, &sc).determined.final_value(entry, cell);
+        let ba = compose(&sc, &st).determined.final_value(entry, cell);
+        let commutes = match (ab, ba) {
+            (Some(x), Some(y)) => x == y,
+            // Opaque composition: precise replay decides.
+            _ => commute(entry, cell, txn, committed),
+        };
+        if !commutes {
+            return true;
+        }
+    }
+    false
+}
+
+/// `SAMEREAD` of `reader` against `other`, decided from summaries when
+/// possible.
+fn same_read_fast(
+    entry: &Value,
+    cell: &CellKey,
+    reader_summary: &Summary,
+    other_summary: &Summary,
+    reader: &[&Op],
+    other: &[&Op],
+) -> bool {
+    // No exposed observation: every read is covered by the reader's own
+    // writes, so the interleaving cannot change what it sees.
+    if !reader_summary.exposed {
+        return true;
+    }
+    // The other side provably restores the entry value: evaluating it
+    // first leaves the reader's start state unchanged.
+    if let Some(fv) = other_summary.determined.final_value(entry, cell) {
+        if fv == cell_value(entry, cell) {
+            return true;
+        }
+    }
+    // Inconclusive: precise per-prefix replay (exactly Figure 8).
+    read_prefixes(reader)
+        .into_iter()
+        .all(|prefix| same_read(entry, prefix, other))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_detect::conflict_cell;
+    use janus_log::{ClassId, LocId, OpKind, ScalarOp};
+    use janus_relational::Scalar;
+
+    fn mk_ops(kinds: Vec<OpKind>, start: &Value) -> Vec<Op> {
+        let mut v = start.clone();
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("t"), k, &mut v).0)
+            .collect()
+    }
+
+    fn refs(ops: &[Op]) -> Vec<&Op> {
+        ops.iter().collect()
+    }
+
+    fn add(d: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Add(d))
+    }
+
+    fn read() -> OpKind {
+        OpKind::Scalar(ScalarOp::Read)
+    }
+
+    fn write(v: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Write(Scalar::Int(v)))
+    }
+
+    /// The input-dependent evaluation must agree exactly with the online
+    /// detector on a broad family of scalar sequence pairs.
+    #[test]
+    fn agrees_with_online_detector() {
+        let kinds: Vec<Vec<OpKind>> = vec![
+            vec![add(2), add(-2)],
+            vec![add(1)],
+            vec![read()],
+            vec![write(5)],
+            vec![write(5), read()],
+            vec![read(), write(5)],
+            vec![add(3), read(), add(-3)],
+            vec![write(0), add(2)],
+            vec![add(1), add(-1), add(1), add(-1)],
+            vec![],
+        ];
+        for entry_val in [0i64, 5] {
+            let entry = Value::int(entry_val);
+            for ka in &kinds {
+                for kb in &kinds {
+                    let a = mk_ops(ka.clone(), &entry);
+                    let b = mk_ops(kb.clone(), &entry);
+                    let (ra, rb) = (refs(&a), refs(&b));
+                    let online =
+                        conflict_cell(&entry, &CellKey::Whole, &ra, &rb, Relaxation::default());
+                    let cached = evaluate_condition(
+                        Condition::InputDependent,
+                        Some(&entry),
+                        &CellKey::Whole,
+                        &ra,
+                        &rb,
+                        Relaxation::default(),
+                    )
+                    .expect("entry available");
+                    assert_eq!(
+                        cached, online,
+                        "disagreement on {ka:?} vs {kb:?} at entry {entry_val}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutes_always_ignores_entry() {
+        assert_eq!(
+            evaluate_condition(
+                Condition::CommutesAlways,
+                None,
+                &CellKey::Whole,
+                &[],
+                &[],
+                Relaxation::default()
+            ),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn input_dependent_needs_entry() {
+        assert_eq!(
+            evaluate_condition(
+                Condition::InputDependent,
+                None,
+                &CellKey::Whole,
+                &[],
+                &[],
+                Relaxation::default()
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn relaxation_skips_checks() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![read()], &entry);
+        let b = mk_ops(vec![add(1)], &entry);
+        let (ra, rb) = (refs(&a), refs(&b));
+        // Strict: RAW conflict.
+        assert_eq!(
+            evaluate_condition(
+                Condition::InputDependent,
+                Some(&entry),
+                &CellKey::Whole,
+                &ra,
+                &rb,
+                Relaxation::default()
+            ),
+            Some(true)
+        );
+        // RAW tolerated: the read no longer matters; adds commute.
+        assert_eq!(
+            evaluate_condition(
+                Condition::InputDependent,
+                Some(&entry),
+                &CellKey::Whole,
+                &ra,
+                &rb,
+                Relaxation::raw()
+            ),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn equal_writes_pass_unequal_fail() {
+        let entry = Value::int(0);
+        let a = mk_ops(vec![write(7)], &entry);
+        let b7 = mk_ops(vec![write(7)], &entry);
+        let b8 = mk_ops(vec![write(8)], &entry);
+        let eval = |x: &[Op], y: &[Op]| {
+            evaluate_condition(
+                Condition::InputDependent,
+                Some(&entry),
+                &CellKey::Whole,
+                &refs(x),
+                &refs(y),
+                Relaxation::default(),
+            )
+            .expect("entry available")
+        };
+        assert!(!eval(&a, &b7), "equal writes commute");
+        assert!(eval(&a, &b8), "unequal writes conflict");
+    }
+}

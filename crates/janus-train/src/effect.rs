@@ -1,0 +1,502 @@
+//! Composite effect summaries of per-cell operation sequences.
+//!
+//! A [`Summary`] captures, in O(1) space, everything the cached detector
+//! needs to know about a subsequence's effect on one cell:
+//!
+//! * [`Determined`] — the final cell value as a function of the entry
+//!   value (identity, integer shift, a constant, or opaque);
+//! * whether the subsequence *exposes* an observation of the entry state
+//!   (an observing operation not covered by the subsequence's own prior
+//!   writes);
+//! * whether it writes at all.
+//!
+//! Summaries compose associatively ([`compose`]), which is what makes the
+//! Kleene-cross abstraction of §5.2 work: a `+`-block's summary describes
+//! every number of repetitions at once.
+
+use janus_detect::{cell_value, observes, CellValue};
+use janus_log::{CellKey, Op, OpKind, ScalarOp};
+use janus_relational::{CellSet, RelOp, Scalar, Tuple, Value};
+
+/// The final content of a cell when it is independent of the entry value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellContent {
+    /// A scalar constant.
+    Scalar(Scalar),
+    /// The tuple under a relational key (`None` = absent).
+    Entry(Option<Tuple>),
+    /// A whole relational object determined by clearing and then applying
+    /// the recorded mutations.
+    ClearedThen(Vec<RelOp>),
+}
+
+impl CellContent {
+    /// Materializes the content as a [`CellValue`], using `entry` only to
+    /// recover the relation schema for [`CellContent::ClearedThen`].
+    pub fn materialize(&self, entry: &Value) -> Option<CellValue> {
+        match self {
+            CellContent::Scalar(s) => Some(CellValue::Whole(Value::Scalar(s.clone()))),
+            CellContent::Entry(t) => Some(CellValue::Entry(t.clone())),
+            CellContent::ClearedThen(ops) => match entry {
+                Value::Rel(r) => {
+                    let mut rel = r.clone();
+                    rel.clear();
+                    for op in ops {
+                        op.apply(&mut rel);
+                    }
+                    Some(CellValue::Whole(Value::Rel(rel)))
+                }
+                Value::Scalar(_) => None,
+            },
+        }
+    }
+}
+
+/// The final value of a cell as a function of its entry value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Determined {
+    /// Final value equals the entry value (no mutation, or mutations that
+    /// provably cancel).
+    Identity,
+    /// Final value is the (integer) entry value plus a delta.
+    Shifted(i64),
+    /// Final value is a constant, independent of the entry value.
+    Const(CellContent),
+    /// Final value is the maximum of the (integer) entry value and a
+    /// bound (a blind fetch-max chain — JGraphT's `maxColor`).
+    MaxedWith(i64),
+    /// The final value is some unknown function of the entry value.
+    Opaque,
+}
+
+impl Determined {
+    /// Whether the final value is independent of the entry value.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Determined::Const(_))
+    }
+
+    /// Evaluates the final cell value given the entry *location* value and
+    /// the cell. Returns `None` if the value cannot be determined.
+    pub fn final_value(&self, entry: &Value, cell: &CellKey) -> Option<CellValue> {
+        match self {
+            Determined::Identity => Some(cell_value(entry, cell)),
+            Determined::Shifted(d) => match cell_value(entry, cell) {
+                CellValue::Whole(Value::Scalar(Scalar::Int(i))) => Some(CellValue::Whole(
+                    Value::Scalar(Scalar::Int(i.wrapping_add(*d))),
+                )),
+                _ => None,
+            },
+            Determined::Const(c) => c.materialize(entry),
+            Determined::MaxedWith(v) => match cell_value(entry, cell) {
+                CellValue::Whole(Value::Scalar(Scalar::Int(i))) => Some(CellValue::Whole(
+                    Value::Scalar(Scalar::Int(i.max(*v))),
+                )),
+                _ => None,
+            },
+            Determined::Opaque => None,
+        }
+    }
+}
+
+/// The composite effect of a per-cell subsequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// The final cell value as a function of the entry value.
+    pub determined: Determined,
+    /// Whether any observing operation sees a value influenced by the
+    /// entry state (i.e. not covered by the subsequence's prior writes).
+    pub exposed: bool,
+    /// Whether the subsequence writes the cell at all.
+    pub writes: bool,
+}
+
+impl Summary {
+    /// The summary of the empty subsequence.
+    pub fn empty() -> Self {
+        Summary {
+            determined: Determined::Identity,
+            exposed: false,
+            writes: false,
+        }
+    }
+}
+
+/// Sequential composition: the summary of `a` followed by `b`.
+pub fn compose(a: &Summary, b: &Summary) -> Summary {
+    let determined = match (&a.determined, &b.determined) {
+        (d, Determined::Identity) => d.clone(),
+        (Determined::Identity, d) => d.clone(),
+        (Determined::Shifted(d1), Determined::Shifted(d2)) => {
+            Determined::Shifted(d1.wrapping_add(*d2))
+        }
+        (Determined::Const(CellContent::Scalar(Scalar::Int(i))), Determined::Shifted(d)) => {
+            Determined::Const(CellContent::Scalar(Scalar::Int(i.wrapping_add(*d))))
+        }
+        (Determined::MaxedWith(a), Determined::MaxedWith(b)) => {
+            Determined::MaxedWith(*a.max(b))
+        }
+        (Determined::Const(CellContent::Scalar(Scalar::Int(i))), Determined::MaxedWith(v)) => {
+            Determined::Const(CellContent::Scalar(Scalar::Int(*i.max(v))))
+        }
+        (_, Determined::Const(c)) => Determined::Const(c.clone()),
+        _ => Determined::Opaque,
+    };
+    Summary {
+        determined,
+        // b's observations are covered when a pins the value to a constant.
+        exposed: a.exposed || (b.exposed && !a.determined.is_const()),
+        writes: a.writes || b.writes,
+    }
+}
+
+/// The summary of a single operation restricted to `cell`.
+fn op_summary(op: &Op, cell: &CellKey) -> Summary {
+    let obs = observes(op);
+    match (&op.kind, cell) {
+        (OpKind::Scalar(ScalarOp::Read), _) => Summary {
+            determined: Determined::Identity,
+            exposed: obs,
+            writes: false,
+        },
+        (OpKind::Scalar(ScalarOp::Write(v)), _) => Summary {
+            determined: Determined::Const(CellContent::Scalar(v.clone())),
+            exposed: false,
+            writes: true,
+        },
+        (OpKind::Scalar(ScalarOp::Add(d)), _) => Summary {
+            determined: Determined::Shifted(*d),
+            exposed: false,
+            writes: true,
+        },
+        (OpKind::Scalar(ScalarOp::Max(v)), _) => Summary {
+            determined: Determined::MaxedWith(*v),
+            exposed: false,
+            writes: true,
+        },
+        (OpKind::Rel(rel), CellKey::Key(key)) => match rel {
+            RelOp::Insert(t) => Summary {
+                determined: Determined::Const(CellContent::Entry(Some(t.clone()))),
+                exposed: false,
+                writes: true,
+            },
+            RelOp::RemoveKey(_) => Summary {
+                determined: Determined::Const(CellContent::Entry(None)),
+                exposed: obs,
+                writes: op.is_write(),
+            },
+            RelOp::Remove(t) => {
+                // Removing an exact tuple leaves the key empty only if the
+                // entry held exactly `t`; composition resolves this when a
+                // preceding op pinned the content.
+                Summary {
+                    determined: Determined::Opaque,
+                    exposed: obs,
+                    writes: op.is_write(),
+                }
+                .resolve_remove(t, key)
+            }
+            RelOp::Select(_) => Summary {
+                determined: Determined::Identity,
+                exposed: obs,
+                writes: false,
+            },
+            RelOp::Clear => Summary {
+                determined: Determined::Const(CellContent::Entry(None)),
+                exposed: false,
+                writes: true,
+            },
+        },
+        (OpKind::Rel(rel), CellKey::Whole) => match rel {
+            RelOp::Select(_) => Summary {
+                determined: Determined::Identity,
+                exposed: obs,
+                writes: false,
+            },
+            RelOp::Clear => Summary {
+                determined: Determined::Const(CellContent::ClearedThen(Vec::new())),
+                exposed: false,
+                writes: true,
+            },
+            mutation => Summary {
+                determined: Determined::Opaque,
+                exposed: obs,
+                writes: op.is_write() || matches!(mutation, RelOp::Insert(_)),
+            },
+        },
+    }
+}
+
+impl Summary {
+    /// Post-processing for exact-tuple removals: nothing to resolve at the
+    /// single-op level (composition handles pinned contents), but keep the
+    /// hook separate for clarity.
+    fn resolve_remove(self, _t: &Tuple, _key: &janus_relational::Key) -> Summary {
+        self
+    }
+}
+
+/// Composition that additionally resolves whole-relation mutations into a
+/// [`CellContent::ClearedThen`] chain and exact-tuple removals against
+/// pinned contents.
+fn compose_op(acc: &Summary, op: &Op, cell: &CellKey) -> Summary {
+    // Whole-relation mutations extend a cleared chain.
+    if let (CellKey::Whole, OpKind::Rel(rel)) = (cell, &op.kind) {
+        if rel.is_mutation() {
+            if let Determined::Const(CellContent::ClearedThen(ops)) = &acc.determined {
+                let mut ops = ops.clone();
+                if matches!(rel, RelOp::Clear) {
+                    ops.clear();
+                } else {
+                    ops.push(rel.clone());
+                }
+                return Summary {
+                    determined: Determined::Const(CellContent::ClearedThen(ops)),
+                    exposed: acc.exposed,
+                    writes: true,
+                };
+            }
+        }
+    }
+    // Exact-tuple removal against a pinned per-key content.
+    if let (CellKey::Key(_), OpKind::Rel(RelOp::Remove(t))) = (cell, &op.kind) {
+        if let Determined::Const(CellContent::Entry(pinned)) = &acc.determined {
+            let after = if pinned.as_ref() == Some(t) {
+                None
+            } else {
+                pinned.clone()
+            };
+            return Summary {
+                determined: Determined::Const(CellContent::Entry(after)),
+                exposed: acc.exposed,
+                writes: true,
+            };
+        }
+    }
+    compose(acc, &op_summary(op, cell))
+}
+
+/// Summarizes a per-cell subsequence: the fold of [`compose`] over the
+/// operations' individual summaries, with whole-relation and exact-removal
+/// refinements.
+pub fn summarize(cell: &CellKey, ops: &[&Op]) -> Summary {
+    let mut acc = Summary::empty();
+    for op in ops {
+        // Skip operations that don't actually touch this cell (defensive;
+        // decomposition already filters).
+        if matches!(cell, CellKey::Key(k) if !op.footprint.accessed().covers(k))
+            && op.footprint.accessed() != CellSet::All
+        {
+            continue;
+        }
+        acc = compose_op(&acc, op, cell);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_detect::{commute, conflict_cell, Relaxation};
+    use janus_log::{ClassId, LocId};
+    use janus_relational::{tuple, Fd, Formula, Key, Relation, Schema};
+
+    fn mk_ops(kinds: Vec<OpKind>, start: &Value) -> Vec<Op> {
+        let mut v = start.clone();
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("t"), k, &mut v).0)
+            .collect()
+    }
+
+    fn refs(ops: &[Op]) -> Vec<&Op> {
+        ops.iter().collect()
+    }
+
+    fn add(d: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Add(d))
+    }
+
+    fn read() -> OpKind {
+        OpKind::Scalar(ScalarOp::Read)
+    }
+
+    fn write(v: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Write(Scalar::Int(v)))
+    }
+
+    #[test]
+    fn identity_sequence_summary() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![add(2), add(-2)], &entry);
+        let s = summarize(&CellKey::Whole, &refs(&ops));
+        assert_eq!(s.determined, Determined::Shifted(0));
+        assert!(!s.exposed);
+        assert!(s.writes);
+    }
+
+    #[test]
+    fn write_then_read_is_const_unexposed() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![write(7), read()], &entry);
+        let s = summarize(&CellKey::Whole, &refs(&ops));
+        assert_eq!(
+            s.determined,
+            Determined::Const(CellContent::Scalar(Scalar::Int(7)))
+        );
+        assert!(!s.exposed, "read is covered by the write");
+    }
+
+    #[test]
+    fn read_then_write_is_exposed() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![read(), write(7)], &entry);
+        let s = summarize(&CellKey::Whole, &refs(&ops));
+        assert!(s.exposed);
+        assert!(s.determined.is_const());
+    }
+
+    #[test]
+    fn write_plus_delta_composes() {
+        let entry = Value::int(0);
+        let ops = mk_ops(vec![write(10), add(5)], &entry);
+        let s = summarize(&CellKey::Whole, &refs(&ops));
+        assert_eq!(
+            s.determined,
+            Determined::Const(CellContent::Scalar(Scalar::Int(15)))
+        );
+    }
+
+    #[test]
+    fn final_value_agrees_with_replay() {
+        let entry = Value::int(3);
+        let cases = vec![
+            vec![add(2), add(-2)],
+            vec![add(5)],
+            vec![write(9)],
+            vec![write(9), add(1), read()],
+            vec![read(), add(4), write(0), add(2)],
+        ];
+        for kinds in cases {
+            let ops = mk_ops(kinds.clone(), &entry);
+            let r = refs(&ops);
+            let s = summarize(&CellKey::Whole, &r);
+            let replayed = janus_detect::replay_cell(&entry, &r);
+            if let Some(fv) = s.determined.final_value(&entry, &CellKey::Whole) {
+                assert_eq!(
+                    fv,
+                    cell_value(&replayed, &CellKey::Whole),
+                    "summary disagrees with replay for {kinds:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_key_insert_remove_chain() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::empty(schema));
+        let cell = CellKey::Key(Key::scalar(1i64));
+        let ops = mk_ops(
+            vec![
+                OpKind::Rel(RelOp::insert(tuple![1, 10])),
+                OpKind::Rel(RelOp::remove(tuple![1, 10])),
+            ],
+            &entry,
+        );
+        let s = summarize(&cell, &refs(&ops));
+        assert_eq!(
+            s.determined,
+            Determined::Const(CellContent::Entry(None)),
+            "insert then remove of the same tuple leaves the key empty"
+        );
+        assert!(!s.exposed);
+    }
+
+    #[test]
+    fn bare_remove_is_opaque() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::from_tuples(schema, [tuple![1, 10]]));
+        let cell = CellKey::Key(Key::scalar(1i64));
+        let ops = mk_ops(vec![OpKind::Rel(RelOp::remove(tuple![1, 10]))], &entry);
+        let s = summarize(&cell, &refs(&ops));
+        assert_eq!(s.determined, Determined::Opaque);
+    }
+
+    #[test]
+    fn clear_then_inserts_is_const_whole() {
+        let schema = Schema::with_fd(&["i", "b"], Fd::new(&[0], &[1]));
+        let entry = Value::Rel(Relation::from_tuples(
+            std::sync::Arc::clone(&schema),
+            [tuple![9, true]],
+        ));
+        let ops = mk_ops(
+            vec![
+                OpKind::Rel(RelOp::Clear),
+                OpKind::Rel(RelOp::insert(tuple![1, true])),
+                OpKind::Rel(RelOp::select(Formula::eq(0, 1i64))),
+            ],
+            &entry,
+        );
+        let s = summarize(&CellKey::Whole, &refs(&ops));
+        assert!(s.determined.is_const());
+        assert!(!s.exposed, "select after clear is covered");
+        let fv = s
+            .determined
+            .final_value(&entry, &CellKey::Whole)
+            .expect("determinable");
+        let expected = {
+            let mut r = Relation::empty(schema);
+            r.insert(tuple![1, true]);
+            CellValue::Whole(Value::Rel(r))
+        };
+        assert_eq!(fv, expected);
+    }
+
+    #[test]
+    fn compose_is_consistent_with_concatenation() {
+        let entry = Value::int(2);
+        let a = mk_ops(vec![add(3), read()], &entry);
+        let mut mid = entry.clone();
+        for op in &a {
+            op.kind.apply(&mut mid);
+        }
+        let b = mk_ops(vec![write(1), add(1)], &mid);
+        let ra = refs(&a);
+        let rb = refs(&b);
+        let sa = summarize(&CellKey::Whole, &ra);
+        let sb = summarize(&CellKey::Whole, &rb);
+        let all: Vec<&Op> = ra.iter().chain(rb.iter()).copied().collect();
+        let s_all = summarize(&CellKey::Whole, &all);
+        assert_eq!(compose(&sa, &sb), s_all);
+    }
+
+    /// Cross-check: when both summaries are unexposed and the composed
+    /// finals agree, the online detector agrees there is no conflict.
+    #[test]
+    fn summary_no_conflict_implies_online_no_conflict() {
+        let entry = Value::int(1);
+        let pairs = vec![
+            (vec![add(2), add(-2)], vec![add(3), add(-3)]),
+            (vec![add(1)], vec![add(2)]),
+            (vec![write(5)], vec![write(5)]),
+            (vec![write(5), read()], vec![add(1), add(-1)]),
+        ];
+        for (ka, kb) in pairs {
+            let a = mk_ops(ka.clone(), &entry);
+            let b = mk_ops(kb.clone(), &entry);
+            let (ra, rb) = (refs(&a), refs(&b));
+            let sa = summarize(&CellKey::Whole, &ra);
+            let sb = summarize(&CellKey::Whole, &rb);
+            let ab = compose(&sa, &sb).determined.final_value(&entry, &CellKey::Whole);
+            let ba = compose(&sb, &sa).determined.final_value(&entry, &CellKey::Whole);
+            let summary_ok = !sa.exposed && !sb.exposed && ab.is_some() && ab == ba;
+            if summary_ok {
+                assert!(
+                    !conflict_cell(&entry, &CellKey::Whole, &ra, &rb, Relaxation::default()),
+                    "summary said commute but online disagrees: {ka:?} vs {kb:?}"
+                );
+                assert!(commute(&entry, &CellKey::Whole, &ra, &rb));
+            }
+        }
+    }
+}

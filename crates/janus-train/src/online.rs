@@ -1,0 +1,195 @@
+//! Online training via memoization.
+//!
+//! §5.3 notes that JANUS "can be configured to perform the sequence-based
+//! check online, which is unlikely to be acceptable in performance
+//! (though memoization can be used to support online training)". This
+//! module implements that configuration: an oracle that starts from an
+//! empty (or pre-trained) cache, answers hits from it, and on a miss
+//! evaluates the precise Figure 8 check *and memoizes the abstract pair*
+//! so every later query with the same shape takes the cheap
+//! summary-based path. No offline phase is needed; the first production
+//! run pays for its own training.
+
+use std::sync::RwLock;
+
+use janus_detect::{conflict_cell, Relaxation, SequenceOracle};
+use janus_log::{CellKey, ClassId, Op, OpKind, ScalarOp};
+use janus_relational::Value;
+
+use crate::abstraction::abstract_sequence;
+use crate::cache::{CellShape, CommutativityCache};
+use crate::condition::Condition;
+
+/// A [`SequenceOracle`] that learns during production (memoized online
+/// training).
+///
+/// # Example
+///
+/// ```
+/// use janus_detect::CachedSequenceDetector;
+/// use janus_train::OnlineLearningCache;
+///
+/// let detector = CachedSequenceDetector::new(OnlineLearningCache::new(true));
+/// # let _ = detector;
+/// ```
+#[derive(Debug)]
+pub struct OnlineLearningCache {
+    inner: RwLock<CommutativityCache>,
+    use_abstraction: bool,
+}
+
+impl OnlineLearningCache {
+    /// Starts with an empty cache.
+    pub fn new(use_abstraction: bool) -> Self {
+        OnlineLearningCache {
+            inner: RwLock::new(CommutativityCache::new(use_abstraction)),
+            use_abstraction,
+        }
+    }
+
+    /// Starts from an offline-trained cache and keeps learning.
+    pub fn from_cache(cache: CommutativityCache) -> Self {
+        let use_abstraction = cache.uses_abstraction();
+        OnlineLearningCache {
+            inner: RwLock::new(cache),
+            use_abstraction,
+        }
+    }
+
+    /// Number of memoized entries so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("cache lock").len()
+    }
+
+    /// Whether nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unique (hits, misses) of the underlying cache — a miss here is a
+    /// query that had to be evaluated online and triggered learning.
+    pub fn unique_counts(&self) -> (u64, u64) {
+        self.inner.read().expect("cache lock").stats().unique_counts()
+    }
+}
+
+/// Whether every op of both sequences is a blind fetch-add.
+fn pure_adds(a: &[&Op], b: &[&Op]) -> bool {
+    a.iter()
+        .chain(b.iter())
+        .all(|op| matches!(op.kind, OpKind::Scalar(ScalarOp::Add(_))))
+}
+
+impl SequenceOracle for OnlineLearningCache {
+    fn query(
+        &self,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+        relax: Relaxation,
+    ) -> Option<bool> {
+        // Fast path: the memoized cache answers.
+        {
+            let cache = self.inner.read().expect("cache lock");
+            if let Some(answer) = cache.query(class, entry, cell, txn, committed, relax) {
+                return Some(answer);
+            }
+        }
+        // Miss: evaluate the precise check online (this needs the entry
+        // state; without it we cannot learn or answer).
+        let entry_value = entry?;
+        let verdict = conflict_cell(entry_value, cell, txn, committed, relax);
+
+        // Memoize the abstract pair so the next query with this shape
+        // takes the summary path.
+        let condition = if pure_adds(txn, committed) {
+            Condition::CommutesAlways
+        } else {
+            Condition::InputDependent
+        };
+        let pat_a = abstract_sequence(cell, txn, self.use_abstraction);
+        let pat_b = abstract_sequence(cell, committed, self.use_abstraction);
+        self.inner.write().expect("cache lock").insert(
+            class.clone(),
+            CellShape::of(cell),
+            pat_a,
+            pat_b,
+            condition,
+        );
+        Some(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_detect::{CachedSequenceDetector, ConflictDetector, MapState};
+    use janus_log::LocId;
+
+    fn mk_ops(kinds: Vec<OpKind>, entry: i64) -> Vec<Op> {
+        let mut v = Value::int(entry);
+        kinds
+            .into_iter()
+            .map(|k| Op::execute(LocId(0), ClassId::new("work"), k, &mut v).0)
+            .collect()
+    }
+
+    fn add(d: i64) -> OpKind {
+        OpKind::Scalar(ScalarOp::Add(d))
+    }
+
+    #[test]
+    fn learns_on_first_miss_and_hits_after() {
+        let oracle = OnlineLearningCache::new(true);
+        let detector = CachedSequenceDetector::new(oracle);
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(0));
+
+        let a = mk_ops(vec![add(2), add(-2)], 0);
+        let b = mk_ops(vec![add(3), add(-3)], 0);
+        assert!(!detector.detect(&state, &a, &b));
+        // The detector always gets an answer (the oracle self-trains)...
+        let (_, _, hits, misses) = detector.stats().snapshot();
+        assert_eq!((hits, misses), (1, 0));
+        // ...but internally the first query was a learning miss.
+        assert_eq!(detector.oracle().unique_counts(), (0, 1));
+        assert_eq!(detector.oracle().len(), 1);
+
+        // Different deltas and lengths, same shape: an internal hit now.
+        let c = mk_ops(vec![add(5), add(-5), add(1), add(-1)], 0);
+        assert!(!detector.detect(&state, &a, &c));
+        let (uh, _) = detector.oracle().unique_counts();
+        assert!(uh >= 1, "second query must hit the memoized entry");
+    }
+
+    #[test]
+    fn learned_entries_keep_input_dependence() {
+        let oracle = OnlineLearningCache::new(true);
+        let detector = CachedSequenceDetector::new(oracle);
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(0));
+
+        let w = |v: i64| OpKind::Scalar(ScalarOp::Write(janus_relational::Scalar::Int(v)));
+        let a = mk_ops(vec![w(5)], 0);
+        let b_eq = mk_ops(vec![w(5)], 0);
+        let b_ne = mk_ops(vec![w(6)], 0);
+        // First query learns from the equal-writes instance...
+        assert!(!detector.detect(&state, &a, &b_eq));
+        // ...but the memoized condition still rejects unequal writes.
+        assert!(detector.detect(&state, &a, &b_ne));
+    }
+
+    #[test]
+    fn seeding_from_offline_cache() {
+        let oracle = OnlineLearningCache::from_cache(CommutativityCache::new(true));
+        assert!(oracle.is_empty());
+        let mut state = MapState::default();
+        state.0.insert(LocId(0), Value::int(0));
+        let detector = CachedSequenceDetector::new(oracle);
+        let a = mk_ops(vec![add(1)], 0);
+        let _ = detector.detect(&state, &a, &a);
+        assert_eq!(detector.oracle().len(), 1);
+    }
+}

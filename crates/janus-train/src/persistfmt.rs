@@ -1,0 +1,282 @@
+//! Serialization of trained commutativity caches.
+//!
+//! The offline/production split of Figure 6 implies the cache outlives
+//! the training process. This module round-trips a
+//! [`CommutativityCache`] through a line-based text format:
+//!
+//! ```text
+//! janus-cache v1 abstraction=true
+//! entry\t<class>\t<shape>\t<pattern-a>\t<pattern-b>\t<condition>
+//! ```
+//!
+//! Patterns use the display syntax (`{aa}+r`); class labels escape
+//! backslash, tab and newline.
+
+use std::fmt;
+
+use janus_log::ClassId;
+
+use crate::abstraction::{AbstractOp, Element, Pattern};
+use crate::cache::{CellShape, CommutativityCache};
+use crate::condition::Condition;
+
+/// An error while parsing a serialized cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCacheError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCacheError {}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn char_op(c: char) -> Option<AbstractOp> {
+    Some(match c {
+        'r' => AbstractOp::Read,
+        'a' => AbstractOp::Add,
+        'm' => AbstractOp::Max,
+        'w' => AbstractOp::Write,
+        'i' => AbstractOp::Insert,
+        'd' => AbstractOp::Remove,
+        'k' => AbstractOp::RemoveKey,
+        's' => AbstractOp::SelectPinned,
+        'S' => AbstractOp::SelectAll,
+        'C' => AbstractOp::Clear,
+        _ => return None,
+    })
+}
+
+/// Parses the display syntax of a [`Pattern`] (`{aa}+r`, nesting
+/// allowed).
+pub fn parse_pattern(s: &str) -> Result<Pattern, String> {
+    // Stack of element lists: the top is the block being built.
+    let mut stack: Vec<Vec<Element>> = vec![Vec::new()];
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => stack.push(Vec::new()),
+            '}' => {
+                if chars.next() != Some('+') {
+                    return Err("'}' must be followed by '+'".to_string());
+                }
+                let block = stack.pop().expect("non-empty stack");
+                if stack.is_empty() {
+                    return Err("unbalanced '}'".to_string());
+                }
+                if block.is_empty() {
+                    return Err("empty '+' block".to_string());
+                }
+                stack
+                    .last_mut()
+                    .expect("stack has a frame")
+                    .push(Element::Plus(block));
+            }
+            c => match char_op(c) {
+                Some(op) => stack
+                    .last_mut()
+                    .expect("stack has a frame")
+                    .push(Element::Atom(op)),
+                None => return Err(format!("unknown abstract op {c:?}")),
+            },
+        }
+    }
+    if stack.len() != 1 {
+        return Err("unbalanced '{'".to_string());
+    }
+    Ok(Pattern(stack.pop().expect("single frame")))
+}
+
+impl CommutativityCache {
+    /// Serializes the cache to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "janus-cache v1 abstraction={}\n",
+            self.uses_abstraction()
+        );
+        for (class, shape, pat_a, pat_b, condition) in self.entries_iter() {
+            let shape = match shape {
+                CellShape::Whole => "whole",
+                CellShape::Keyed => "keyed",
+            };
+            let cond = match condition {
+                Condition::CommutesAlways => "always",
+                Condition::InputDependent => "input",
+            };
+            out.push_str(&format!(
+                "entry\t{}\t{shape}\t{pat_a}\t{pat_b}\t{cond}\n",
+                escape(class.label()),
+            ));
+        }
+        out
+    }
+
+    /// Parses a cache from the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseCacheError`] naming the offending line on any
+    /// malformed header, field count, shape, pattern or condition.
+    pub fn from_text(text: &str) -> Result<CommutativityCache, ParseCacheError> {
+        let err = |line: usize, message: String| ParseCacheError { line, message };
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty input".to_string()))?;
+        let abstraction = match header {
+            "janus-cache v1 abstraction=true" => true,
+            "janus-cache v1 abstraction=false" => false,
+            other => return Err(err(1, format!("bad header {other:?}"))),
+        };
+        let mut cache = CommutativityCache::new(abstraction);
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 6 || fields[0] != "entry" {
+                return Err(err(lineno, "expected 6 tab-separated fields".to_string()));
+            }
+            let class = ClassId::new(unescape(fields[1]));
+            let shape = match fields[2] {
+                "whole" => CellShape::Whole,
+                "keyed" => CellShape::Keyed,
+                other => return Err(err(lineno, format!("bad shape {other:?}"))),
+            };
+            let pat_a =
+                parse_pattern(fields[3]).map_err(|m| err(lineno, format!("pattern a: {m}")))?;
+            let pat_b =
+                parse_pattern(fields[4]).map_err(|m| err(lineno, format!("pattern b: {m}")))?;
+            let condition = match fields[5] {
+                "always" => Condition::CommutesAlways,
+                "input" => Condition::InputDependent,
+                other => return Err(err(lineno, format!("bad condition {other:?}"))),
+            };
+            cache.insert(class, shape, pat_a, pat_b, condition);
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train, TrainConfig, TrainingRun};
+    use janus_detect::MapState;
+    use janus_log::{LocId, Op, OpKind, ScalarOp};
+    use janus_relational::Value;
+
+    fn trained() -> CommutativityCache {
+        let mut initial = MapState::default();
+        initial.0.insert(LocId(0), Value::int(0));
+        let mk = |deltas: Vec<i64>| -> Vec<Op> {
+            let mut v = Value::int(0);
+            deltas
+                .into_iter()
+                .map(|d| {
+                    Op::execute(
+                        LocId(0),
+                        ClassId::new("work\ttab"),
+                        OpKind::Scalar(ScalarOp::Add(d)),
+                        &mut v,
+                    )
+                    .0
+                })
+                .collect()
+        };
+        let run = TrainingRun {
+            initial,
+            task_logs: vec![mk(vec![2, -2]), mk(vec![3, -3])],
+        };
+        train(&[run], TrainConfig::default()).0
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_answers() {
+        let cache = trained();
+        let text = cache.to_text();
+        let parsed = CommutativityCache::from_text(&text).expect("parse");
+        assert_eq!(parsed.len(), cache.len());
+        assert_eq!(parsed.uses_abstraction(), cache.uses_abstraction());
+        assert_eq!(parsed.to_text(), text, "serialization is canonical");
+    }
+
+    #[test]
+    fn pattern_parse_roundtrip() {
+        for src in ["", "r", "{aa}+", "{ {r}+w }+"
+            .replace(' ', "")
+            .as_str(), "rw{id}+C", "{{is}+{k}+}+"]
+        {
+            let p = parse_pattern(src).expect("parse");
+            assert_eq!(format!("{p}"), src);
+        }
+    }
+
+    #[test]
+    fn pattern_parse_errors() {
+        assert!(parse_pattern("{a").is_err(), "unbalanced open");
+        assert!(parse_pattern("a}+").is_err(), "unbalanced close");
+        assert!(parse_pattern("{a}x").is_err(), "missing +");
+        assert!(parse_pattern("{}+").is_err(), "empty block");
+        assert!(parse_pattern("z").is_err(), "unknown op");
+    }
+
+    #[test]
+    fn header_and_field_errors() {
+        assert!(CommutativityCache::from_text("").is_err());
+        assert!(CommutativityCache::from_text("nope\n").is_err());
+        let bad = "janus-cache v1 abstraction=true\nentry\tc\twhole\ta\n";
+        let e = CommutativityCache::from_text(bad).expect_err("field count");
+        assert_eq!(e.line, 2);
+        let bad = "janus-cache v1 abstraction=true\nentry\tc\tnope\ta\ta\talways\n";
+        assert!(CommutativityCache::from_text(bad).is_err());
+        let bad = "janus-cache v1 abstraction=true\nentry\tc\twhole\ta\ta\tmaybe\n";
+        assert!(CommutativityCache::from_text(bad).is_err());
+    }
+
+    #[test]
+    fn escaped_class_labels_roundtrip() {
+        let cache = trained();
+        let text = cache.to_text();
+        assert!(text.contains("work\\ttab"), "tab must be escaped");
+        let parsed = CommutativityCache::from_text(&text).expect("parse");
+        let labels: Vec<String> = parsed
+            .entries_iter()
+            .map(|(c, _, _, _, _)| c.label().to_string())
+            .collect();
+        assert!(labels.iter().all(|l| l == "work\ttab"));
+    }
+}

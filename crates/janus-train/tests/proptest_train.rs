@@ -1,0 +1,161 @@
+//! Property tests for the training machinery: effect summaries agree
+//! with replay, the input-dependent condition is exactly the online
+//! check, and Lemma 5.1's pumping is invisible to conflict detection.
+
+use janus_detect::{conflict_cell, replay_cell, Relaxation};
+use janus_log::{CellKey, ClassId, LocId, Op, OpKind, ScalarOp};
+use janus_relational::{Scalar, Value};
+use janus_train::{
+    abstract_kind, abstract_sequence, evaluate_condition, matches_pattern, summarize, Condition,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum K {
+    Read,
+    Add(i64),
+    Write(i64),
+}
+
+fn kind(k: K) -> OpKind {
+    match k {
+        K::Read => OpKind::Scalar(ScalarOp::Read),
+        K::Add(d) => OpKind::Scalar(ScalarOp::Add(d)),
+        K::Write(v) => OpKind::Scalar(ScalarOp::Write(Scalar::Int(v))),
+    }
+}
+
+fn k_strategy() -> impl Strategy<Value = K> {
+    prop_oneof![
+        Just(K::Read),
+        (-3i64..4).prop_map(K::Add),
+        (0i64..5).prop_map(K::Write),
+    ]
+}
+
+fn mk_ops(ks: &[K], entry: i64) -> Vec<Op> {
+    let mut v = Value::int(entry);
+    ks.iter()
+        .map(|&k| Op::execute(LocId(0), ClassId::new("x"), kind(k), &mut v).0)
+        .collect()
+}
+
+proptest! {
+    /// The effect summary's final value, when determinable, equals the
+    /// replayed final value.
+    #[test]
+    fn summary_final_value_agrees_with_replay(
+        ks in proptest::collection::vec(k_strategy(), 0..10),
+        entry in -5i64..6,
+    ) {
+        let ops = mk_ops(&ks, entry);
+        let refs: Vec<&Op> = ops.iter().collect();
+        let entry_value = Value::int(entry);
+        let summary = summarize(&CellKey::Whole, &refs);
+        if let Some(fv) = summary.determined.final_value(&entry_value, &CellKey::Whole) {
+            let replayed = replay_cell(&entry_value, &refs);
+            prop_assert_eq!(
+                fv,
+                janus_detect::cell_value(&replayed, &CellKey::Whole)
+            );
+        }
+    }
+
+    /// The cached input-dependent condition is *exactly* the online
+    /// Figure 8 check on scalar cells.
+    #[test]
+    fn input_dependent_condition_equals_online_check(
+        ka in proptest::collection::vec(k_strategy(), 0..7),
+        kb in proptest::collection::vec(k_strategy(), 0..7),
+        entry in -3i64..4,
+    ) {
+        let a = mk_ops(&ka, entry);
+        let b = mk_ops(&kb, entry);
+        let (ra, rb): (Vec<&Op>, Vec<&Op>) = (a.iter().collect(), b.iter().collect());
+        let entry_value = Value::int(entry);
+        let online = conflict_cell(&entry_value, &CellKey::Whole, &ra, &rb, Relaxation::default());
+        let cached = evaluate_condition(
+            Condition::InputDependent,
+            Some(&entry_value),
+            &CellKey::Whole,
+            &ra,
+            &rb,
+            Relaxation::default(),
+        );
+        prop_assert_eq!(cached, Some(online), "{:?} vs {:?} at {}", ka, kb, entry);
+    }
+
+    /// A sequence always matches its own abstraction, with or without
+    /// Kleene-crossing.
+    #[test]
+    fn abstraction_matches_itself(
+        ks in proptest::collection::vec(k_strategy(), 0..10),
+    ) {
+        let ops = mk_ops(&ks, 0);
+        let refs: Vec<&Op> = ops.iter().collect();
+        let string: Vec<_> = refs.iter().map(|op| abstract_kind(op)).collect();
+        for use_abs in [true, false] {
+            let p = abstract_sequence(&CellKey::Whole, &refs, use_abs);
+            prop_assert!(
+                matches_pattern(&p, &string),
+                "pattern {} rejects its own source {:?}", p, ks
+            );
+        }
+    }
+
+    /// Lemma 5.1: pumping a balanced add/sub block is invisible to the
+    /// conflict check — the base and pumped sequences get identical
+    /// verdicts against any other sequence.
+    #[test]
+    fn pumping_is_invisible_to_conflict_detection(
+        delta in 1i64..5,
+        reps in 1usize..4,
+        other in proptest::collection::vec(k_strategy(), 0..6),
+        entry in -3i64..4,
+    ) {
+        let base_ks = vec![K::Add(delta), K::Add(-delta)];
+        let mut pumped_ks = Vec::new();
+        for _ in 0..reps {
+            pumped_ks.extend_from_slice(&base_ks);
+        }
+        let entry_value = Value::int(entry);
+        let base = mk_ops(&base_ks, entry);
+        let pumped = mk_ops(&pumped_ks, entry);
+        let other_ops = mk_ops(&other, entry);
+        let rb: Vec<&Op> = base.iter().collect();
+        let rp: Vec<&Op> = pumped.iter().collect();
+        let ro: Vec<&Op> = other_ops.iter().collect();
+        prop_assert_eq!(
+            conflict_cell(&entry_value, &CellKey::Whole, &rb, &ro, Relaxation::default()),
+            conflict_cell(&entry_value, &CellKey::Whole, &rp, &ro, Relaxation::default()),
+            "CONFLICT distinguished a pumped idempotent block"
+        );
+        // And the abstraction of the base matches the pumped string.
+        let p = abstract_sequence(&CellKey::Whole, &rb, true);
+        let pumped_string: Vec<_> = rp.iter().map(|op| abstract_kind(op)).collect();
+        prop_assert!(matches_pattern(&p, &pumped_string));
+    }
+
+    /// Summaries compose: summarize(a ++ b) == compose(summarize a, summarize b).
+    #[test]
+    fn summaries_compose(
+        ka in proptest::collection::vec(k_strategy(), 0..6),
+        kb in proptest::collection::vec(k_strategy(), 0..6),
+    ) {
+        let a = mk_ops(&ka, 0);
+        // b continues from a's final state.
+        let mut v = Value::int(0);
+        for op in &a {
+            op.kind.apply(&mut v);
+        }
+        let b = mk_ops(&kb, v.as_int().expect("int"));
+        let ra: Vec<&Op> = a.iter().collect();
+        let rb: Vec<&Op> = b.iter().collect();
+        let all: Vec<&Op> = ra.iter().chain(rb.iter()).copied().collect();
+        let composed = janus_train::compose(
+            &summarize(&CellKey::Whole, &ra),
+            &summarize(&CellKey::Whole, &rb),
+        );
+        prop_assert_eq!(composed, summarize(&CellKey::Whole, &all));
+    }
+}

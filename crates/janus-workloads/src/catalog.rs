@@ -1,0 +1,54 @@
+//! The benchmark catalog (Table 5).
+
+use crate::{JFileSync, JGraphTColor, JGraphTOrder, Pmd, Weka, Workload};
+
+/// All five evaluation benchmarks, in the paper's order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(JFileSync),
+        Box::new(JGraphTColor),
+        Box::new(JGraphTOrder),
+        Box::new(Pmd),
+        Box::new(Weka),
+    ]
+}
+
+/// Looks a workload up by its short name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 5);
+        let names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["jfilesync", "jgrapht-1", "jgrapht-2", "pmd", "weka"]
+        );
+        for w in &ws {
+            assert!(!w.description().is_empty());
+            assert!(!w.patterns().is_empty());
+            assert!(!w.training_inputs().is_empty());
+            assert!(!w.production_inputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("pmd").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn only_greedy_coloring_is_ordered() {
+        for w in all_workloads() {
+            assert_eq!(w.ordered(), w.name() == "jgrapht-1", "{}", w.name());
+        }
+    }
+}

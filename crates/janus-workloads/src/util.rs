@@ -1,0 +1,29 @@
+//! Synthetic local computation.
+
+use std::hint::black_box;
+
+/// Performs `units` rounds of FNV-1a hashing — the stand-in for the
+/// benchmarks' pure local computation (file comparison, rule analysis,
+/// label layout). One unit is on the order of a few nanoseconds; the
+/// result is returned (and fed through [`black_box`]) so the optimizer
+/// cannot elide the loop.
+pub fn local_work(units: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..units {
+        h ^= black_box(i);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    black_box(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_is_deterministic() {
+        assert_eq!(local_work(100), local_work(100));
+        assert_ne!(local_work(100), local_work(101));
+        assert_eq!(local_work(0), 0xcbf29ce484222325);
+    }
+}

@@ -1,0 +1,63 @@
+//! The full JANUS pipeline on a realistic scenario: train offline on
+//! small inputs, then run production inputs in parallel with the trained
+//! commutativity cache (Figure 6 of the paper).
+//!
+//! The workload is the JFileSync directory-comparison loop (Figure 2):
+//! a shared progress monitor whose lists every iteration pushes and pops
+//! (identity pattern), shared root-URI fields written per iteration
+//! (shared-as-local), and a cancellation flag everyone polls.
+//!
+//! Run with: `cargo run --release --example file_sync`
+
+use std::sync::Arc;
+
+use janus::core::Janus;
+use janus::detect::{CachedSequenceDetector, ConflictDetector, WriteSetDetector};
+use janus::train::{train, TrainConfig};
+use janus::workloads::{training_runs, InputSpec, JFileSync, Workload};
+
+fn main() {
+    let workload = JFileSync;
+
+    // 1. Offline: exercise the application sequentially on the small
+    //    Table 6 training inputs and learn commutativity conditions.
+    println!("training on {:?} ...", workload.training_inputs());
+    let runs = training_runs(&workload);
+    let (cache, report) = train(&runs, TrainConfig::default());
+    println!(
+        "  mined {} candidate pairs -> {} cache entries \
+         ({} symbolic proofs attempted, {} succeeded)\n",
+        report.pairs_mined, report.entries_added, report.symbolic_attempted, report.symbolic_proved
+    );
+
+    // 2. Production: a larger input, parallel execution.
+    let input = InputSpec::new(40, 3, 2026);
+    for (label, detector) in [
+        (
+            "write-set",
+            Arc::new(WriteSetDetector::new()) as Arc<dyn ConflictDetector>,
+        ),
+        (
+            "sequence (trained)",
+            Arc::new(CachedSequenceDetector::with_relaxations(
+                train(&runs, TrainConfig::default()).0,
+                workload.relaxations(),
+            )),
+        ),
+    ] {
+        let scenario = workload.build(&input);
+        let outcome = Janus::new(detector).threads(4).run(scenario.store, scenario.tasks);
+        let ok = (scenario.check)(&outcome.store);
+        println!(
+            "{label:>20}: {} commits, {} retries, wall {:?}, monitor balanced: {}",
+            outcome.stats.commits, outcome.stats.retries, outcome.stats.wall, ok
+        );
+    }
+    let _ = cache;
+    println!(
+        "\nEvery iteration restores the monitor before committing, so the\n\
+         trained cache answers the conflict queries with 'commutes' and\n\
+         the parallel run proceeds abort-free where write-set detection\n\
+         keeps throwing work away."
+    );
+}

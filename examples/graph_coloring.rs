@@ -1,0 +1,66 @@
+//! Ordered speculation with consistency relaxations: the JGraphT greedy
+//! graph-coloring loop (Figure 3 of the paper).
+//!
+//! Greedy coloring mandates ordered traversal, so the run commits
+//! in-order (Theorem 4.1 then guarantees the parallel run produces the
+//! exact sequential coloring). Two relaxations — both part of the
+//! workload's specification, as in §5.3 — unlock the parallelism:
+//!
+//! * `usedColors` is a scratch bit set cleared before use: RAW and WAW
+//!   conflicts on it are tolerated;
+//! * `maxColor` reads are spurious: RAW conflicts are suppressed, but
+//!   two different writes still conflict.
+//!
+//! Run with: `cargo run --release --example graph_coloring`
+
+use std::sync::Arc;
+
+use janus::core::Janus;
+use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::workloads::{InputSpec, JGraphTColor, Workload};
+
+fn main() {
+    let workload = JGraphTColor;
+    let input = InputSpec::new(120, 5, 7);
+
+    // Sequential reference coloring.
+    let reference = workload.build(&input);
+    let (seq_store, _) = Janus::run_sequential(reference.store, &reference.tasks);
+    println!(
+        "sequential greedy coloring: proper = {}",
+        (reference.check)(&seq_store)
+    );
+
+    for (label, detector) in [
+        (
+            "write-set",
+            Arc::new(WriteSetDetector::new()) as Arc<dyn ConflictDetector>,
+        ),
+        (
+            "sequence + relaxations",
+            Arc::new(SequenceDetector::with_relaxations(workload.relaxations())),
+        ),
+    ] {
+        let scenario = workload.build(&input);
+        let outcome = Janus::new(detector)
+            .threads(4)
+            .ordered(true) // greedy coloring is order-sensitive
+            .run(scenario.store, scenario.tasks);
+        let proper = (scenario.check)(&outcome.store);
+        // In-order commits must reproduce the sequential coloring bit for
+        // bit.
+        let same_as_sequential = (0..seq_store.len() as u64).all(|l| {
+            let loc = janus::log::LocId(l);
+            seq_store.value(loc) == outcome.store.value(loc)
+        });
+        println!(
+            "{label:>24}: {} retries, proper coloring: {proper}, equals sequential: {same_as_sequential}",
+            outcome.stats.retries
+        );
+    }
+    println!(
+        "\nThe only genuine conflicts are reads of a neighbor's color that\n\
+         committed mid-flight; the scratch bit set and the max-color\n\
+         bookkeeping no longer force serialization."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: parallelize a loop whose iterations look conflicting but
+//! aren't.
+//!
+//! The loop below is Figure 1 of the paper: every iteration bumps a
+//! shared `work` counter while it processes an item and restores it when
+//! it succeeds. Under a classic write-set STM every pair of overlapping
+//! iterations conflicts — the loop serializes (or worse). JANUS's
+//! sequence-based detection sees that each transaction's composite effect
+//! on `work` is the identity and lets them all run.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use janus::core::{Janus, Store, Task, TxView};
+use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::relational::Value;
+
+fn items() -> Vec<(i64, u64)> {
+    // (weight, amount of processing) per item.
+    (1..=24).map(|i| (i, 40_000 + (i as u64) * 5_000)).collect()
+}
+
+fn build(store: &mut Store) -> (janus::log::LocId, Vec<Task>) {
+    let work = store.alloc("work", Value::int(0));
+    let tasks = items()
+        .into_iter()
+        .map(|(weight, effort)| {
+            Task::new(move |tx: &mut TxView| {
+                tx.add(work, weight); // work += weightOf(item)
+                janus::workloads::local_work(effort); // processItem(item)
+                tx.add(work, -weight); // processed successfully
+            })
+        })
+        .collect();
+    (work, tasks)
+}
+
+fn run(detector: Arc<dyn ConflictDetector>, label: &str) {
+    let mut store = Store::new();
+    let (work, tasks) = build(&mut store);
+    let outcome = Janus::new(detector).threads(4).run(store, tasks);
+    println!(
+        "{label:>12}: {} commits, {} retries, final work = {}",
+        outcome.stats.commits,
+        outcome.stats.retries,
+        outcome
+            .store
+            .value(work)
+            .and_then(Value::as_int)
+            .expect("work is an integer"),
+    );
+}
+
+fn main() {
+    println!("processing {} items on 4 threads\n", items().len());
+    run(Arc::new(WriteSetDetector::new()), "write-set");
+    run(Arc::new(SequenceDetector::new()), "sequence");
+    println!(
+        "\nThe write-set detector flags every overlap of the balanced\n\
+         add/subtract pairs; sequence-based detection proves each\n\
+         transaction acts as the identity on `work` and commits them all."
+    );
+}

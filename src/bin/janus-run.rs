@@ -1,0 +1,229 @@
+//! `janus-run` — command-line driver for the JANUS runtime.
+//!
+//! ```text
+//! janus-run list
+//! janus-run train <workload> [--no-abstraction] [--cache <file>]
+//! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
+//!                            [--threads N] [--scale N] [--seed N]
+//!                            [--cache <file>] [--eager] [--no-gc]
+//! ```
+//!
+//! `train` exercises the workload's Table 6 training inputs sequentially
+//! and writes the learned commutativity cache to `--cache` (default
+//! `<workload>.janus-cache`). `run` executes a production-style input in
+//! parallel under the chosen detector; with `--detector cached` the cache
+//! is loaded from the file, so training and production can live in
+//! different processes — the offline/production split of Figure 6.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use janus::core::Janus;
+use janus::detect::{
+    CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector,
+};
+use janus::train::{train, CommutativityCache, OnlineLearningCache, TrainConfig};
+use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match name {
+                    "detector" | "threads" | "scale" | "seed" | "cache" => iter.next(),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn cache_path(args: &Args, workload: &str) -> String {
+    args.value("cache")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{workload}.janus-cache"))
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<12} {:<16} ordered  patterns", "name", "source");
+    for w in all_workloads() {
+        println!(
+            "{:<12} {:<16} {:<8} {}",
+            w.name(),
+            w.source(),
+            w.ordered(),
+            w.patterns().join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let Some(name) = args.positional.get(1) else {
+        return usage();
+    };
+    let Some(workload) = workload_by_name(name) else {
+        eprintln!("unknown workload {name:?}; try `janus-run list`");
+        return ExitCode::FAILURE;
+    };
+    let use_abstraction = !args.flag("no-abstraction");
+    eprintln!(
+        "training {name} on {:?} (abstraction={use_abstraction})...",
+        workload.training_inputs()
+    );
+    let runs = training_runs(workload.as_ref());
+    let (cache, report) = train(
+        &runs,
+        TrainConfig {
+            use_abstraction,
+            verify_symbolic: true,
+        },
+    );
+    println!(
+        "mined {} pairs -> {} entries ({} rejected; symbolic proofs {}/{})",
+        report.pairs_mined,
+        report.entries_added,
+        report.pairs_rejected,
+        report.symbolic_proved,
+        report.symbolic_attempted,
+    );
+    let path = cache_path(args, name);
+    if let Err(e) = std::fs::write(&path, cache.to_text()) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("cache written to {path}");
+    ExitCode::SUCCESS
+}
+
+fn load_cache(path: &str) -> Result<CommutativityCache, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    CommutativityCache::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let Some(name) = args.positional.get(1) else {
+        return usage();
+    };
+    let Some(workload) = workload_by_name(name) else {
+        eprintln!("unknown workload {name:?}; try `janus-run list`");
+        return ExitCode::FAILURE;
+    };
+    let w: &dyn Workload = workload.as_ref();
+    let threads: usize = args
+        .value("threads")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let default_input = w.production_inputs()[0];
+    let scale: usize = args
+        .value("scale")
+        .map(|v| v.parse().unwrap_or(default_input.scale))
+        .unwrap_or(default_input.scale);
+    let seed: u64 = args
+        .value("seed")
+        .map(|v| v.parse().unwrap_or(default_input.seed))
+        .unwrap_or(default_input.seed);
+    let input = InputSpec::new(scale, default_input.degree, seed);
+
+    let detector_name = args.value("detector").unwrap_or("sequence");
+    let relax = w.relaxations();
+    let detector: Arc<dyn ConflictDetector> = match detector_name {
+        "write-set" => Arc::new(WriteSetDetector::new()),
+        "sequence" => Arc::new(SequenceDetector::with_relaxations(relax)),
+        "online-learning" => Arc::new(CachedSequenceDetector::with_relaxations(
+            OnlineLearningCache::new(true),
+            relax,
+        )),
+        "cached" => {
+            let path = cache_path(args, name);
+            match load_cache(&path) {
+                Ok(cache) => {
+                    eprintln!("loaded {} cache entries from {path}", cache.len());
+                    Arc::new(CachedSequenceDetector::with_relaxations(cache, relax))
+                }
+                Err(e) => {
+                    eprintln!("{e}\nhint: run `janus-run train {name}` first");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown detector {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running {name} (scale={scale}, seed={seed}) on {threads} threads under {detector_name}..."
+    );
+    let scenario = w.build(&input);
+    let janus = Janus::new(Arc::clone(&detector))
+        .threads(threads)
+        .ordered(w.ordered())
+        .eager_privatization(args.flag("eager"))
+        .gc_history(!args.flag("no-gc"));
+    let outcome = janus.run(scenario.store, scenario.tasks);
+
+    let ok = (scenario.check)(&outcome.store);
+    println!(
+        "commits: {}  retries: {}  retry/txn: {:.3}  wall: {:?}  gc-reclaimed: {}  state: {}",
+        outcome.stats.commits,
+        outcome.stats.retries,
+        outcome.stats.retry_ratio(),
+        outcome.stats.wall,
+        outcome.stats.history_reclaimed,
+        if ok { "ok" } else { "INVALID" },
+    );
+    let by_class = detector.stats().conflicts_by_class();
+    if !by_class.is_empty() {
+        println!("conflicting classes:");
+        for (class, n) in by_class.into_iter().take(6) {
+            println!("  {class}: {n}");
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("train") => cmd_train(&args),
+        Some("run") => cmd_run(&args),
+        _ => usage(),
+    }
+}

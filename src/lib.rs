@@ -1,0 +1,106 @@
+//! **janus** — speculative parallelization with sequence-based
+//! ("hindsight") conflict detection.
+//!
+//! A from-scratch Rust reproduction of *JANUS: Exploiting Parallelism via
+//! Hindsight* (Tripp, Manevich, Field, Sagiv — PLDI 2012). JANUS runs a
+//! list of tasks optimistically in parallel; instead of aborting
+//! transactions whenever their read/write sets overlap (the write-set
+//! approach), it checks whether the *sequences* of operations the
+//! transactions performed on each shared location commute as a whole —
+//! admitting the identity, reduction, shared-as-local, equal-writes and
+//! spurious-reads patterns that real programs exhibit.
+//!
+//! This crate is a facade: it re-exports the public API of the workspace
+//! crates.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `janus-core` | the Figure 7 protocol: [`core::Janus`], [`core::Store`], [`core::Task`], [`core::TxView`] |
+//! | [`detect`] | `janus-detect` | conflict detectors and relaxations |
+//! | [`train`] | `janus-train` | offline training, sequence abstraction, the commutativity cache |
+//! | [`adt`] | `janus-adt` | relational abstraction specifications (counters, maps, bit sets, canvases) |
+//! | [`relational`] | `janus-relational` | relations, tuples, formulas, footprints (§6) |
+//! | [`log`] | `janus-log` | operation logs and per-location decomposition |
+//! | [`sat`] | `janus-sat` | the SAT solver behind symbolic equivalence checks |
+//! | [`persist`] | `janus-persist` | the persistent map behind O(1) snapshots |
+//! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use janus::core::{Janus, Store, Task};
+//! use janus::detect::SequenceDetector;
+//! use janus::relational::Value;
+//! use std::sync::Arc;
+//!
+//! // A shared counter every task bumps and restores (Figure 1's
+//! // identity pattern): write-set STMs serialize this loop, JANUS
+//! // runs it conflict-free.
+//! let mut store = Store::new();
+//! let work = store.alloc("work", Value::int(0));
+//! let tasks: Vec<Task> = (1..=8)
+//!     .map(|w| {
+//!         Task::new(move |tx| {
+//!             tx.add(work, w);
+//!             // ... process the item ...
+//!             tx.add(work, -w);
+//!         })
+//!     })
+//!     .collect();
+//!
+//! let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+//!     .threads(4)
+//!     .run(store, tasks);
+//! assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+//! assert_eq!(outcome.stats.retries, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The parallelization protocol (re-export of `janus-core`).
+pub mod core {
+    pub use janus_core::*;
+}
+
+/// Conflict detectors and consistency relaxations (re-export of
+/// `janus-detect`).
+pub mod detect {
+    pub use janus_detect::*;
+}
+
+/// Offline training and the commutativity cache (re-export of
+/// `janus-train`).
+pub mod train {
+    pub use janus_train::*;
+}
+
+/// Abstraction specifications for shared ADTs (re-export of `janus-adt`).
+pub mod adt {
+    pub use janus_adt::*;
+}
+
+/// The relational state model (re-export of `janus-relational`).
+pub mod relational {
+    pub use janus_relational::*;
+}
+
+/// Operation logs and decomposition (re-export of `janus-log`).
+pub mod log {
+    pub use janus_log::*;
+}
+
+/// The SAT solver (re-export of `janus-sat`).
+pub mod sat {
+    pub use janus_sat::*;
+}
+
+/// Persistent data structures (re-export of `janus-persist`).
+pub mod persist {
+    pub use janus_persist::*;
+}
+
+/// The five evaluation benchmarks (re-export of `janus-workloads`).
+pub mod workloads {
+    pub use janus_workloads::*;
+}

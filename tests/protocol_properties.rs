@@ -1,0 +1,151 @@
+//! Property-based tests of the protocol itself: random task sets, random
+//! thread counts — the unordered outcome must equal some serial order,
+//! and the ordered outcome must equal the sequential one (Theorem 4.1).
+
+use std::sync::Arc;
+
+use janus::core::{Janus, Store, Task, TxView};
+use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::log::LocId;
+use janus::relational::Value;
+use proptest::prelude::*;
+
+/// A miniature task language over two shared integer locations.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Add(u8, i64),
+    Write(u8, i64),
+    ReadIntoNext(u8, u8), // next = read(a) * 2 + 1 written to b
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..2, -3i64..4).prop_map(|(l, d)| Step::Add(l, d)),
+        (0u8..2, 0i64..5).prop_map(|(l, v)| Step::Write(l, v)),
+        (0u8..2, 0u8..2).prop_map(|(a, b)| Step::ReadIntoNext(a, b)),
+    ]
+}
+
+fn task_of(steps: Vec<Step>, locs: [LocId; 2]) -> Task {
+    Task::new(move |tx: &mut TxView| {
+        for &s in &steps {
+            match s {
+                Step::Add(l, d) => tx.add(locs[l as usize], d),
+                Step::Write(l, v) => tx.write(locs[l as usize], v),
+                Step::ReadIntoNext(a, b) => {
+                    let v = tx.read_int(locs[a as usize]);
+                    tx.write(locs[b as usize], v.wrapping_mul(2).wrapping_add(1));
+                }
+            }
+        }
+    })
+}
+
+/// Final (x, y) for a given execution order of the tasks.
+fn serial_outcome(order: &[usize], tasks: &[Vec<Step>]) -> (i64, i64) {
+    let mut xs = [0i64, 0];
+    for &i in order {
+        for &s in &tasks[i] {
+            match s {
+                Step::Add(l, d) => xs[l as usize] = xs[l as usize].wrapping_add(d),
+                Step::Write(l, v) => xs[l as usize] = v,
+                Step::ReadIntoNext(a, b) => {
+                    xs[b as usize] = xs[a as usize].wrapping_mul(2).wrapping_add(1)
+                }
+            }
+        }
+    }
+    (xs[0], xs[1])
+}
+
+fn all_permutation_outcomes(tasks: &[Vec<Step>]) -> Vec<(i64, i64)> {
+    fn go(rest: &mut Vec<usize>, acc: &mut Vec<usize>, tasks: &[Vec<Step>], out: &mut Vec<(i64, i64)>) {
+        if rest.is_empty() {
+            out.push(serial_outcome(acc, tasks));
+            return;
+        }
+        for k in 0..rest.len() {
+            let i = rest.remove(k);
+            acc.push(i);
+            go(rest, acc, tasks, out);
+            acc.pop();
+            rest.insert(k, i);
+        }
+    }
+    let mut out = Vec::new();
+    go(
+        &mut (0..tasks.len()).collect(),
+        &mut Vec::new(),
+        tasks,
+        &mut out,
+    );
+    out
+}
+
+fn run_parallel(
+    tasks: &[Vec<Step>],
+    detector: Arc<dyn ConflictDetector>,
+    threads: usize,
+    ordered: bool,
+) -> (i64, i64) {
+    let mut store = Store::new();
+    let x = store.alloc("x", Value::int(0));
+    let y = store.alloc("y", Value::int(0));
+    let built: Vec<Task> = tasks
+        .iter()
+        .map(|steps| task_of(steps.clone(), [x, y]))
+        .collect();
+    let outcome = Janus::new(detector)
+        .threads(threads)
+        .ordered(ordered)
+        .run(store, built);
+    (
+        outcome.store.value(x).and_then(Value::as_int).expect("int"),
+        outcome.store.value(y).and_then(Value::as_int).expect("int"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unordered_runs_land_on_a_serial_outcome(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 1..4),
+            1..5
+        ),
+        threads in 1usize..4,
+        use_sequence in any::<bool>(),
+    ) {
+        let detector: Arc<dyn ConflictDetector> = if use_sequence {
+            Arc::new(SequenceDetector::new())
+        } else {
+            Arc::new(WriteSetDetector::new())
+        };
+        let got = run_parallel(&tasks, detector, threads, false);
+        let valid = all_permutation_outcomes(&tasks);
+        prop_assert!(
+            valid.contains(&got),
+            "{got:?} is not among the serial outcomes {valid:?} for {tasks:?}"
+        );
+    }
+
+    #[test]
+    fn ordered_runs_equal_the_sequential_outcome(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 1..4),
+            1..5
+        ),
+        threads in 1usize..4,
+        use_sequence in any::<bool>(),
+    ) {
+        let detector: Arc<dyn ConflictDetector> = if use_sequence {
+            Arc::new(SequenceDetector::new())
+        } else {
+            Arc::new(WriteSetDetector::new())
+        };
+        let got = run_parallel(&tasks, detector, threads, true);
+        let order: Vec<usize> = (0..tasks.len()).collect();
+        prop_assert_eq!(got, serial_outcome(&order, &tasks));
+    }
+}
