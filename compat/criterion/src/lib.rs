@@ -1,0 +1,244 @@
+//! A self-contained micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses (the build environment cannot
+//! fetch the real crate). Measurement is deliberately simple: a warm-up
+//! phase, then timed batches until the measurement budget is spent, with
+//! mean ns/iteration printed per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Plot backend selector (accepted and ignored: this shim never plots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlottingBackend {
+    /// No plots.
+    None,
+    /// Gnuplot (ignored).
+    Gnuplot,
+    /// Plotters (ignored).
+    Plotters,
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until
+    /// the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a batch size that runs in ~1ms, while warming
+        // caches for at least the configured duration.
+        let warm_start = Instant::now();
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if warm_start.elapsed() >= self.warm_up && dt >= Duration::from_micros(200) {
+                break;
+            }
+            if dt < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        // Measurement.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.last_mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!(
+            "{}/{: <40} time: {:>12.1} ns/iter",
+            self.name, id.name, b.last_mean_ns
+        );
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, _| f(b))
+    }
+
+    /// Finishes the group (no-op; reports were printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted and ignored: this shim never plots.
+    pub fn plotting_backend(self, _backend: PlottingBackend) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{: <46} time: {:>12.1} ns/iter", name, b.last_mean_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use janus_core::{Store, TxView};
 use janus_log::{LocId, OpResult};
-use janus_relational::{Fd, Formula, RelOp, Schema, Scalar, Tuple, Value};
 use janus_relational::Relation;
+use janus_relational::{Fd, Formula, RelOp, Scalar, Schema, Tuple, Value};
 
 /// A shared bit set encoded as the 2-ary relation `{(index, bit)}` with
 /// the functional dependency `index → bit`.
@@ -44,10 +44,7 @@ impl BitSetAdt {
     /// Whether the bit at `index` is set (absent indices read as false).
     pub fn get(&self, tx: &mut TxView, index: i64) -> bool {
         match tx.rel(self.loc, RelOp::select(Formula::eq(0, index))) {
-            OpResult::Tuples(ts) => ts
-                .first()
-                .and_then(|t| t.get(1).as_bool())
-                .unwrap_or(false),
+            OpResult::Tuples(ts) => ts.first().and_then(|t| t.get(1).as_bool()).unwrap_or(false),
             _ => false,
         }
     }

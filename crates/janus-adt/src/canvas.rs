@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use janus_core::{Store, TxView};
 use janus_log::{LocId, OpResult};
-use janus_relational::{Fd, Formula, RelOp, Relation, Schema, Scalar, Tuple, Value};
+use janus_relational::{Fd, Formula, RelOp, Relation, Scalar, Schema, Tuple, Value};
 
 /// A shared canvas: a brush-color cell plus a pixel relation
 /// `{(x, y, color)}` with the functional dependency `(x, y) → color`.
@@ -161,8 +161,7 @@ mod tests {
                 })
             })
             .collect();
-        let janus =
-            Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(3);
+        let janus = Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(3);
         let outcome = janus.run(store, tasks);
         assert_eq!(cv.painted(&outcome.store), 1);
         assert_eq!(outcome.stats.retries, 0, "equal writes must not conflict");
@@ -181,8 +180,7 @@ mod tests {
                 })
             })
             .collect();
-        let janus =
-            Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
+        let janus = Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
         let outcome = janus.run(store, tasks);
         assert_eq!(cv.painted(&outcome.store), 1);
         // Some serialization had to happen; the run still terminates with

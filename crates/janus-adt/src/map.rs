@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use janus_core::{Store, TxView};
 use janus_log::{LocId, OpResult};
-use janus_relational::{Fd, Formula, Key, RelOp, Relation, Schema, Scalar, Tuple, Value};
+use janus_relational::{Fd, Formula, Key, RelOp, Relation, Scalar, Schema, Tuple, Value};
 
 /// A shared map encoded as the relation `{(key, value)}` with the
 /// functional dependency `key → value`.
@@ -36,9 +36,7 @@ impl MapAdt {
         let schema = Schema::with_fd(&["key", "value"], Fd::new(&[0], &[1]));
         let rel = Relation::from_tuples(
             Arc::clone(&schema),
-            entries
-                .into_iter()
-                .map(|(k, v)| Tuple::new(vec![k, v])),
+            entries.into_iter().map(|(k, v)| Tuple::new(vec![k, v])),
         );
         let loc = store.alloc(class, Value::Rel(rel));
         MapAdt { loc, schema }
@@ -134,21 +132,23 @@ mod tests {
             .collect();
         let janus = Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
         let outcome = janus.run(store, tasks);
-        assert_eq!(outcome.store.value(m.loc()).unwrap().as_rel().unwrap().len(), 16);
         assert_eq!(
-            outcome.stats.retries, 0,
-            "disjoint keys must not conflict"
+            outcome
+                .store
+                .value(m.loc())
+                .unwrap()
+                .as_rel()
+                .unwrap()
+                .len(),
+            16
         );
+        assert_eq!(outcome.stats.retries, 0, "disjoint keys must not conflict");
     }
 
     #[test]
     fn prepopulated_map() {
         let mut store = Store::new();
-        let m = MapAdt::alloc_with(
-            &mut store,
-            "m",
-            [(Scalar::Int(1), Scalar::Int(10))],
-        );
+        let m = MapAdt::alloc_with(&mut store, "m", [(Scalar::Int(1), Scalar::Int(10))]);
         assert_eq!(m.entries(&store).len(), 1);
     }
 }

@@ -122,7 +122,11 @@ mod tests {
             } else {
                 Arc::new(WriteSetDetector::new())
             };
-            Janus::new(detector).threads(4).run(store, tasks).stats.retries
+            Janus::new(detector)
+                .threads(4)
+                .run(store, tasks)
+                .stats
+                .retries
         };
         assert!(run(true) <= run(false));
     }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use janus_core::{Store, TxView};
 use janus_log::{LocId, OpResult};
-use janus_relational::{Fd, Formula, Key, RelOp, Relation, Schema, Scalar, Tuple, Value};
+use janus_relational::{Fd, Formula, Key, RelOp, Relation, Scalar, Schema, Tuple, Value};
 
 /// A shared list used as a stack: `monitor.itemsStarted.add(x)` pushes,
 /// `remove(size()-1)` pops.
@@ -136,8 +136,7 @@ mod tests {
                 })
             })
             .collect();
-        let janus =
-            Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
+        let janus = Janus::new(std::sync::Arc::new(SequenceDetector::new())).threads(4);
         let outcome = janus.run(store, tasks);
         assert_eq!(st.depth(&outcome.store), 0);
     }

@@ -15,9 +15,7 @@ use janus_adt::MapAdt;
 use janus_bench::experiments::{grid_input, trained_cache};
 use janus_bench::sim::simulate;
 use janus_core::{Janus, Store, Task};
-use janus_detect::{
-    CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector,
-};
+use janus_detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
 use janus_relational::Scalar;
 use janus_workloads::workload_by_name;
 
@@ -31,22 +29,31 @@ fn bench_online_vs_cached(c: &mut Criterion) {
 
     let online: Arc<dyn ConflictDetector> =
         Arc::new(SequenceDetector::with_relaxations(w.relaxations()));
-    group.bench_with_input(BenchmarkId::new("online", input.scale), &input, |b, input| {
-        b.iter(|| {
-            let scenario = w.build(input);
-            simulate(scenario.store, &scenario.tasks, &online, 8, false)
-        })
-    });
-
-    let cached: Arc<dyn ConflictDetector> = Arc::new(
-        CachedSequenceDetector::with_relaxations(trained_cache(w, true), w.relaxations()),
+    group.bench_with_input(
+        BenchmarkId::new("online", input.scale),
+        &input,
+        |b, input| {
+            b.iter(|| {
+                let scenario = w.build(input);
+                simulate(scenario.store, &scenario.tasks, &online, 8, false)
+            })
+        },
     );
-    group.bench_with_input(BenchmarkId::new("cached", input.scale), &input, |b, input| {
-        b.iter(|| {
-            let scenario = w.build(input);
-            simulate(scenario.store, &scenario.tasks, &cached, 8, false)
-        })
-    });
+
+    let cached: Arc<dyn ConflictDetector> = Arc::new(CachedSequenceDetector::with_relaxations(
+        trained_cache(w, true),
+        w.relaxations(),
+    ));
+    group.bench_with_input(
+        BenchmarkId::new("cached", input.scale),
+        &input,
+        |b, input| {
+            b.iter(|| {
+                let scenario = w.build(input);
+                simulate(scenario.store, &scenario.tasks, &cached, 8, false)
+            })
+        },
+    );
     group.finish();
 }
 
@@ -70,18 +77,14 @@ fn bench_privatization(c: &mut Criterion) {
             .collect();
         for eager in [false, true] {
             let label = if eager { "eager-copy" } else { "persistent" };
-            group.bench_with_input(
-                BenchmarkId::new(label, map_size),
-                &map_size,
-                |b, _| {
-                    b.iter(|| {
-                        let janus = Janus::new(Arc::new(WriteSetDetector::new()))
-                            .threads(1)
-                            .eager_privatization(eager);
-                        janus.run(store.clone(), tasks.clone())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, map_size), &map_size, |b, _| {
+                b.iter(|| {
+                    let janus = Janus::new(Arc::new(WriteSetDetector::new()))
+                        .threads(1)
+                        .eager_privatization(eager);
+                    janus.run(store.clone(), tasks.clone())
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,152 @@
+//! Macrobenchmark: validation cost under mid-validation clock advances.
+//!
+//! Models the hot path of `RUNTASK`: a transaction validates against the
+//! committed window `[begin, now)`, but the clock keeps advancing while
+//! it validates, so the window must be re-checked several times before
+//! the commit lock is won. Two strategies are compared across window
+//! sizes:
+//!
+//! * **flat-reclone** — the pre-pipeline behaviour: every clock advance
+//!   flattens the whole window into a fresh `Vec<Op>` and re-runs
+//!   detection from scratch (cost grows with `advances × window`);
+//! * **zero-copy-incremental** — one validation session over shared
+//!   pre-decomposed segments, extended with only the delta `[validated,
+//!   now)` at each advance (cost grows with the window once, plus the
+//!   deltas).
+//!
+//! Most committed segments touch locations foreign to the transaction,
+//! so the per-location index lets the incremental path skip them without
+//! visiting a single operation — validation cost becomes sublinear in
+//! the window, which is the pipeline's acceptance criterion.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_detect::{ConflictDetector, MapState, SequenceDetector, WriteSetDetector};
+use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
+use janus_relational::Value;
+
+/// Clock advances observed during one validation.
+const ADVANCES: usize = 4;
+/// Operations per committed segment.
+const SEG_OPS: usize = 8;
+
+fn add(loc: u64, delta: i64, v: &mut Value) -> Op {
+    Op::execute(
+        LocId(loc),
+        ClassId::new("work"),
+        OpKind::Scalar(ScalarOp::Add(delta)),
+        v,
+    )
+    .0
+}
+
+/// Balanced add/sub log on one location (commutes with itself).
+fn balanced_log(loc: u64, len: usize) -> Vec<Op> {
+    let mut v = Value::int(0);
+    (0..len / 2)
+        .flat_map(|i| [i as i64 + 1, -(i as i64 + 1)])
+        .map(|d| add(loc, d, &mut v))
+        .collect()
+}
+
+/// `n` committed segments: every fourth touches the transaction's
+/// location (with commuting adds), the rest touch foreign locations.
+fn committed_segments(n: usize) -> Vec<Arc<CommittedLog>> {
+    (0..n)
+        .map(|i| {
+            let loc = if i % 4 == 0 { 0 } else { 1 + (i % 8) as u64 };
+            Arc::new(CommittedLog::new(balanced_log(loc, SEG_OPS)))
+        })
+        .collect()
+}
+
+fn entry_state() -> MapState {
+    let mut s = MapState::default();
+    for loc in 0..9 {
+        s.0.insert(LocId(loc), Value::int(0));
+    }
+    s
+}
+
+/// The window boundary after advance `j` of `ADVANCES` over `n` segments.
+fn cut(n: usize, j: usize) -> usize {
+    n * j / ADVANCES
+}
+
+/// Pre-pipeline validation: each clock advance re-flattens `[begin, now)`
+/// and re-detects from scratch.
+fn flat_reclone(
+    det: &dyn ConflictDetector,
+    entry: &MapState,
+    txn: &[Op],
+    segs: &[Arc<CommittedLog>],
+) -> bool {
+    let mut conflict = false;
+    for j in 1..=ADVANCES {
+        let window: Vec<Op> = segs[..cut(segs.len(), j)]
+            .iter()
+            .flat_map(|s| s.ops().iter().cloned())
+            .collect();
+        conflict = det.detect_ops(entry, txn, &window);
+    }
+    conflict
+}
+
+/// Pipelined validation: one session, extended with each delta.
+fn zero_copy_incremental(
+    det: &dyn ConflictDetector,
+    entry: &MapState,
+    txn: &CommittedLog,
+    segs: &[Arc<CommittedLog>],
+) -> bool {
+    let mut session = det.begin_validation(entry, txn);
+    let mut conflict = false;
+    for j in 1..=ADVANCES {
+        let delta = &segs[cut(segs.len(), j - 1)..cut(segs.len(), j)];
+        conflict = session.extend(&HistoryWindow::new(delta));
+    }
+    conflict
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let entry = entry_state();
+    let txn_ops = balanced_log(0, SEG_OPS);
+    let txn = CommittedLog::new(txn_ops.clone());
+
+    for (det_name, det) in [
+        (
+            "sequence",
+            &SequenceDetector::new() as &dyn ConflictDetector,
+        ),
+        ("write-set", &WriteSetDetector::new()),
+    ] {
+        let mut group = c.benchmark_group(format!("commit_pipeline/{det_name}"));
+        for n_segments in [8usize, 32, 128, 512] {
+            let segs = committed_segments(n_segments);
+
+            group.bench_with_input(
+                BenchmarkId::new("flat-reclone", n_segments),
+                &n_segments,
+                |b, _| b.iter(|| black_box(flat_reclone(det, &entry, &txn_ops, &segs))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("zero-copy-incremental", n_segments),
+                &n_segments,
+                |b, _| b.iter(|| black_box(zero_copy_incremental(det, &entry, &txn, &segs))),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .plotting_backend(criterion::PlottingBackend::None)
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -55,17 +55,17 @@ fn bench_detectors(c: &mut Criterion) {
 
         let ws = WriteSetDetector::new();
         group.bench_with_input(BenchmarkId::new("write-set", len), &len, |b, _| {
-            b.iter(|| ws.detect(&entry, &txn, &committed))
+            b.iter(|| ws.detect_ops(&entry, &txn, &committed))
         });
 
         let online = SequenceDetector::new();
         group.bench_with_input(BenchmarkId::new("sequence-online", len), &len, |b, _| {
-            b.iter(|| online.detect(&entry, &txn, &committed))
+            b.iter(|| online.detect_ops(&entry, &txn, &committed))
         });
 
         let cached = CachedSequenceDetector::new(trained_cache());
         group.bench_with_input(BenchmarkId::new("sequence-cached", len), &len, |b, _| {
-            b.iter(|| cached.detect(&entry, &txn, &committed))
+            b.iter(|| cached.detect_ops(&entry, &txn, &committed))
         });
     }
     group.finish();

@@ -32,8 +32,7 @@ fn bench_fig10(c: &mut Criterion) {
         for (label, detector) in detectors {
             // Report the ratio once, out of band.
             let scenario = w.build(&input);
-            let (_, metrics) =
-                simulate(scenario.store, &scenario.tasks, &detector, 8, w.ordered());
+            let (_, metrics) = simulate(scenario.store, &scenario.tasks, &detector, 8, w.ordered());
             eprintln!(
                 "fig10 {} {}: {} retries / {} txns = {:.3}",
                 w.name(),

@@ -31,9 +31,10 @@ fn bench_fig9(c: &mut Criterion) {
             },
         );
 
-        let seq: Arc<dyn ConflictDetector> = Arc::new(
-            CachedSequenceDetector::with_relaxations(Arc::clone(&cache), w.relaxations()),
-        );
+        let seq: Arc<dyn ConflictDetector> = Arc::new(CachedSequenceDetector::with_relaxations(
+            Arc::clone(&cache),
+            w.relaxations(),
+        ));
         group.bench_with_input(
             BenchmarkId::new(w.name(), "sequence"),
             &input,

@@ -1,15 +1,16 @@
 //! Regenerates every table and figure of the JANUS evaluation (§7).
 //!
 //! ```text
-//! figures [--table5] [--table6] [--fig9] [--fig10] [--fig11] [--all] [--quick]
+//! figures [--table5] [--table6] [--fig9] [--fig10] [--fig11] [--classes]
+//!         [--pipeline] [--all] [--quick]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` scales the
 //! production inputs down for smoke runs.
 
 use janus_bench::experiments::{
-    conflict_classes, figure11, headline, speedup_retry_grid, table5, table6, GridPoint,
-    THREAD_GRID,
+    commit_pipeline, conflict_classes, figure11, headline, pipeline_counters, speedup_retry_grid,
+    table5, table6, GridPoint, THREAD_GRID,
 };
 use janus_bench::report::{bar, f2, pct, render_table};
 
@@ -23,7 +24,8 @@ fn main() {
             || has("--fig9")
             || has("--fig10")
             || has("--fig11")
-            || has("--classes"));
+            || has("--classes")
+            || has("--pipeline"));
 
     if all || has("--table5") {
         println!("== Table 5: benchmark characteristics ==");
@@ -139,6 +141,43 @@ fn main() {
         );
     }
 
+    if all || has("--pipeline") {
+        eprintln!("running the commit-pipeline comparison (quick={quick})...");
+        println!("== Commit pipeline: validation cost vs window size (4 clock advances) ==");
+        let rows: Vec<Vec<String>> = commit_pipeline(quick)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.segments.to_string(),
+                    r.window_ops.to_string(),
+                    format!("{:.1}", r.flat_secs * 1e6),
+                    format!("{:.1}", r.incremental_secs * 1e6),
+                    f2(r.speedup()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "segments",
+                    "window ops",
+                    "flat-reclone (us)",
+                    "incremental (us)",
+                    "speedup"
+                ],
+                &rows
+            )
+        );
+        let s = pipeline_counters(quick);
+        println!(
+            "live run @ 4 threads: {} commits, {} retries, {} windows served zero-copy, \
+             {} delta re-validations, {} ops scanned",
+            s.commits, s.retries, s.zero_copy_windows, s.delta_revalidations, s.detect_ops_scanned,
+        );
+        println!("(flat-reclone re-copies the whole window at every clock advance; the pipeline scans only deltas)\n");
+    }
+
     if all || has("--fig11") {
         eprintln!("running the Figure 11 experiment (quick={quick})...");
         println!("== Figure 11: unique-query cache miss rate @ 8 threads ==");
@@ -150,10 +189,7 @@ fn main() {
                     pct(r.miss_with()),
                     pct(r.miss_without()),
                     format!("{}/{}", r.with_abstraction.0, r.with_abstraction.1),
-                    format!(
-                        "{}/{}",
-                        r.without_abstraction.0, r.without_abstraction.1
-                    ),
+                    format!("{}/{}", r.without_abstraction.0, r.without_abstraction.1),
                 ]
             })
             .collect();

@@ -1,10 +1,14 @@
 //! Experiment drivers for the paper's tables and figures.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use janus_core::{Janus, RunStats, Store, Task};
 use janus_detect::{
-    CachedSequenceDetector, ConflictDetector, WriteSetDetector,
+    CachedSequenceDetector, ConflictDetector, MapState, SequenceDetector, WriteSetDetector,
 };
+use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
+use janus_relational::Value;
 use janus_train::{train, CommutativityCache, TrainConfig};
 use janus_workloads::{all_workloads, training_runs, InputSpec, Workload};
 
@@ -80,8 +84,13 @@ pub fn speedup_retry_grid(quick: bool) -> Vec<GridPoint> {
         for &threads in &THREAD_GRID {
             for (label, detector) in detector_pair(w, &cache) {
                 let scenario = w.build(&input);
-                let (final_store, metrics) =
-                    simulate(scenario.store, &scenario.tasks, &detector, threads, w.ordered());
+                let (final_store, metrics) = simulate(
+                    scenario.store,
+                    &scenario.tasks,
+                    &detector,
+                    threads,
+                    w.ordered(),
+                );
                 out.push(GridPoint {
                     workload: w.name(),
                     detector: label,
@@ -226,6 +235,138 @@ pub fn table6() -> Vec<Vec<String>> {
             ]
         })
         .collect()
+}
+
+/// One row of the commit-pipeline comparison: validation cost at one
+/// window size, flat-reclone vs zero-copy-incremental, with four clock
+/// advances observed mid-validation.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Committed segments in the window.
+    pub segments: usize,
+    /// Total operations in the window.
+    pub window_ops: usize,
+    /// Mean validation cost re-flattening and re-detecting from scratch
+    /// at every clock advance, in seconds.
+    pub flat_secs: f64,
+    /// Mean validation cost of one incremental session extended with
+    /// each delta, in seconds.
+    pub incremental_secs: f64,
+}
+
+impl PipelineRow {
+    /// How much cheaper incremental validation is.
+    pub fn speedup(&self) -> f64 {
+        self.flat_secs / self.incremental_secs.max(1e-12)
+    }
+}
+
+/// Clock advances observed during one measured validation.
+const PIPELINE_ADVANCES: usize = 4;
+
+fn pipeline_add(loc: u64, delta: i64, v: &mut Value) -> Op {
+    Op::execute(
+        LocId(loc),
+        ClassId::new("work"),
+        OpKind::Scalar(ScalarOp::Add(delta)),
+        v,
+    )
+    .0
+}
+
+fn pipeline_balanced_log(loc: u64, len: usize) -> Vec<Op> {
+    let mut v = Value::int(0);
+    (0..len / 2)
+        .flat_map(|i| [i as i64 + 1, -(i as i64 + 1)])
+        .map(|d| pipeline_add(loc, d, &mut v))
+        .collect()
+}
+
+/// Measures validation cost vs. window size: the pre-pipeline
+/// flat-reclone strategy (every clock advance flattens `[begin, now)`
+/// into a fresh `Vec<Op>` and re-detects from scratch) against the
+/// zero-copy incremental session (decompose-once segments, delta-only
+/// re-validation). Most segments touch locations foreign to the
+/// transaction, so the per-location index lets the incremental path skip
+/// them entirely — its cost stays sublinear in the window.
+pub fn commit_pipeline(quick: bool) -> Vec<PipelineRow> {
+    const SEG_OPS: usize = 8;
+    let iters = if quick { 40 } else { 200 };
+    let sizes: &[usize] = if quick {
+        &[8, 32, 128]
+    } else {
+        &[8, 32, 128, 512]
+    };
+
+    let mut entry = MapState::default();
+    for loc in 0..9 {
+        entry.0.insert(LocId(loc), Value::int(0));
+    }
+    let txn_ops = pipeline_balanced_log(0, SEG_OPS);
+    let txn = CommittedLog::new(txn_ops.clone());
+    let det = SequenceDetector::new();
+
+    let mut out = Vec::new();
+    for &n in sizes {
+        let segs: Vec<Arc<CommittedLog>> = (0..n)
+            .map(|i| {
+                let loc = if i % 4 == 0 { 0 } else { 1 + (i % 8) as u64 };
+                Arc::new(CommittedLog::new(pipeline_balanced_log(loc, SEG_OPS)))
+            })
+            .collect();
+        let cut = |j: usize| n * j / PIPELINE_ADVANCES;
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for j in 1..=PIPELINE_ADVANCES {
+                let window: Vec<Op> = segs[..cut(j)]
+                    .iter()
+                    .flat_map(|s| s.ops().iter().cloned())
+                    .collect();
+                std::hint::black_box(det.detect_ops(&entry, &txn_ops, &window));
+            }
+        }
+        let flat_secs = t0.elapsed().as_secs_f64() / iters as f64;
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut session = det.begin_validation(&entry, &txn);
+            for j in 1..=PIPELINE_ADVANCES {
+                let delta = &segs[cut(j - 1)..cut(j)];
+                std::hint::black_box(session.extend(&HistoryWindow::new(delta)));
+            }
+        }
+        let incremental_secs = t0.elapsed().as_secs_f64() / iters as f64;
+
+        out.push(PipelineRow {
+            segments: n,
+            window_ops: n * SEG_OPS,
+            flat_secs,
+            incremental_secs,
+        });
+    }
+    out
+}
+
+/// Runs a contended workload through the real threaded runtime and
+/// returns its [`RunStats`], whose detection-cost counters (ops scanned,
+/// delta re-validations, zero-copy windows) quantify what the pipeline
+/// actually did during live validation.
+pub fn pipeline_counters(quick: bool) -> RunStats {
+    let n_tasks = if quick { 24 } else { 96 };
+    let mut store = Store::new();
+    let work = store.alloc("work", Value::int(0));
+    let tasks: Vec<Task> = (1..=n_tasks as i64)
+        .map(|w| {
+            Task::new(move |tx| {
+                tx.add(work, w);
+                janus_workloads::local_work(20_000);
+                tx.add(work, -w);
+            })
+        })
+        .collect();
+    let det: Arc<dyn ConflictDetector> = Arc::new(SequenceDetector::new());
+    Janus::new(det).threads(4).run(store, tasks).stats
 }
 
 /// Aggregate headline numbers from a grid (speedups and retry ratios at

@@ -90,7 +90,11 @@ mod tests {
     fn bars_are_proportional_and_clamped() {
         assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
         assert_eq!(bar(10.0, 10.0, 10).chars().count(), 10);
-        assert_eq!(bar(0.01, 10.0, 10).chars().count(), 1, "positive => visible");
+        assert_eq!(
+            bar(0.01, 10.0, 10).chars().count(),
+            1,
+            "positive => visible"
+        );
         assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10, "clamped to width");
         assert_eq!(bar(0.0, 10.0, 10), "");
         assert_eq!(bar(1.0, 0.0, 10), "");

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use janus_core::{SnapshotState, Store, Task};
 use janus_detect::ConflictDetector;
-use janus_log::Op;
+use janus_log::{CommittedLog, HistoryWindow};
 
 /// Results of one simulated run.
 #[derive(Debug, Clone)]
@@ -62,7 +62,8 @@ struct Pending {
     /// snapshot, commits at or above it form the conflict history.
     begin_clock: u64,
     snapshot: SnapshotState,
-    log: Vec<Op>,
+    /// The transaction's log, decomposed once when the body finished.
+    log: CommittedLog,
 }
 
 /// Orders pendings by completion time (earliest first via `Reverse`).
@@ -118,10 +119,11 @@ pub fn simulate(
     let mut heap: BinaryHeap<Reverse<ByFinish>> = BinaryHeap::new();
     let mut waiting: Vec<Pending> = Vec::new();
     // Commit logs in commit order: `committed[v - 1]` is the log of the
-    // transaction that moved the clock from `v` to `v + 1`. Windows are
+    // transaction that moved the clock from `v` to `v + 1`, each
+    // pre-decomposed once at (virtual) commit time. Windows are
     // clock-based, as in the real protocol — virtual timestamps only
     // shape the timeline.
-    let mut committed: Vec<Arc<Vec<Op>>> = Vec::new();
+    let mut committed: Vec<Arc<CommittedLog>> = Vec::new();
     let mut clock: u64 = 1;
     let mut lock_free_at = 0.0f64;
     let mut next_task = 0usize;
@@ -151,7 +153,7 @@ pub fn simulate(
             task_idx,
             begin_clock,
             snapshot,
-            log: tx.into_log(),
+            log: CommittedLog::new(tx.into_log()),
         }
     };
 
@@ -170,13 +172,11 @@ pub fn simulate(
             waiting.push(p);
             continue;
         }
-        // GETCOMMITTEDHISTORY(t.Begin, now), clock-indexed.
-        let ops_c: Vec<Op> = committed[(p.begin_clock - 1) as usize..]
-            .iter()
-            .flat_map(|log| log.iter().cloned())
-            .collect();
+        // GETCOMMITTEDHISTORY(t.Begin, now), clock-indexed — a zero-copy
+        // window over the shared pre-decomposed segments.
+        let window = HistoryWindow::new(&committed[(p.begin_clock - 1) as usize..]);
         let t0 = Instant::now();
-        let conflict = detector.detect(&p.snapshot, &p.log, &ops_c);
+        let conflict = detector.detect(&p.snapshot, &p.log, window);
         let det = t0.elapsed().as_secs_f64();
         metrics.detect_time += det;
         let now = now + det;
@@ -193,7 +193,7 @@ pub fn simulate(
         // COMMIT through the serialized virtual write lock.
         let commit_start = now.max(lock_free_at);
         let t0 = Instant::now();
-        store.apply_log(&p.log);
+        store.apply_log(p.log.ops());
         let replay = t0.elapsed().as_secs_f64();
         let commit_time = commit_start + replay;
         committed.push(Arc::new(p.log));
@@ -204,10 +204,7 @@ pub fn simulate(
 
         // Wake the next ordered waiter, if it is now eligible.
         if ordered {
-            if let Some(pos) = waiting
-                .iter()
-                .position(|w| w.task_idx as u64 + 1 == clock)
-            {
+            if let Some(pos) = waiting.iter().position(|w| w.task_idx as u64 + 1 == clock) {
                 let mut w = waiting.remove(pos);
                 w.finish = w.finish.max(commit_time);
                 heap.push(Reverse(ByFinish(w)));
@@ -216,7 +213,14 @@ pub fn simulate(
 
         // The freed thread picks the next task.
         if next_task < tasks.len() {
-            let p = start_task(&store, next_task, p.thread, commit_time, clock, &mut metrics);
+            let p = start_task(
+                &store,
+                next_task,
+                p.thread,
+                commit_time,
+                clock,
+                &mut metrics,
+            );
             next_task += 1;
             heap.push(Reverse(ByFinish(p)));
         }

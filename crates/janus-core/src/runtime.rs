@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
-use janus_log::Op;
+use janus_log::{CommittedLog, HistoryWindow};
 use janus_train::{train, CommutativityCache, TrainConfig, TrainReport, TrainingRun};
 use parking_lot::RwLock;
 
@@ -53,6 +53,16 @@ pub struct RunStats {
     pub wall: Duration,
     /// Commit-log entries reclaimed by history GC.
     pub history_reclaimed: u64,
+    /// Operations handed to per-cell conflict checks during this run —
+    /// the cost driver incremental validation exists to bound.
+    pub detect_ops_scanned: u64,
+    /// Validation attempts that, after the commit clock advanced
+    /// mid-validation, re-detected only the delta window instead of the
+    /// full window.
+    pub delta_revalidations: u64,
+    /// History windows served zero-copy (shared pre-decomposed segments;
+    /// no operation cloned, no log re-decomposed).
+    pub zero_copy_windows: u64,
 }
 
 impl RunStats {
@@ -79,36 +89,81 @@ pub struct Outcome {
 struct Shared {
     slots: janus_persist::PersistentMap<janus_log::LocId, crate::store::Slot>,
     /// `history[v - 1 - pruned]` = the log committed by the transaction
-    /// that moved the clock from `v` to `v + 1`. The prefix below every
-    /// active transaction's begin time is garbage — no future conflict
-    /// query can reach it — and is reclaimed when `gc_history` is on
-    /// (the log-reclamation improvement §7.2 leaves to engineering).
-    history: Vec<Arc<Vec<Op>>>,
+    /// that moved the clock from `v` to `v + 1`, pre-decomposed once at
+    /// commit time. The prefix below every active transaction's begin
+    /// time is garbage — no future conflict query can reach it — and is
+    /// reclaimed when `gc_history` is on (the log-reclamation improvement
+    /// §7.2 leaves to engineering).
+    history: Vec<Arc<CommittedLog>>,
     /// Number of history entries reclaimed so far.
     pruned: u64,
 }
 
 impl Shared {
-    /// The committed logs in the half-open clock window `[begin, now)`.
-    fn window(&self, begin: u64, now: u64) -> Vec<Op> {
-        let lo = (begin - 1 - self.pruned) as usize;
-        let hi = (now - 1 - self.pruned) as usize;
-        self.history[lo..hi]
-            .iter()
-            .flat_map(|log| log.iter().cloned())
-            .collect()
+    /// Translates a clock value into an index into the retained history,
+    /// panicking clearly if the value has fallen below the GC horizon
+    /// (which would previously underflow silently in release builds).
+    fn index_of(&self, clock: u64) -> usize {
+        let i = clock
+            .checked_sub(1)
+            .and_then(|c| c.checked_sub(self.pruned))
+            .unwrap_or_else(|| {
+                panic!(
+                    "clock {clock} is below the GC horizon (pruned {})",
+                    self.pruned
+                )
+            });
+        usize::try_from(i).expect("history index fits in usize")
+    }
+
+    /// The committed segments in the half-open clock window `[begin, now)`
+    /// — `Arc` clones of pre-decomposed logs; no operation is copied.
+    fn window(&self, begin: u64, now: u64) -> Vec<Arc<CommittedLog>> {
+        debug_assert!(
+            begin >= 1 && begin <= now,
+            "malformed window [{begin}, {now})"
+        );
+        let lo = self.index_of(begin);
+        let hi = self.index_of(now);
+        assert!(
+            lo <= hi && hi <= self.history.len(),
+            "window [{begin}, {now}) escapes the retained history \
+             (pruned {}, retained {})",
+            self.pruned,
+            self.history.len()
+        );
+        self.history[lo..hi].to_vec()
     }
 
     /// Drops every history entry below the GC horizon (the oldest active
     /// transaction's begin time).
     fn reclaim(&mut self, horizon: u64) {
-        let drop_count = (horizon - 1).saturating_sub(self.pruned) as usize;
+        let floor = horizon
+            .checked_sub(1)
+            .expect("GC horizon below the initial clock value");
+        let drop_count = usize::try_from(floor.saturating_sub(self.pruned))
+            .expect("reclaim count fits in usize");
+        debug_assert!(
+            drop_count <= self.history.len(),
+            "GC horizon {horizon} ahead of the retained history \
+             (pruned {}, retained {})",
+            self.pruned,
+            self.history.len()
+        );
         let drop_count = drop_count.min(self.history.len());
         if drop_count > 0 {
             self.history.drain(..drop_count);
             self.pruned += drop_count as u64;
         }
     }
+}
+
+/// Monotone counters shared by the worker threads of one run.
+#[derive(Default)]
+struct RunCounters {
+    retries: AtomicU64,
+    delta_revalidations: AtomicU64,
+    zero_copy_windows: AtomicU64,
 }
 
 /// The multiset of in-flight transactions' begin times. Registration
@@ -222,40 +277,37 @@ impl Janus {
         });
         let active = ActiveBegins::default();
         let next_task = AtomicUsize::new(0);
-        let retries = AtomicU64::new(0);
+        let counters = RunCounters::default();
+        let ops_scanned_at_start = self.detector.stats().ops_scanned();
         let poisoned = std::sync::atomic::AtomicBool::new(false);
         let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
             parking_lot::Mutex::new(None);
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(tasks.len().max(1)) {
-                scope.spawn(|| {
-                    loop {
-                        if poisoned.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let i = next_task.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks.len() {
-                            break;
-                        }
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || {
-                                self.run_task(
-                                    &tasks[i],
-                                    (i + 1) as u64,
-                                    &clock,
-                                    &shared,
-                                    &active,
-                                    &retries,
-                                    &poisoned,
-                                )
-                            },
-                        ));
-                        if let Err(payload) = result {
-                            poisoned.store(true, Ordering::SeqCst);
-                            panic_payload.lock().get_or_insert(payload);
-                            break;
-                        }
+                scope.spawn(|| loop {
+                    if poisoned.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next_task.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.run_task(
+                            &tasks[i],
+                            (i + 1) as u64,
+                            &clock,
+                            &shared,
+                            &active,
+                            &counters,
+                            &poisoned,
+                        )
+                    }));
+                    if let Err(payload) = result {
+                        poisoned.store(true, Ordering::SeqCst);
+                        panic_payload.lock().get_or_insert(payload);
+                        break;
                     }
                 });
             }
@@ -275,9 +327,16 @@ impl Janus {
             store: final_store,
             stats: RunStats {
                 commits,
-                retries: retries.load(Ordering::Relaxed),
+                retries: counters.retries.load(Ordering::Relaxed),
                 wall: started.elapsed(),
                 history_reclaimed: shared.pruned,
+                detect_ops_scanned: self
+                    .detector
+                    .stats()
+                    .ops_scanned()
+                    .saturating_sub(ops_scanned_at_start),
+                delta_revalidations: counters.delta_revalidations.load(Ordering::Relaxed),
+                zero_copy_windows: counters.zero_copy_windows.load(Ordering::Relaxed),
             },
         }
     }
@@ -291,7 +350,7 @@ impl Janus {
         clock: &AtomicU64,
         shared: &RwLock<Shared>,
         active: &ActiveBegins,
-        retries: &AtomicU64,
+        counters: &RunCounters,
         poisoned: &std::sync::atomic::AtomicBool,
     ) {
         'restart: loop {
@@ -336,16 +395,37 @@ impl Janus {
             }
 
             let entry = SnapshotState(snapshot);
+            // Decompose the transaction's own log exactly once per
+            // attempt; the same pre-decomposed log drives every
+            // validation extension below and, on success, becomes the
+            // history segment other transactions validate against.
+            let txn_log = Arc::new(CommittedLog::new(std::mem::take(&mut tx.log)));
+            let mut session = self.detector.begin_validation(&entry, &txn_log);
+            let mut validated_to = begin;
             loop {
                 let now = clock.load(Ordering::SeqCst);
-                // GETCOMMITTEDHISTORY(t.Begin, now) — read lock, then
-                // detection runs with no lock held.
-                let ops_c: Vec<Op> = {
+                // GETCOMMITTEDHISTORY(validated_to, now) — the read lock
+                // only clones `Arc`s to the committed segments; detection
+                // runs with no lock held and no operation copied. On the
+                // first pass `validated_to == begin`; after a lost commit
+                // race only the delta `[validated_to, now)` is fetched
+                // and re-validated.
+                let delta: Vec<Arc<CommittedLog>> = if now > validated_to {
                     let g = shared.read();
-                    g.window(begin, now)
+                    g.window(validated_to, now)
+                } else {
+                    Vec::new()
                 };
-                if self.detector.detect(&entry, &tx.log, &ops_c) {
-                    retries.fetch_add(1, Ordering::Relaxed);
+                if !delta.is_empty() {
+                    counters.zero_copy_windows.fetch_add(1, Ordering::Relaxed);
+                    if validated_to > begin {
+                        counters.delta_revalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let conflict = session.extend(&HistoryWindow::new(&delta));
+                validated_to = now;
+                if conflict {
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
                     if self.gc_history {
                         active.unregister(begin);
                     }
@@ -355,7 +435,7 @@ impl Janus {
                 {
                     let mut g = shared.write();
                     if clock.load(Ordering::SeqCst) != now {
-                        continue; // history evolved: re-detect
+                        continue; // history evolved: re-validate the delta
                     }
                     // REPLAYLOGGEDOPERATIONS: group by location so each
                     // touched value is cloned out of the persistent store
@@ -364,7 +444,7 @@ impl Janus {
                         janus_log::LocId,
                         crate::store::Slot,
                     > = std::collections::HashMap::new();
-                    for op in &tx.log {
+                    for op in txn_log.ops() {
                         let slot = touched.entry(op.loc).or_insert_with(|| {
                             g.slots
                                 .get(&op.loc)
@@ -376,7 +456,9 @@ impl Janus {
                     for (loc, slot) in touched {
                         g.slots.insert(loc, slot);
                     }
-                    g.history.push(Arc::new(std::mem::take(&mut tx.log)));
+                    // The decomposition computed above is shared as-is:
+                    // no re-decomposition ever happens for this log.
+                    g.history.push(Arc::clone(&txn_log));
                     let now_clock = clock.fetch_add(1, Ordering::SeqCst) + 1;
                     if self.gc_history {
                         active.unregister(begin);
@@ -404,13 +486,7 @@ impl Janus {
         }
         let mut final_store = store;
         final_store.slots = slots;
-        (
-            final_store,
-            TrainingRun {
-                initial,
-                task_logs,
-            },
-        )
+        (final_store, TrainingRun { initial, task_logs })
     }
 
     /// Convenience wrapper: runs the tasks sequentially on training data
@@ -557,10 +633,67 @@ mod tests {
             commits: 10,
             retries: 5,
             wall: Duration::ZERO,
-            history_reclaimed: 0,
+            ..Default::default()
         };
         assert!((stats.retry_ratio() - 0.5).abs() < 1e-9);
         assert_eq!(RunStats::default().retry_ratio(), 0.0);
+    }
+
+    #[test]
+    fn detection_cost_counters_are_populated() {
+        // Force two transactions to overlap: each task body spins until
+        // both have started, so whichever commits second must validate
+        // against a non-empty window on the shared location.
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let started = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<Task> = (0..2)
+            .map(|_| {
+                let started = Arc::clone(&started);
+                Task::new(move |tx: &mut TxView| {
+                    tx.add(work, 1);
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while started.load(Ordering::SeqCst) < 2 {
+                        std::thread::yield_now();
+                    }
+                    tx.add(work, -1);
+                })
+            })
+            .collect();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(2)
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 2);
+        assert!(
+            outcome.stats.zero_copy_windows > 0,
+            "the second committer must fetch a non-empty window"
+        );
+        assert!(
+            outcome.stats.detect_ops_scanned > 0,
+            "common-location cell checks must scan operations"
+        );
+        // Every re-validation is bounded by the number of served windows.
+        assert!(outcome.stats.delta_revalidations <= outcome.stats.zero_copy_windows);
+    }
+
+    #[test]
+    fn uncontended_run_scans_nothing() {
+        // Disjoint locations: windows may be served, but no common cell
+        // ever forms, so detection scans zero operations.
+        let mut store = Store::new();
+        let locs: Vec<_> = (0..8)
+            .map(|i| store.alloc(format!("x{i}").as_str(), Value::int(0)))
+            .collect();
+        let tasks: Vec<Task> = locs
+            .iter()
+            .map(|&l| Task::new(move |tx: &mut TxView| tx.add(l, 1)))
+            .collect();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 8);
+        assert_eq!(outcome.stats.detect_ops_scanned, 0);
+        assert_eq!(outcome.stats.retries, 0);
     }
 
     #[test]
@@ -568,19 +701,12 @@ mod tests {
         let mut store = Store::new();
         let work = store.alloc("work", Value::int(0));
         let mut tasks = identity_tasks(work, 6);
-        tasks.insert(
-            3,
-            Task::new(|_tx: &mut TxView| panic!("boom in task body")),
-        );
+        tasks.insert(3, Task::new(|_tx: &mut TxView| panic!("boom in task body")));
         let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(2);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            janus.run(store, tasks)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| janus.run(store, tasks)));
         let payload = result.expect_err("panic must propagate");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .unwrap_or_default();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("boom"), "original payload preserved: {msg:?}");
     }
 
@@ -595,9 +721,8 @@ mod tests {
         let janus = Janus::new(Arc::new(SequenceDetector::new()))
             .threads(3)
             .ordered(true);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            janus.run(store, tasks)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| janus.run(store, tasks)));
         assert!(result.is_err(), "panic must propagate, not hang");
     }
 

@@ -78,9 +78,7 @@ impl TxView {
     ///
     /// Panics if the location does not hold an integer.
     pub fn read_int(&mut self, loc: LocId) -> i64 {
-        self.read(loc)
-            .as_int()
-            .expect("location holds an integer")
+        self.read(loc).as_int().expect("location holds an integer")
     }
 
     /// Blind-writes a scalar location.

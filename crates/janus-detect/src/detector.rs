@@ -1,12 +1,24 @@
 //! The conflict-detector implementations: write-set baseline, online
 //! sequence-based detection, and cached sequence-based detection with
 //! write-set fallback.
+//!
+//! All three detectors share one incremental engine: a
+//! [`ValidationSession`] opened once per validation attempt consumes
+//! committed history as zero-copy [`HistoryWindow`]s of pre-decomposed
+//! [`CommittedLog`] segments. The first `extend` validates the initial
+//! window; if the commit clock advances before the transaction wins the
+//! write lock, later `extend`s feed only the *delta* segments, and the
+//! session rechecks exactly the locations those deltas touch — verdicts
+//! for untouched locations cannot change, because a cell's verdict
+//! depends only on the transaction's and the committed history's
+//! subsequences for that cell.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use janus_log::{decompose, CellKey, ClassId, LocId, Op};
-use janus_relational::Value;
+use janus_log::{CellKey, ClassId, CommittedLog, HistoryWindow, LocId, Op};
+use janus_relational::{Key, Value};
 
 use crate::projection::conflict_cell;
 use crate::{Relaxation, RelaxationSpec};
@@ -35,7 +47,7 @@ impl EntryState for MapState {
 /// statistics reporting.
 #[derive(Debug, Default)]
 pub struct DetectorStats {
-    /// `DETECTCONFLICTS` invocations.
+    /// `DETECTCONFLICTS` invocations (validation sessions opened).
     pub queries: AtomicU64,
     /// Queries that reported a conflict.
     pub conflicts: AtomicU64,
@@ -44,6 +56,10 @@ pub struct DetectorStats {
     /// Per-cell queries that missed the cache and fell back to the
     /// write-set test.
     pub cache_misses: AtomicU64,
+    /// Operations handed to per-cell conflict checks (both sides). The
+    /// cost driver of detection: incremental re-validation exists to keep
+    /// this from growing quadratically with the history window.
+    pub ops_scanned: AtomicU64,
     /// Conflicting cells attributed to the class of their location —
     /// the data behind "which data structure serializes this benchmark"
     /// discussions (§7.2).
@@ -66,12 +82,18 @@ impl DetectorStats {
         )
     }
 
+    /// Operations scanned by per-cell conflict checks so far.
+    pub fn ops_scanned(&self) -> u64 {
+        self.ops_scanned.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.queries.store(0, Ordering::Relaxed);
         self.conflicts.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.ops_scanned.store(0, Ordering::Relaxed);
         self.by_class.lock().expect("stats mutex").clear();
     }
 
@@ -99,15 +121,60 @@ impl DetectorStats {
     }
 }
 
+/// An in-progress, incrementally extensible conflict validation for one
+/// transaction attempt.
+///
+/// Committed history reaches the session monotonically: the first
+/// [`extend`](ValidationSession::extend) carries the window
+/// `[begin, now)`, later ones carry only the delta `[validated_to, now)`
+/// observed when the commit clock advanced mid-validation. A conflict
+/// verdict is sticky — once `true`, every later call returns `true`
+/// without scanning.
+pub trait ValidationSession {
+    /// Feeds the next run of committed segments into the session and
+    /// returns whether any conflict has been detected so far.
+    fn extend(&mut self, delta: &HistoryWindow<'_>) -> bool;
+
+    /// Whether a conflict has been detected so far.
+    fn conflicted(&self) -> bool;
+}
+
 /// A conflict-detection algorithm, pluggable into the Figure 7 protocol.
 ///
 /// A detector is *sound* if it never misses a real non-commutativity and
 /// *valid* if it reports no conflict for an empty conflict history
 /// (Theorem 4.1's requirements).
 pub trait ConflictDetector: Send + Sync {
-    /// `DETECTCONFLICTS(t.SharedSnapshot, t.Log, ops_c)`: whether the
-    /// transaction's operations conflict with the committed operations.
-    fn detect(&self, entry: &dyn EntryState, txn: &[Op], committed: &[Op]) -> bool;
+    /// Opens an incremental validation session for one transaction
+    /// attempt. `txn` is the transaction's own log, pre-decomposed; the
+    /// committed history is fed in through
+    /// [`ValidationSession::extend`].
+    fn begin_validation<'a>(
+        &'a self,
+        entry: &'a dyn EntryState,
+        txn: &'a CommittedLog,
+    ) -> Box<dyn ValidationSession + 'a>;
+
+    /// `DETECTCONFLICTS(t.SharedSnapshot, t.Log, window)`: whether the
+    /// transaction's operations conflict with the committed window. The
+    /// window is zero-copy — no operation is cloned and no committed log
+    /// is re-decomposed.
+    fn detect(
+        &self,
+        entry: &dyn EntryState,
+        txn: &CommittedLog,
+        window: HistoryWindow<'_>,
+    ) -> bool {
+        self.begin_validation(entry, txn).extend(&window)
+    }
+
+    /// Convenience over raw operation slices (tests, training-time
+    /// evaluation): wraps both sides in throwaway [`CommittedLog`]s.
+    fn detect_ops(&self, entry: &dyn EntryState, txn: &[Op], committed: &[Op]) -> bool {
+        let txn = CommittedLog::new(txn.to_vec());
+        let committed = [Arc::new(CommittedLog::new(committed.to_vec()))];
+        self.detect(entry, &txn, HistoryWindow::new(&committed))
+    }
 
     /// A short human-readable name ("write-set", "sequence", ...).
     fn name(&self) -> &'static str;
@@ -116,46 +183,154 @@ pub trait ConflictDetector: Send + Sync {
     fn stats(&self) -> &DetectorStats;
 }
 
-/// Iterates the common cells of the two decomposed histories, calling
-/// `per_cell` for each; returns `true` as soon as any cell conflicts.
-///
-/// The iteration embodies §5.3's projection: private locations — those
-/// appearing in only one history — are safely ignored, and within a
-/// relational object only overlapping keys meet (unless whole-object
-/// accesses force object granularity).
-fn detect_common_cells(
-    entry: &dyn EntryState,
-    txn: &[Op],
-    committed: &[Op],
-    mut per_cell: impl FnMut(&ClassId, Option<&Value>, &CellKey, &[&Op], &[&Op]) -> bool,
-) -> bool {
-    let dt = decompose(txn.iter());
-    let dc = decompose(committed.iter());
-    for (loc, ht) in &dt {
-        let Some(hc) = dc.get(loc) else { continue };
-        let entry_value = entry.value_of(*loc);
-        if ht.has_whole || hc.has_whole {
-            let cell = CellKey::Whole;
-            if per_cell(&ht.class, entry_value.as_ref(), &cell, &ht.ops, &hc.ops) {
-                return true;
+/// The per-cell verdict function of one detector — the only part that
+/// differs between the write-set, online-sequence and cached-sequence
+/// algorithms. Everything around it (decomposition reuse, common-cell
+/// iteration, incremental re-validation) is shared.
+trait CellJudge: Sync {
+    /// The detector's counters.
+    fn judge_stats(&self) -> &DetectorStats;
+
+    /// Whether the cell's subsequences conflict. Implementations record
+    /// class attribution for conflicting cells themselves.
+    fn judge(
+        &self,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+    ) -> bool;
+}
+
+/// The shared incremental engine: accumulates committed segments and
+/// rechecks only the locations each delta touches.
+struct Session<'a, D: ?Sized> {
+    judge: &'a D,
+    entry: &'a dyn EntryState,
+    txn: &'a CommittedLog,
+    /// Accumulated committed segments, in commit order. `Arc` clones, so
+    /// the session stays valid even if the runtime's history is pruned
+    /// concurrently.
+    segments: Vec<Arc<CommittedLog>>,
+    conflicted: bool,
+}
+
+/// Opens a session over a per-cell judge, counting the query.
+fn open_session<'a, D: CellJudge>(
+    judge: &'a D,
+    entry: &'a dyn EntryState,
+    txn: &'a CommittedLog,
+) -> Box<dyn ValidationSession + 'a> {
+    judge.judge_stats().queries.fetch_add(1, Ordering::Relaxed);
+    Box::new(Session {
+        judge,
+        entry,
+        txn,
+        segments: Vec::new(),
+        conflicted: false,
+    })
+}
+
+impl<D: CellJudge + ?Sized> Session<'_, D> {
+    /// Re-evaluates every common cell of one location against the *full*
+    /// accumulated committed subsequence for that location. Sound because
+    /// a cell's verdict is a function of the two subsequences alone; the
+    /// caller only invokes this for locations a new delta touched.
+    fn check_loc(&self, loc: LocId) -> bool {
+        let ht = self.txn.loc(loc).expect("dirty location is txn-touched");
+        let stats = self.judge.judge_stats();
+        // Fold the accumulated committed subsequence for this location
+        // out of the per-segment indices (no decomposition happens here —
+        // every segment was decomposed once, at commit time).
+        let mut c_has_whole = false;
+        let mut c_ops: Vec<&Op> = Vec::new();
+        let mut c_per_key: BTreeMap<&Key, Vec<&Op>> = BTreeMap::new();
+        for seg in &self.segments {
+            let Some(dc) = seg.loc(loc) else { continue };
+            c_has_whole |= dc.has_whole;
+            seg.resolve(&dc.ops, &mut c_ops);
+            for (k, idxs) in &dc.per_key {
+                seg.resolve(idxs, c_per_key.entry(k).or_default());
             }
+        }
+        if c_ops.is_empty() {
+            return false;
+        }
+        let entry_value = self.entry.value_of(loc);
+        if ht.has_whole || c_has_whole {
+            let mut t_ops: Vec<&Op> = Vec::with_capacity(ht.ops.len());
+            self.txn.resolve(&ht.ops, &mut t_ops);
+            stats
+                .ops_scanned
+                .fetch_add((t_ops.len() + c_ops.len()) as u64, Ordering::Relaxed);
+            self.judge.judge(
+                &ht.class,
+                entry_value.as_ref(),
+                &CellKey::Whole,
+                &t_ops,
+                &c_ops,
+            )
         } else {
-            for (key, t_ops) in &ht.per_key {
-                let Some(c_ops) = hc.per_key.get(key) else {
+            for (key, t_idxs) in &ht.per_key {
+                let Some(c_key_ops) = c_per_key.get(key) else {
                     continue;
                 };
+                let mut t_ops: Vec<&Op> = Vec::with_capacity(t_idxs.len());
+                self.txn.resolve(t_idxs, &mut t_ops);
                 let cell = CellKey::Key(key.clone());
                 // The subsequences of a per-key cell only touch that key,
                 // so sequence evaluation may run against a relation pruned
                 // to the key — avoiding whole-object clones per replay.
                 let pruned = entry_value.as_ref().map(|v| prune_to_key(v, key));
-                if per_cell(&ht.class, pruned.as_ref(), &cell, t_ops, c_ops) {
+                stats
+                    .ops_scanned
+                    .fetch_add((t_ops.len() + c_key_ops.len()) as u64, Ordering::Relaxed);
+                if self
+                    .judge
+                    .judge(&ht.class, pruned.as_ref(), &cell, &t_ops, c_key_ops)
+                {
                     return true;
                 }
             }
+            false
         }
     }
-    false
+}
+
+impl<D: CellJudge + ?Sized> ValidationSession for Session<'_, D> {
+    fn extend(&mut self, delta: &HistoryWindow<'_>) -> bool {
+        if self.conflicted {
+            return true;
+        }
+        // The dirty set: locations the delta touches *and* the
+        // transaction touches. Only their verdicts can change; private
+        // locations and unshared keys never meet (§5.3's projection).
+        let mut dirty: BTreeSet<LocId> = BTreeSet::new();
+        for seg in delta.segments() {
+            for loc in seg.index().locs.keys() {
+                if self.txn.loc(*loc).is_some() {
+                    dirty.insert(*loc);
+                }
+            }
+        }
+        self.segments.extend(delta.segments().iter().cloned());
+        for loc in dirty {
+            if self.check_loc(loc) {
+                self.conflicted = true;
+                self.judge
+                    .judge_stats()
+                    .conflicts
+                    .fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn conflicted(&self) -> bool {
+        self.conflicted
+    }
 }
 
 /// Restricts a relational value to the tuples under one key (identity on
@@ -221,20 +396,34 @@ impl WriteSetDetector {
     }
 }
 
-impl ConflictDetector for WriteSetDetector {
-    fn detect(&self, entry: &dyn EntryState, txn: &[Op], committed: &[Op]) -> bool {
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let conflict = detect_common_cells(entry, txn, committed, |class, _, _, t, c| {
-            let hit = write_set_cell(t, c, Relaxation::strict());
-            if hit {
-                self.stats.record_class_conflict(class);
-            }
-            hit
-        });
-        if conflict {
-            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+impl CellJudge for WriteSetDetector {
+    fn judge_stats(&self) -> &DetectorStats {
+        &self.stats
+    }
+
+    fn judge(
+        &self,
+        class: &ClassId,
+        _entry: Option<&Value>,
+        _cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+    ) -> bool {
+        let hit = write_set_cell(txn, committed, Relaxation::strict());
+        if hit {
+            self.stats.record_class_conflict(class);
         }
-        conflict
+        hit
+    }
+}
+
+impl ConflictDetector for WriteSetDetector {
+    fn begin_validation<'a>(
+        &'a self,
+        entry: &'a dyn EntryState,
+        txn: &'a CommittedLog,
+    ) -> Box<dyn ValidationSession + 'a> {
+        open_session(self, entry, txn)
     }
 
     fn name(&self) -> &'static str {
@@ -273,26 +462,40 @@ impl SequenceDetector {
     }
 }
 
-impl ConflictDetector for SequenceDetector {
-    fn detect(&self, entry: &dyn EntryState, txn: &[Op], committed: &[Op]) -> bool {
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let conflict = detect_common_cells(entry, txn, committed, |class, value, cell, t, c| {
-            let relax = self.relax.effective(class, t, c);
-            let hit = match value {
-                Some(v) => conflict_cell(v, cell, t, c, relax),
-                // No entry value (location unknown to the snapshot):
-                // conservatively fall back to the write-set test.
-                None => write_set_cell(t, c, relax),
-            };
-            if hit {
-                self.stats.record_class_conflict(class);
-            }
-            hit
-        });
-        if conflict {
-            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+impl CellJudge for SequenceDetector {
+    fn judge_stats(&self) -> &DetectorStats {
+        &self.stats
+    }
+
+    fn judge(
+        &self,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+    ) -> bool {
+        let relax = self.relax.effective(class, txn, committed);
+        let hit = match entry {
+            Some(v) => conflict_cell(v, cell, txn, committed, relax),
+            // No entry value (location unknown to the snapshot):
+            // conservatively fall back to the write-set test.
+            None => write_set_cell(txn, committed, relax),
+        };
+        if hit {
+            self.stats.record_class_conflict(class);
         }
-        conflict
+        hit
+    }
+}
+
+impl ConflictDetector for SequenceDetector {
+    fn begin_validation<'a>(
+        &'a self,
+        entry: &'a dyn EntryState,
+        txn: &'a CommittedLog,
+    ) -> Box<dyn ValidationSession + 'a> {
+        open_session(self, entry, txn)
     }
 
     fn name(&self) -> &'static str {
@@ -371,34 +574,48 @@ impl<O: SequenceOracle> CachedSequenceDetector<O> {
     }
 }
 
-impl<O: SequenceOracle> ConflictDetector for CachedSequenceDetector<O> {
-    fn detect(&self, entry: &dyn EntryState, txn: &[Op], committed: &[Op]) -> bool {
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let conflict = detect_common_cells(entry, txn, committed, |class, value, cell, t, c| {
-            let relax = self.relax.effective(class, t, c);
-            if relax.tolerate_raw && relax.tolerate_waw {
-                // Everything the cell check could flag is tolerated.
-                return false;
-            }
-            let hit = match self.oracle.query(class, value, cell, t, c, relax) {
-                Some(answer) => {
-                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    answer
-                }
-                None => {
-                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    write_set_cell(t, c, relax)
-                }
-            };
-            if hit {
-                self.stats.record_class_conflict(class);
-            }
-            hit
-        });
-        if conflict {
-            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+impl<O: SequenceOracle> CellJudge for CachedSequenceDetector<O> {
+    fn judge_stats(&self) -> &DetectorStats {
+        &self.stats
+    }
+
+    fn judge(
+        &self,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        txn: &[&Op],
+        committed: &[&Op],
+    ) -> bool {
+        let relax = self.relax.effective(class, txn, committed);
+        if relax.tolerate_raw && relax.tolerate_waw {
+            // Everything the cell check could flag is tolerated.
+            return false;
         }
-        conflict
+        let hit = match self.oracle.query(class, entry, cell, txn, committed, relax) {
+            Some(answer) => {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                answer
+            }
+            None => {
+                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                write_set_cell(txn, committed, relax)
+            }
+        };
+        if hit {
+            self.stats.record_class_conflict(class);
+        }
+        hit
+    }
+}
+
+impl<O: SequenceOracle> ConflictDetector for CachedSequenceDetector<O> {
+    fn begin_validation<'a>(
+        &'a self,
+        entry: &'a dyn EntryState,
+        txn: &'a CommittedLog,
+    ) -> Box<dyn ValidationSession + 'a> {
+        open_session(self, entry, txn)
     }
 
     fn name(&self) -> &'static str {
@@ -417,10 +634,7 @@ mod tests {
     use janus_relational::Scalar;
 
     fn mk_ops(loc: u64, class: &str, kinds: Vec<OpKind>, entry: &mut MapState) -> Vec<Op> {
-        let v = entry
-            .0
-            .entry(LocId(loc))
-            .or_insert_with(|| Value::int(0));
+        let v = entry.0.entry(LocId(loc)).or_insert_with(|| Value::int(0));
         let mut v = v.clone();
         kinds
             .into_iter()
@@ -447,9 +661,12 @@ mod tests {
         let a = mk_ops(0, "work", vec![add(2), add(-2)], &mut s);
         let b = mk_ops(0, "work", vec![add(3), add(-3)], &mut s);
         let ws = WriteSetDetector::new();
-        assert!(ws.detect(&s, &a, &b), "write-set is conservative");
+        assert!(ws.detect_ops(&s, &a, &b), "write-set is conservative");
         let seq = SequenceDetector::new();
-        assert!(!seq.detect(&s, &a, &b), "sequence detection sees the identity");
+        assert!(
+            !seq.detect_ops(&s, &a, &b),
+            "sequence detection sees the identity"
+        );
     }
 
     #[test]
@@ -458,9 +675,15 @@ mod tests {
         s.0.insert(LocId(0), Value::int(0));
         let a = mk_ops(0, "x", vec![write(1), read()], &mut s);
         let empty: Vec<Op> = Vec::new();
-        for det in [&WriteSetDetector::new() as &dyn ConflictDetector, &SequenceDetector::new()]
-        {
-            assert!(!det.detect(&s, &a, &empty), "{} must be valid", det.name());
+        for det in [
+            &WriteSetDetector::new() as &dyn ConflictDetector,
+            &SequenceDetector::new(),
+        ] {
+            assert!(
+                !det.detect_ops(&s, &a, &empty),
+                "{} must be valid",
+                det.name()
+            );
         }
     }
 
@@ -471,8 +694,8 @@ mod tests {
         s.0.insert(LocId(1), Value::int(0));
         let a = mk_ops(0, "x", vec![write(1)], &mut s);
         let b = mk_ops(1, "y", vec![write(2)], &mut s);
-        assert!(!WriteSetDetector::new().detect(&s, &a, &b));
-        assert!(!SequenceDetector::new().detect(&s, &a, &b));
+        assert!(!WriteSetDetector::new().detect_ops(&s, &a, &b));
+        assert!(!SequenceDetector::new().detect_ops(&s, &a, &b));
     }
 
     #[test]
@@ -490,8 +713,8 @@ mod tests {
         for (ka, kb) in cases {
             let a = mk_ops(0, "x", ka, &mut s);
             let b = mk_ops(0, "x", kb, &mut s);
-            let seq_conflict = SequenceDetector::new().detect(&s, &a, &b);
-            let ws_conflict = WriteSetDetector::new().detect(&s, &a, &b);
+            let seq_conflict = SequenceDetector::new().detect_ops(&s, &a, &b);
+            let ws_conflict = WriteSetDetector::new().detect_ops(&s, &a, &b);
             assert!(
                 !seq_conflict || ws_conflict,
                 "sequence flagged a conflict write-set missed"
@@ -506,12 +729,78 @@ mod tests {
         let a = mk_ops(0, "x", vec![write(1)], &mut s);
         let b = mk_ops(0, "x", vec![write(2)], &mut s);
         let det = WriteSetDetector::new();
-        det.detect(&s, &a, &b);
-        det.detect(&s, &a, &[]);
+        det.detect_ops(&s, &a, &b);
+        det.detect_ops(&s, &a, &[]);
         let (q, c, _, _) = det.stats().snapshot();
         assert_eq!((q, c), (2, 1));
+        assert!(det.stats().ops_scanned() > 0, "cell checks scanned ops");
         det.stats().reset();
         assert_eq!(det.stats().snapshot(), (0, 0, 0, 0));
+        assert_eq!(det.stats().ops_scanned(), 0);
+    }
+
+    #[test]
+    fn session_extends_incrementally_and_sticks() {
+        let mut s = MapState::default();
+        s.0.insert(LocId(0), Value::int(0));
+        let a = mk_ops(0, "x", vec![read(), add(1)], &mut s);
+        let ok_seg = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "x",
+            vec![add(2), add(-2)],
+            &mut s,
+        )))];
+        let bad_seg = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "x",
+            vec![write(9)],
+            &mut s,
+        )))];
+        let txn = CommittedLog::new(a);
+        let det = SequenceDetector::new();
+        let mut session = det.begin_validation(&s, &txn);
+        assert!(!session.extend(&HistoryWindow::empty()));
+        // A commuting delta: still no conflict.
+        assert!(!session.extend(&HistoryWindow::new(&ok_seg)));
+        assert!(!session.conflicted());
+        // A conflicting delta (writes under an exposed read): conflict,
+        // and the verdict is sticky from then on.
+        assert!(session.extend(&HistoryWindow::new(&bad_seg)));
+        assert!(session.conflicted());
+        assert!(session.extend(&HistoryWindow::empty()), "verdict is sticky");
+    }
+
+    #[test]
+    fn delta_on_foreign_location_is_not_rescanned() {
+        let mut s = MapState::default();
+        s.0.insert(LocId(0), Value::int(0));
+        s.0.insert(LocId(7), Value::int(0));
+        let a = mk_ops(0, "x", vec![read(), read()], &mut s);
+        let seg = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "x",
+            vec![read()],
+            &mut s,
+        )))];
+        let foreign = [Arc::new(CommittedLog::new(mk_ops(
+            7,
+            "y",
+            vec![write(3)],
+            &mut s,
+        )))];
+        let txn = CommittedLog::new(a);
+        let det = WriteSetDetector::new();
+        let mut session = det.begin_validation(&s, &txn);
+        assert!(!session.extend(&HistoryWindow::new(&seg)));
+        let scanned = det.stats().ops_scanned();
+        // Delta touching only a location the transaction never accessed:
+        // no cell check runs at all.
+        assert!(!session.extend(&HistoryWindow::new(&foreign)));
+        assert_eq!(
+            det.stats().ops_scanned(),
+            scanned,
+            "foreign delta must not trigger any scan"
+        );
     }
 
     /// A trivial oracle: answers "no conflict" for classes named
@@ -543,12 +832,12 @@ mod tests {
         // would flag it.
         let a = mk_ops(0, "known", vec![add(1), add(-1)], &mut s);
         let b = mk_ops(0, "known", vec![add(2), add(-2)], &mut s);
-        assert!(!det.detect(&s, &a, &b));
+        assert!(!det.detect_ops(&s, &a, &b));
 
         // Unknown class: miss, write-set fallback flags the conflict.
         let a = mk_ops(1, "unknown", vec![add(1), add(-1)], &mut s);
         let b = mk_ops(1, "unknown", vec![add(2), add(-2)], &mut s);
-        assert!(det.detect(&s, &a, &b));
+        assert!(det.detect_ops(&s, &a, &b));
 
         let (_, _, hits, misses) = det.stats().snapshot();
         assert_eq!((hits, misses), (1, 1));
@@ -565,11 +854,11 @@ mod tests {
         let a1 = mk_ops(1, "cold", vec![read()], &mut s);
         let b1 = mk_ops(1, "cold", vec![read()], &mut s);
         // Conflict on "hot" twice, never on "cold".
-        ws.detect(&s, &a0, &b0);
-        ws.detect(&s, &a0, &b0);
+        ws.detect_ops(&s, &a0, &b0);
+        ws.detect_ops(&s, &a0, &b0);
         let mut both_a = a1.clone();
         both_a.extend(a0.clone());
-        let _ = ws.detect(&s, &both_a, &b1); // cold-only overlap: no conflict
+        let _ = ws.detect_ops(&s, &both_a, &b1); // cold-only overlap: no conflict
         let by_class = ws.stats().conflicts_by_class();
         assert_eq!(by_class.len(), 1);
         assert_eq!(by_class[0].0.label(), "hot");
@@ -593,9 +882,13 @@ mod tests {
         let det = CachedSequenceDetector::with_relaxations(TestOracle, relax);
         let a = mk_ops(0, "scratch", vec![write(1), read()], &mut s);
         let b = mk_ops(0, "scratch", vec![write(2), read()], &mut s);
-        assert!(!det.detect(&s, &a, &b));
+        assert!(!det.detect_ops(&s, &a, &b));
         let (_, _, hits, misses) = det.stats().snapshot();
-        assert_eq!((hits, misses), (0, 0), "relaxed cells never reach the oracle");
+        assert_eq!(
+            (hits, misses),
+            (0, 0),
+            "relaxed cells never reach the oracle"
+        );
     }
 
     #[test]
@@ -607,7 +900,7 @@ mod tests {
         let a = mk_ops(0, "ctx.file", vec![write(1), read()], &mut s);
         let b = mk_ops(0, "ctx.file", vec![write(2), read()], &mut s);
         assert!(
-            !det.detect(&s, &a, &b),
+            !det.detect_ops(&s, &a, &b),
             "covered-read WAW chain tolerated out of order"
         );
     }

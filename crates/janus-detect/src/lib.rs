@@ -36,10 +36,10 @@ mod relax;
 
 pub use detector::{
     CachedSequenceDetector, ConflictDetector, DetectorStats, EntryState, MapState,
-    SequenceOracle, SequenceDetector, WriteSetDetector,
+    SequenceDetector, SequenceOracle, ValidationSession, WriteSetDetector,
 };
 pub use projection::{
-    cell_value, commute, conflict_cell, last_write, net_delta, observes, read_prefixes, replay_cell,
-    same_read, CellValue,
+    cell_value, commute, conflict_cell, last_write, net_delta, observes, read_prefixes,
+    replay_cell, same_read, CellValue,
 };
 pub use relax::{infer_waw_tolerance, Relaxation, RelaxationSpec};

@@ -386,7 +386,10 @@ mod tests {
     fn select_vs_insert_conflicts() {
         let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
         let entry = Value::Rel(Relation::empty(schema));
-        let a = mk_ops(vec![OpKind::Rel(RelOp::select(Formula::eq(0, 1i64)))], &entry);
+        let a = mk_ops(
+            vec![OpKind::Rel(RelOp::select(Formula::eq(0, 1i64)))],
+            &entry,
+        );
         let b = mk_ops(vec![OpKind::Rel(RelOp::insert(tuple![1, 10]))], &entry);
         assert!(conflict_cell(
             &entry,
@@ -428,6 +431,9 @@ mod tests {
         let k2 = CellKey::Key(janus_relational::Key::scalar(2i64));
         assert_eq!(cell_value(&v, &k1), CellValue::Entry(Some(tuple![1, 10])));
         assert_eq!(cell_value(&v, &k2), CellValue::Entry(None));
-        assert!(matches!(cell_value(&v, &CellKey::Whole), CellValue::Whole(_)));
+        assert!(matches!(
+            cell_value(&v, &CellKey::Whole),
+            CellValue::Whole(_)
+        ));
     }
 }

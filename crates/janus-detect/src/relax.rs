@@ -98,8 +98,7 @@ impl RelaxationSpec {
     /// inference when enabled.
     pub fn effective(&self, class: &ClassId, txn: &[&Op], committed: &[&Op]) -> Relaxation {
         let mut r = self.for_class(class);
-        if self.infer_waw_out_of_order && !r.tolerate_waw && infer_waw_tolerance(txn, committed)
-        {
+        if self.infer_waw_out_of_order && !r.tolerate_waw && infer_waw_tolerance(txn, committed) {
             r.tolerate_waw = true;
         }
         r
@@ -154,11 +153,17 @@ mod tests {
 
     #[test]
     fn relaxation_union() {
-        assert_eq!(Relaxation::raw().union(Relaxation::waw()), Relaxation {
-            tolerate_raw: true,
-            tolerate_waw: true
-        });
-        assert_eq!(Relaxation::strict().union(Relaxation::strict()), Relaxation::strict());
+        assert_eq!(
+            Relaxation::raw().union(Relaxation::waw()),
+            Relaxation {
+                tolerate_raw: true,
+                tolerate_waw: true
+            }
+        );
+        assert_eq!(
+            Relaxation::strict().union(Relaxation::strict()),
+            Relaxation::strict()
+        );
     }
 
     #[test]
@@ -184,7 +189,10 @@ mod tests {
         let wr = refs(&write_then_read);
         let rw = refs(&read_then_write);
         assert!(infer_waw_tolerance(&wr, &wr));
-        assert!(!infer_waw_tolerance(&wr, &rw), "exposed read blocks inference");
+        assert!(
+            !infer_waw_tolerance(&wr, &rw),
+            "exposed read blocks inference"
+        );
         assert!(!infer_waw_tolerance(&rw, &wr));
     }
 

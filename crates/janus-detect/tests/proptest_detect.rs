@@ -65,8 +65,8 @@ proptest! {
         state.0.insert(LocId(0), Value::int(entry));
         let a = mk_ops(&ka, entry);
         let b = mk_ops(&kb, entry);
-        let seq = SequenceDetector::new().detect(&state, &a, &b);
-        let ws = WriteSetDetector::new().detect(&state, &a, &b);
+        let seq = SequenceDetector::new().detect_ops(&state, &a, &b);
+        let ws = WriteSetDetector::new().detect_ops(&state, &a, &b);
         prop_assert!(!seq || ws, "{ka:?} vs {kb:?} at {entry}");
     }
 
@@ -80,8 +80,8 @@ proptest! {
         let mut state = MapState::default();
         state.0.insert(LocId(0), Value::int(entry));
         let a = mk_ops(&ka, entry);
-        prop_assert!(!SequenceDetector::new().detect(&state, &a, &[]));
-        prop_assert!(!WriteSetDetector::new().detect(&state, &a, &[]));
+        prop_assert!(!SequenceDetector::new().detect_ops(&state, &a, &[]));
+        prop_assert!(!WriteSetDetector::new().detect_ops(&state, &a, &[]));
     }
 
     /// Soundness on blind histories: if the sequence detector clears a
@@ -98,7 +98,7 @@ proptest! {
         state.0.insert(LocId(0), Value::int(entry));
         let a = mk_ops(&ka, entry);
         let b = mk_ops(&kb, entry);
-        if !SequenceDetector::new().detect(&state, &a, &b) {
+        if !SequenceDetector::new().detect_ops(&state, &a, &b) {
             prop_assert!(replays_equal(&a, &b, entry), "{ka:?} vs {kb:?} at {entry}");
         }
     }

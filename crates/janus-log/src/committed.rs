@@ -1,0 +1,258 @@
+//! Committed-log segments and zero-copy history windows.
+//!
+//! The Figure 7 protocol hands every validating transaction the window of
+//! logs committed since its begin time. Materializing that window as a
+//! flat `Vec<Op>` clones every operation once per validation attempt and
+//! forces each detector to re-run `DECOMPOSE` over the same committed
+//! ops again and again. A [`CommittedLog`] instead pairs a committed
+//! log with its decomposition, computed exactly once at commit time, and
+//! a [`HistoryWindow`] is a borrowed run of `Arc`'d segments — handing a
+//! window to a detector shares the segments instead of copying them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use janus_relational::{CellSet, Key};
+
+use crate::{ClassId, LocId, Op};
+
+/// The decomposition of one committed log restricted to one location,
+/// stored as indices into the owning [`CommittedLog`]'s operation vector
+/// (indices, not references, so the structure is self-contained and
+/// shareable behind an `Arc`).
+#[derive(Debug, Clone)]
+pub struct DecomposedLoc {
+    /// The location's static class.
+    pub class: ClassId,
+    /// Indices of every operation on this location, in log order.
+    pub ops: Vec<u32>,
+    /// Whether any operation has a whole-object footprint.
+    pub has_whole: bool,
+    /// Key-granular index subsequences, in log order per key.
+    pub per_key: BTreeMap<Key, Vec<u32>>,
+}
+
+/// The per-location index of one committed log: which locations it
+/// touches, and the index subsequence for each (the `DECOMPOSE` of
+/// Figure 8, computed once instead of per conflict query).
+#[derive(Debug, Clone, Default)]
+pub struct DecomposedLog {
+    /// Per-location index entries.
+    pub locs: BTreeMap<LocId, DecomposedLoc>,
+}
+
+impl DecomposedLog {
+    fn build(ops: &[Op]) -> Self {
+        let mut locs: BTreeMap<LocId, DecomposedLoc> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let i = u32::try_from(i).expect("committed log longer than u32::MAX ops");
+            let entry = locs.entry(op.loc).or_insert_with(|| DecomposedLoc {
+                class: op.class.clone(),
+                ops: Vec::new(),
+                has_whole: false,
+                per_key: BTreeMap::new(),
+            });
+            entry.ops.push(i);
+            match op.footprint.accessed() {
+                CellSet::All => entry.has_whole = true,
+                CellSet::Keys(keys) => {
+                    for k in keys {
+                        entry.per_key.entry(k).or_default().push(i);
+                    }
+                }
+                CellSet::Empty => {}
+            }
+        }
+        DecomposedLog { locs }
+    }
+}
+
+/// One committed transaction log together with its per-location index.
+///
+/// The index is computed exactly once, in [`CommittedLog::new`]; every
+/// later conflict query against this log — from any concurrent
+/// transaction, at any clock — reuses it.
+#[derive(Debug, Clone)]
+pub struct CommittedLog {
+    ops: Vec<Op>,
+    index: DecomposedLog,
+}
+
+impl CommittedLog {
+    /// Wraps a log, decomposing it once.
+    pub fn new(ops: Vec<Op>) -> Self {
+        let index = DecomposedLog::build(&ops);
+        CommittedLog { ops, index }
+    }
+
+    /// The operations, in log order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The per-location index.
+    pub fn index(&self) -> &DecomposedLog {
+        &self.index
+    }
+
+    /// The index entry for one location, if the log touches it.
+    pub fn loc(&self, loc: LocId) -> Option<&DecomposedLoc> {
+        self.index.locs.get(&loc)
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Resolves an index subsequence to operation references.
+    pub fn resolve<'a>(&'a self, indices: &[u32], out: &mut Vec<&'a Op>) {
+        out.extend(indices.iter().map(|&i| &self.ops[i as usize]));
+    }
+}
+
+impl From<Vec<Op>> for CommittedLog {
+    fn from(ops: Vec<Op>) -> Self {
+        CommittedLog::new(ops)
+    }
+}
+
+/// A zero-copy window over committed history: a borrowed run of shared
+/// segments, in commit order. Constructing one never clones an [`Op`];
+/// consumers that need to outlive the borrow clone the `Arc`s.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryWindow<'a> {
+    segments: &'a [Arc<CommittedLog>],
+}
+
+impl<'a> HistoryWindow<'a> {
+    /// A window over the given segments.
+    pub fn new(segments: &'a [Arc<CommittedLog>]) -> Self {
+        HistoryWindow { segments }
+    }
+
+    /// The empty window.
+    pub fn empty() -> Self {
+        HistoryWindow { segments: &[] }
+    }
+
+    /// The segments, in commit order.
+    pub fn segments(&self) -> &'a [Arc<CommittedLog>] {
+        self.segments
+    }
+
+    /// Total number of operations across all segments.
+    pub fn ops_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the window holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.is_empty())
+    }
+
+    /// Every operation in the window, in commit order (test/debug aid —
+    /// the detectors consume the per-location indices instead).
+    pub fn iter_ops(&self) -> impl Iterator<Item = &'a Op> {
+        self.segments.iter().flat_map(|s| s.ops().iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, ScalarOp};
+    use janus_relational::{tuple, Fd, Formula, RelOp, Relation, Scalar, Schema, Value};
+
+    fn scalar_op(loc: u64, kind: ScalarOp, v: &mut Value) -> Op {
+        Op::execute(
+            LocId(loc),
+            ClassId::new(format!("c{loc}")),
+            OpKind::Scalar(kind),
+            v,
+        )
+        .0
+    }
+
+    #[test]
+    fn index_matches_reference_decomposition() {
+        let mut a = Value::int(0);
+        let mut b = Value::int(0);
+        let ops = vec![
+            scalar_op(1, ScalarOp::Add(1), &mut a),
+            scalar_op(2, ScalarOp::Write(Scalar::Int(5)), &mut b),
+            scalar_op(1, ScalarOp::Add(-1), &mut a),
+        ];
+        let reference: Vec<_> = crate::decompose(ops.iter())
+            .into_iter()
+            .map(|(loc, h)| {
+                let kinds: Vec<_> = h.ops.iter().map(|op| op.kind.clone()).collect();
+                (loc, kinds, h.has_whole)
+            })
+            .collect();
+        let log = CommittedLog::new(ops);
+        assert_eq!(log.index().locs.len(), reference.len());
+        for (loc, kinds, has_whole) in &reference {
+            let dl = log.loc(*loc).expect("location indexed");
+            assert_eq!(dl.ops.len(), kinds.len());
+            assert_eq!(dl.has_whole, *has_whole);
+            let mut resolved = Vec::new();
+            log.resolve(&dl.ops, &mut resolved);
+            for (got, want) in resolved.iter().zip(kinds) {
+                assert_eq!(&got.kind, want);
+            }
+        }
+    }
+
+    #[test]
+    fn relational_per_key_index() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let mut v = Value::Rel(Relation::empty(schema));
+        let (l, c) = (LocId(7), ClassId::new("map"));
+        let mut ops = Vec::new();
+        for kind in [
+            OpKind::Rel(RelOp::insert(tuple![1, 10])),
+            OpKind::Rel(RelOp::insert(tuple![2, 20])),
+            OpKind::Rel(RelOp::select(Formula::eq(0, 1i64))),
+        ] {
+            ops.push(Op::execute(l, c.clone(), kind, &mut v).0);
+        }
+        let log = CommittedLog::new(ops);
+        let dl = log.loc(l).expect("indexed");
+        assert!(!dl.has_whole);
+        assert_eq!(dl.per_key.len(), 2);
+        assert_eq!(dl.per_key[&Key::scalar(1i64)], vec![0, 2]);
+    }
+
+    #[test]
+    fn window_over_segments() {
+        let mut v = Value::int(0);
+        let seg = |n: u64, v: &mut Value| {
+            Arc::new(CommittedLog::new(vec![
+                scalar_op(n, ScalarOp::Add(1), v),
+                scalar_op(n, ScalarOp::Add(-1), v),
+            ]))
+        };
+        let segments = vec![seg(1, &mut v), seg(2, &mut v)];
+        let w = HistoryWindow::new(&segments);
+        assert_eq!(w.ops_len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.iter_ops().count(), 4);
+        assert_eq!(w.segments().len(), 2);
+        assert!(HistoryWindow::empty().is_empty());
+        assert_eq!(HistoryWindow::empty().ops_len(), 0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = CommittedLog::new(Vec::new());
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.index().locs.is_empty());
+    }
+}

@@ -169,7 +169,13 @@ mod tests {
         let mut v = Value::Rel(Relation::empty(schema));
         let (l, c) = (LocId(3), ClassId::new("bitset"));
         let ops = vec![
-            Op::execute(l, c.clone(), OpKind::Rel(RelOp::insert(tuple![1, true])), &mut v).0,
+            Op::execute(
+                l,
+                c.clone(),
+                OpKind::Rel(RelOp::insert(tuple![1, true])),
+                &mut v,
+            )
+            .0,
             Op::execute(l, c, OpKind::Rel(RelOp::Clear), &mut v).0,
         ];
         let d = decompose(&ops);

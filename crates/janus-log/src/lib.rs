@@ -21,14 +21,20 @@
 //! * [`decompose`] — the `DECOMPOSE` procedure of Figure 8, splitting a
 //!   history into the dependent operation subsequences induced by each
 //!   accessed location (and, within a relational object, each key).
+//! * [`CommittedLog`] / [`HistoryWindow`] — committed segments carrying
+//!   their decomposition (computed once, at commit time) and zero-copy
+//!   windows of shared segments, the currency of the incremental
+//!   validation pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod committed;
+mod decompose;
 mod loc;
 mod op;
-mod decompose;
 
+pub use committed::{CommittedLog, DecomposedLoc, DecomposedLog, HistoryWindow};
 pub use decompose::{decompose, CellKey, LocHistory};
 pub use loc::{ClassId, LocId};
 pub use op::{replay, Op, OpKind, OpResult, ScalarOp};

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn class_equality_is_by_label() {
-        assert_eq!(ClassId::new("monitor.itemsWeight"), "monitor.itemsWeight".into());
+        assert_eq!(
+            ClassId::new("monitor.itemsWeight"),
+            "monitor.itemsWeight".into()
+        );
         assert_ne!(ClassId::new("a"), ClassId::new("b"));
         assert_eq!(ClassId::new("x").label(), "x");
     }

@@ -288,7 +288,12 @@ mod tests {
     fn scalar_write_is_blind() {
         let (l, c) = loc();
         let mut v = Value::int(1);
-        let (op, _) = Op::execute(l, c, OpKind::Scalar(ScalarOp::Write(Scalar::Int(9))), &mut v);
+        let (op, _) = Op::execute(
+            l,
+            c,
+            OpKind::Scalar(ScalarOp::Write(Scalar::Int(9))),
+            &mut v,
+        );
         assert!(op.is_write());
         assert!(!op.is_read());
         assert_eq!(v, Value::int(9));

@@ -470,8 +470,9 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted() {
-        let m: PersistentMap<i32, i32> =
-            [(5, 50), (1, 10), (3, 30), (2, 20), (4, 40)].into_iter().collect();
+        let m: PersistentMap<i32, i32> = [(5, 50), (1, 10), (3, 30), (2, 20), (4, 40)]
+            .into_iter()
+            .collect();
         let keys: Vec<i32> = m.keys().copied().collect();
         assert_eq!(keys, vec![1, 2, 3, 4, 5]);
         let values: Vec<i32> = m.values().copied().collect();

@@ -130,7 +130,11 @@ impl Content {
     /// content, per §6.1's "state transformers are expressed as sequences
     /// over the primitive relational operations". Selects do not change
     /// the relation's content and are skipped.
-    pub fn apply_all<'a>(&self, ops: impl IntoIterator<Item = &'a RelOp>, schema: &Schema) -> Content {
+    pub fn apply_all<'a>(
+        &self,
+        ops: impl IntoIterator<Item = &'a RelOp>,
+        schema: &Schema,
+    ) -> Content {
         let mut c = self.clone();
         for op in ops {
             if op.is_mutation() {
@@ -342,7 +346,9 @@ mod tests {
     fn mentions_base_tracks_occurrence() {
         assert!(Content::Base.mentions_base());
         assert!(!Content::True.mentions_base());
-        assert!(Content::Base.and(Content::Atom(0, Scalar::Int(1))).mentions_base());
+        assert!(Content::Base
+            .and(Content::Atom(0, Scalar::Int(1)))
+            .mentions_base());
         // Clear erases the base.
         let c = Content::Base.apply(&RelOp::Clear, &map_schema());
         assert!(!c.mentions_base());

@@ -145,9 +145,7 @@ impl CellSet {
         match (self, other) {
             (CellSet::All, _) | (_, CellSet::All) => CellSet::All,
             (CellSet::Empty, s) | (s, CellSet::Empty) => s.clone(),
-            (CellSet::Keys(a), CellSet::Keys(b)) => {
-                CellSet::Keys(a.union(b).cloned().collect())
-            }
+            (CellSet::Keys(a), CellSet::Keys(b)) => CellSet::Keys(a.union(b).cloned().collect()),
         }
     }
 
@@ -164,8 +162,6 @@ impl CellSet {
         }
     }
 }
-
-
 
 impl fmt::Display for CellSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn pinned_valuation_positive_conjunction() {
         let f = Formula::eq(0, 3i64).and(Formula::eq(1, true));
-        assert_eq!(
-            f.pinned_valuation(&[0]),
-            Some(vec![Scalar::Int(3)])
-        );
+        assert_eq!(f.pinned_valuation(&[0]), Some(vec![Scalar::Int(3)]));
         assert_eq!(
             f.pinned_valuation(&[0, 1]),
             Some(vec![Scalar::Int(3), Scalar::Bool(true)])
@@ -249,8 +246,7 @@ mod tests {
 
     #[test]
     fn atoms_are_collected() {
-        let f = Formula::eq(0, 3i64)
-            .and(Formula::eq(1, true).or(Formula::eq(0, 4i64)).not());
+        let f = Formula::eq(0, 3i64).and(Formula::eq(1, true).or(Formula::eq(0, 4i64)).not());
         let atoms = f.atoms();
         assert_eq!(atoms.len(), 3);
         assert!(atoms.contains(&(0, Scalar::Int(3))));

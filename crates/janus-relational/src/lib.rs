@@ -48,14 +48,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod scalar;
-mod tuple;
-mod schema;
-mod relation;
+pub mod content;
+mod footprint;
 mod formula;
 mod ops;
-mod footprint;
-pub mod content;
+mod relation;
+mod scalar;
+mod schema;
+mod tuple;
 
 pub use footprint::{CellSet, Footprint, Key};
 pub use formula::Formula;

@@ -89,9 +89,7 @@ impl RelOp {
     pub fn footprint(&self, r: &Relation) -> Footprint {
         let key_cols = r.schema().key_columns();
         match self {
-            RelOp::Insert(t) => {
-                Footprint::write_only(CellSet::key(Key::new(t.project(&key_cols))))
-            }
+            RelOp::Insert(t) => Footprint::write_only(CellSet::key(Key::new(t.project(&key_cols)))),
             RelOp::Remove(t) => {
                 let cell = CellSet::key(Key::new(t.project(&key_cols)));
                 if r.contains(t) {
@@ -232,10 +230,7 @@ mod tests {
     #[test]
     fn no_fd_select_key_is_whole_tuple() {
         let schema = Schema::new(&["a", "b"]);
-        let r = Relation::from_tuples(
-            Arc::clone(&schema),
-            [tuple![1, 2], tuple![1, 3]],
-        );
+        let r = Relation::from_tuples(Arc::clone(&schema), [tuple![1, 2], tuple![1, 3]]);
         // Pinning both columns yields a one-cell read.
         let f = Formula::tuple_eq(&[0, 1], &[Scalar::Int(1), Scalar::Int(2)]);
         let fp = RelOp::select(f).footprint(&r);

@@ -162,11 +162,7 @@ impl Relation {
                 .filter(|t| f.sat(t))
                 .collect()
         } else {
-            self.tuples
-                .keys()
-                .filter(|t| f.sat(t))
-                .cloned()
-                .collect()
+            self.tuples.keys().filter(|t| f.sat(t)).cloned().collect()
         }
     }
 

@@ -111,10 +111,7 @@ mod tests {
         let t2 = tuple![1, false, "a"];
         assert!(t1.agrees_on(&t2, &[0, 2]));
         assert!(!t1.agrees_on(&t2, &[1]));
-        assert_eq!(
-            t1.project(&[2, 0]),
-            vec![Scalar::str("a"), Scalar::Int(1)]
-        );
+        assert_eq!(t1.project(&[2, 0]), vec![Scalar::str("a"), Scalar::Int(1)]);
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn from_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
             if var >= nv {
                 return Err(err(lineno, format!("variable {} out of range", lit.abs())));
             }
-            current.push(if lit > 0 { Var(var).pos() } else { Var(var).neg() });
+            current.push(if lit > 0 {
+                Var(var).pos()
+            } else {
+                Var(var).neg()
+            });
         }
     }
     if !current.is_empty() {

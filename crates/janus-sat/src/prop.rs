@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn tseitin_unsat() {
-        let f = P::And(
-            Box::new(P::var(0)),
-            Box::new(P::Not(Box::new(P::var(0)))),
-        );
+        let f = P::And(Box::new(P::var(0)), Box::new(P::Not(Box::new(P::var(0)))));
         assert!(!is_satisfiable(&f, &[]));
     }
 
@@ -299,7 +296,9 @@ mod tests {
             P::var(0),
             P::var(0).not(),
             P::var(0).and(P::var(1)),
-            P::var(0).or(P::var(1)).and(P::var(0).not().or(P::var(1).not())),
+            P::var(0)
+                .or(P::var(1))
+                .and(P::var(0).not().or(P::var(1).not())),
             P::var(0).iff(P::var(1)).iff(P::var(2)),
             P::var(0)
                 .and(P::var(1).or(P::var(2)))

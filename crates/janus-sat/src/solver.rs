@@ -414,11 +414,7 @@ impl Solver {
             } else {
                 match self.decide() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|&a| a == Assign::True)
-                            .collect();
+                        let model = self.assign.iter().map(|&a| a == Assign::True).collect();
                         return Solution::Sat(model);
                     }
                     Some(l) => {
@@ -631,8 +627,7 @@ mod tests {
                 cnf.add_clause(clause);
             }
             let brute_sat = (0..(1u32 << n)).any(|bits| {
-                let assignment: Vec<bool> =
-                    (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
                 cnf.eval(&assignment)
             });
             let sol = solve(&cnf);

@@ -99,10 +99,7 @@ pub struct Pattern(pub Vec<Element>);
 
 impl std::fmt::Display for Pattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        fn write_elems(
-            elems: &[Element],
-            f: &mut std::fmt::Formatter<'_>,
-        ) -> std::fmt::Result {
+        fn write_elems(elems: &[Element], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             for e in elems {
                 match e {
                     Element::Atom(a) => write!(f, "{a}")?,
@@ -188,13 +185,10 @@ pub fn abstract_sequence(cell: &CellKey, ops: &[&Op], use_abstraction: bool) -> 
                 }
                 // Greedily absorb further occurrences.
                 let mut end = i + 2 * w;
-                while end + w <= items.len()
-                    && (0..w).all(|j| items[i + j].0 == items[end + j].0)
-                {
+                while end + w <= items.len() && (0..w).all(|j| items[i + j].0 == items[end + j].0) {
                     end += w;
                 }
-                let block: Vec<Element> =
-                    items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
+                let block: Vec<Element> = items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
                 let covered: Vec<usize> = items[i..end]
                     .iter()
                     .flat_map(|(_, idxs)| idxs.iter().copied())
@@ -219,8 +213,7 @@ pub fn abstract_sequence(cell: &CellKey, ops: &[&Op], use_abstraction: bool) -> 
                 if !block_pumpable(&items[i..i + w]) {
                     continue;
                 }
-                let block: Vec<Element> =
-                    items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
+                let block: Vec<Element> = items[i..i + w].iter().map(|(e, _)| e.clone()).collect();
                 let covered: Vec<usize> = items[i..i + w]
                     .iter()
                     .flat_map(|(_, idxs)| idxs.iter().copied())

@@ -239,8 +239,8 @@ impl SequenceOracle for CommutativityCache {
         };
         let sig = signature(class, key.shape, &qa, &qb);
         let condition = self.find(&key, &qa, &qb);
-        let answer = condition
-            .and_then(|c| evaluate_condition(c, entry, cell, txn, committed, relax));
+        let answer =
+            condition.and_then(|c| evaluate_condition(c, entry, cell, txn, committed, relax));
         self.stats.record(sig, answer.is_some());
         answer
     }

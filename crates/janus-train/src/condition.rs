@@ -8,7 +8,7 @@
 //! prefix-replay of the online detector, which is what keeps cached
 //! detection "on a par with" write-set detection.
 
-use janus_detect::{cell_value, commute, same_read, read_prefixes, Relaxation};
+use janus_detect::{cell_value, commute, read_prefixes, same_read, Relaxation};
 use janus_log::{CellKey, Op};
 use janus_relational::Value;
 

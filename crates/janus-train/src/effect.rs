@@ -88,9 +88,9 @@ impl Determined {
             },
             Determined::Const(c) => c.materialize(entry),
             Determined::MaxedWith(v) => match cell_value(entry, cell) {
-                CellValue::Whole(Value::Scalar(Scalar::Int(i))) => Some(CellValue::Whole(
-                    Value::Scalar(Scalar::Int(i.max(*v))),
-                )),
+                CellValue::Whole(Value::Scalar(Scalar::Int(i))) => {
+                    Some(CellValue::Whole(Value::Scalar(Scalar::Int(i.max(*v)))))
+                }
                 _ => None,
             },
             Determined::Opaque => None,
@@ -132,9 +132,7 @@ pub fn compose(a: &Summary, b: &Summary) -> Summary {
         (Determined::Const(CellContent::Scalar(Scalar::Int(i))), Determined::Shifted(d)) => {
             Determined::Const(CellContent::Scalar(Scalar::Int(i.wrapping_add(*d))))
         }
-        (Determined::MaxedWith(a), Determined::MaxedWith(b)) => {
-            Determined::MaxedWith(*a.max(b))
-        }
+        (Determined::MaxedWith(a), Determined::MaxedWith(b)) => Determined::MaxedWith(*a.max(b)),
         (Determined::Const(CellContent::Scalar(Scalar::Int(i))), Determined::MaxedWith(v)) => {
             Determined::Const(CellContent::Scalar(Scalar::Int(*i.max(v))))
         }
@@ -487,8 +485,12 @@ mod tests {
             let (ra, rb) = (refs(&a), refs(&b));
             let sa = summarize(&CellKey::Whole, &ra);
             let sb = summarize(&CellKey::Whole, &rb);
-            let ab = compose(&sa, &sb).determined.final_value(&entry, &CellKey::Whole);
-            let ba = compose(&sb, &sa).determined.final_value(&entry, &CellKey::Whole);
+            let ab = compose(&sa, &sb)
+                .determined
+                .final_value(&entry, &CellKey::Whole);
+            let ba = compose(&sb, &sa)
+                .determined
+                .final_value(&entry, &CellKey::Whole);
             let summary_ok = !sa.exposed && !sb.exposed && ab.is_some() && ab == ba;
             if summary_ok {
                 assert!(

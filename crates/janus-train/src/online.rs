@@ -69,7 +69,11 @@ impl OnlineLearningCache {
     /// Unique (hits, misses) of the underlying cache — a miss here is a
     /// query that had to be evaluated online and triggered learning.
     pub fn unique_counts(&self) -> (u64, u64) {
-        self.inner.read().expect("cache lock").stats().unique_counts()
+        self.inner
+            .read()
+            .expect("cache lock")
+            .stats()
+            .unique_counts()
     }
 }
 
@@ -149,7 +153,7 @@ mod tests {
 
         let a = mk_ops(vec![add(2), add(-2)], 0);
         let b = mk_ops(vec![add(3), add(-3)], 0);
-        assert!(!detector.detect(&state, &a, &b));
+        assert!(!detector.detect_ops(&state, &a, &b));
         // The detector always gets an answer (the oracle self-trains)...
         let (_, _, hits, misses) = detector.stats().snapshot();
         assert_eq!((hits, misses), (1, 0));
@@ -159,7 +163,7 @@ mod tests {
 
         // Different deltas and lengths, same shape: an internal hit now.
         let c = mk_ops(vec![add(5), add(-5), add(1), add(-1)], 0);
-        assert!(!detector.detect(&state, &a, &c));
+        assert!(!detector.detect_ops(&state, &a, &c));
         let (uh, _) = detector.oracle().unique_counts();
         assert!(uh >= 1, "second query must hit the memoized entry");
     }
@@ -176,9 +180,9 @@ mod tests {
         let b_eq = mk_ops(vec![w(5)], 0);
         let b_ne = mk_ops(vec![w(6)], 0);
         // First query learns from the equal-writes instance...
-        assert!(!detector.detect(&state, &a, &b_eq));
+        assert!(!detector.detect_ops(&state, &a, &b_eq));
         // ...but the memoized condition still rejects unequal writes.
-        assert!(detector.detect(&state, &a, &b_ne));
+        assert!(detector.detect_ops(&state, &a, &b_ne));
     }
 
     #[test]
@@ -189,7 +193,7 @@ mod tests {
         state.0.insert(LocId(0), Value::int(0));
         let detector = CachedSequenceDetector::new(oracle);
         let a = mk_ops(vec![add(1)], 0);
-        let _ = detector.detect(&state, &a, &a);
+        let _ = detector.detect_ops(&state, &a, &a);
         assert_eq!(detector.oracle().len(), 1);
     }
 }

@@ -38,7 +38,9 @@ impl fmt::Display for ParseCacheError {
 impl std::error::Error for ParseCacheError {}
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
 }
 
 fn unescape(s: &str) -> String {
@@ -122,10 +124,7 @@ pub fn parse_pattern(s: &str) -> Result<Pattern, String> {
 impl CommutativityCache {
     /// Serializes the cache to the text format.
     pub fn to_text(&self) -> String {
-        let mut out = format!(
-            "janus-cache v1 abstraction={}\n",
-            self.uses_abstraction()
-        );
+        let mut out = format!("janus-cache v1 abstraction={}\n", self.uses_abstraction());
         for (class, shape, pat_a, pat_b, condition) in self.entries_iter() {
             let shape = match shape {
                 CellShape::Whole => "whole",
@@ -236,10 +235,14 @@ mod tests {
 
     #[test]
     fn pattern_parse_roundtrip() {
-        for src in ["", "r", "{aa}+", "{ {r}+w }+"
-            .replace(' ', "")
-            .as_str(), "rw{id}+C", "{{is}+{k}+}+"]
-        {
+        for src in [
+            "",
+            "r",
+            "{aa}+",
+            "{ {r}+w }+".replace(' ', "").as_str(),
+            "rw{id}+C",
+            "{{is}+{k}+}+",
+        ] {
             let p = parse_pattern(src).expect("parse");
             assert_eq!(format!("{p}"), src);
         }

@@ -268,7 +268,10 @@ mod tests {
                 ab == ba
             });
             if proved {
-                assert!(concrete_all, "symbolic proof contradicted by {a:?} vs {b:?}");
+                assert!(
+                    concrete_all,
+                    "symbolic proof contradicted by {a:?} vs {b:?}"
+                );
             } else {
                 // The proof is complete for these finite cases: failure
                 // should be witnessed by some probe entry.

@@ -5,9 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use janus_core::{Janus, Outcome};
-use janus_detect::{
-    CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector,
-};
+use janus_detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
 use janus_train::{train, TrainConfig, TrainingRun};
 
 use crate::{InputSpec, Workload};
@@ -131,50 +129,49 @@ pub fn run_workload(workload: &dyn Workload, config: &RunConfig) -> WorkloadMetr
     let scenario = workload.build(&config.input);
     let relax = workload.relaxations();
 
-    let (outcome, unique, detector_label): (Outcome, (u64, u64), &'static str) = match config
-        .detector
-    {
-        DetectorKind::WriteSet => {
-            let detector: Arc<dyn ConflictDetector> = Arc::new(WriteSetDetector::new());
-            let janus = Janus::new(detector)
-                .threads(config.threads)
-                .ordered(workload.ordered());
-            (
-                janus.run(scenario.store, scenario.tasks),
-                (0, 0),
-                config.detector.label(),
-            )
-        }
-        DetectorKind::SequenceOnline => {
-            let detector: Arc<dyn ConflictDetector> =
-                Arc::new(SequenceDetector::with_relaxations(relax));
-            let janus = Janus::new(detector)
-                .threads(config.threads)
-                .ordered(workload.ordered());
-            (
-                janus.run(scenario.store, scenario.tasks),
-                (0, 0),
-                config.detector.label(),
-            )
-        }
-        DetectorKind::SequenceCached { use_abstraction } => {
-            let runs = training_runs(workload);
-            let (cache, _report) = train(
-                &runs,
-                TrainConfig {
-                    use_abstraction,
-                    verify_symbolic: false,
-                },
-            );
-            let detector = Arc::new(CachedSequenceDetector::with_relaxations(cache, relax));
-            let janus = Janus::new(detector.clone())
-                .threads(config.threads)
-                .ordered(workload.ordered());
-            let outcome = janus.run(scenario.store, scenario.tasks);
-            let unique = detector.oracle().stats().unique_counts();
-            (outcome, unique, config.detector.label())
-        }
-    };
+    let (outcome, unique, detector_label): (Outcome, (u64, u64), &'static str) =
+        match config.detector {
+            DetectorKind::WriteSet => {
+                let detector: Arc<dyn ConflictDetector> = Arc::new(WriteSetDetector::new());
+                let janus = Janus::new(detector)
+                    .threads(config.threads)
+                    .ordered(workload.ordered());
+                (
+                    janus.run(scenario.store, scenario.tasks),
+                    (0, 0),
+                    config.detector.label(),
+                )
+            }
+            DetectorKind::SequenceOnline => {
+                let detector: Arc<dyn ConflictDetector> =
+                    Arc::new(SequenceDetector::with_relaxations(relax));
+                let janus = Janus::new(detector)
+                    .threads(config.threads)
+                    .ordered(workload.ordered());
+                (
+                    janus.run(scenario.store, scenario.tasks),
+                    (0, 0),
+                    config.detector.label(),
+                )
+            }
+            DetectorKind::SequenceCached { use_abstraction } => {
+                let runs = training_runs(workload);
+                let (cache, _report) = train(
+                    &runs,
+                    TrainConfig {
+                        use_abstraction,
+                        verify_symbolic: false,
+                    },
+                );
+                let detector = Arc::new(CachedSequenceDetector::with_relaxations(cache, relax));
+                let janus = Janus::new(detector.clone())
+                    .threads(config.threads)
+                    .ordered(workload.ordered());
+                let outcome = janus.run(scenario.store, scenario.tasks);
+                let unique = detector.oracle().stats().unique_counts();
+                (outcome, unique, config.detector.label())
+            }
+        };
 
     WorkloadMetrics {
         workload: workload.name(),

@@ -115,12 +115,7 @@ impl Workload for JGraphTColor {
                     }
                     color.put(tx, v as i64, c);
                     // if (color[v] > maxColor) maxColor = color[v];
-                    if max_color
-                        .get(tx)
-                        .as_int()
-                        .expect("maxColor is an integer")
-                        < c
-                    {
+                    if max_color.get(tx).as_int().expect("maxColor is an integer") < c {
                         max_color.set(tx, c);
                     }
                     local_work(WORK_PER_NODE);
@@ -148,9 +143,11 @@ impl Workload for JGraphTColor {
                     colors[k as usize] = c;
                 }
                 colors.iter().all(|&c| c >= 1)
-                    && graph_check.neighbors.iter().enumerate().all(|(v, ns)| {
-                        ns.iter().all(|&u| colors[v] != colors[u])
-                    })
+                    && graph_check
+                        .neighbors
+                        .iter()
+                        .enumerate()
+                        .all(|(v, ns)| ns.iter().all(|&u| colors[v] != colors[u]))
             }),
         }
     }

@@ -139,9 +139,9 @@ impl Workload for JGraphTOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use janus_relational::Scalar;
     use janus_core::Janus;
     use janus_detect::SequenceDetector;
+    use janus_relational::Scalar;
     use std::sync::Arc;
 
     #[test]

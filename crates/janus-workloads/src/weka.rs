@@ -112,13 +112,7 @@ impl Workload for Weka {
                     for &u in &graph.neighbors[v] {
                         if u > v {
                             let (x2, y2) = Weka::position(u, graph.len());
-                            canvas.draw_line(
-                                tx,
-                                x + NODE_W,
-                                y + NODE_H,
-                                x2,
-                                y2,
-                            );
+                            canvas.draw_line(tx, x + NODE_W, y + NODE_H, x2, y2);
                         }
                     }
                 })

@@ -46,7 +46,9 @@ fn main() {
         ),
     ] {
         let scenario = workload.build(&input);
-        let outcome = Janus::new(detector).threads(4).run(scenario.store, scenario.tasks);
+        let outcome = Janus::new(detector)
+            .threads(4)
+            .run(scenario.store, scenario.tasks);
         let ok = (scenario.check)(&outcome.store);
         println!(
             "{label:>20}: {} commits, {} retries, wall {:?}, monitor balanced: {}",

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use janus::core::{Janus, Store, Task, TxView};
 use janus::detect::CachedSequenceDetector;
-use janus::train::OnlineLearningCache;
 use janus::relational::Value;
+use janus::train::OnlineLearningCache;
 
 fn main() {
     let mut store = Store::new();
@@ -53,9 +53,20 @@ fn main() {
     );
     println!(
         "final work = {}  total = {}",
-        outcome.store.value(work).and_then(Value::as_int).expect("int"),
-        outcome.store.value(total).and_then(Value::as_int).expect("int"),
+        outcome
+            .store
+            .value(work)
+            .and_then(Value::as_int)
+            .expect("int"),
+        outcome
+            .store
+            .value(total)
+            .and_then(Value::as_int)
+            .expect("int"),
     );
     assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
-    assert_eq!(outcome.store.value(total), Some(&Value::int((1..=40).sum())));
+    assert_eq!(
+        outcome.store.value(total),
+        Some(&Value::int((1..=40).sum()))
+    );
 }

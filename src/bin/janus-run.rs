@@ -19,9 +19,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use janus::core::Janus;
-use janus::detect::{
-    CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector,
-};
+use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
 use janus::train::{train, CommutativityCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
@@ -203,6 +201,12 @@ fn cmd_run(args: &Args) -> ExitCode {
         outcome.stats.wall,
         outcome.stats.history_reclaimed,
         if ok { "ok" } else { "INVALID" },
+    );
+    println!(
+        "detection: {} ops scanned  {} windows zero-copy  {} delta re-validations",
+        outcome.stats.detect_ops_scanned,
+        outcome.stats.zero_copy_windows,
+        outcome.stats.delta_revalidations,
     );
     let by_class = detector.stats().conflicts_by_class();
     if !by_class.is_empty() {

@@ -66,8 +66,8 @@ fn sequence_conflicts_are_a_subset_of_write_set_conflicts() {
             for b in universe() {
                 let oa = mk_ops(&a, entry);
                 let ob = mk_ops(&b, entry);
-                let s = seq.detect(&state, &oa, &ob);
-                let w = ws.detect(&state, &oa, &ob);
+                let s = seq.detect_ops(&state, &oa, &ob);
+                let w = ws.detect_ops(&state, &oa, &ob);
                 assert!(
                     !s || w,
                     "sequence flagged {a:?} vs {b:?} at {entry} but write-set did not"
@@ -95,7 +95,7 @@ fn blind_histories_agree_with_ground_truth_commutativity() {
             for b in &blind {
                 let oa = mk_ops(a, entry);
                 let ob = mk_ops(b, entry);
-                let detected = seq.detect(&state, &oa, &ob);
+                let detected = seq.detect_ops(&state, &oa, &ob);
                 // Ground truth: replay both orders.
                 let replay = |first: &[Op], second: &[Op]| -> i64 {
                     let mut v = Value::int(entry);
@@ -143,11 +143,11 @@ fn cached_hits_agree_with_online_detection() {
                 let oa = mk_ops(&a, entry);
                 let ob = mk_ops(&b, entry);
                 let (_, _, h0, _) = cached.stats().snapshot();
-                let c = cached.detect(&state, &oa, &ob);
+                let c = cached.detect_ops(&state, &oa, &ob);
                 let (_, _, h1, _) = cached.stats().snapshot();
                 if h1 > h0 {
                     // Cache hit: must match online verdict exactly.
-                    let o = online.detect(&state, &oa, &ob);
+                    let o = online.detect_ops(&state, &oa, &ob);
                     assert_eq!(c, o, "hit disagreement on {a:?} vs {b:?} at {entry}");
                 }
             }

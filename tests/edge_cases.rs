@@ -73,7 +73,11 @@ fn workloads_accept_tiny_inputs() {
             let scenario = w.build(&InputSpec::new(scale, 1, 5));
             assert_eq!(scenario.tasks.len(), scale, "{}", w.name());
             let (final_store, _) = Janus::run_sequential(scenario.store, &scenario.tasks);
-            assert!((scenario.check)(&final_store), "{} @ scale {scale}", w.name());
+            assert!(
+                (scenario.check)(&final_store),
+                "{} @ scale {scale}",
+                w.name()
+            );
         }
     }
 }
@@ -122,6 +126,10 @@ fn repeated_runs_share_one_detector() {
         let outcome = Janus::new(Arc::clone(&detector) as Arc<_>)
             .threads(2)
             .run(store, tasks);
-        assert_eq!(outcome.store.value(x), Some(&Value::int(5)), "round {round}");
+        assert_eq!(
+            outcome.store.value(x),
+            Some(&Value::int(5)),
+            "round {round}"
+        );
     }
 }

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use janus::core::Janus;
-use janus::detect::{
-    CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector,
-};
+use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
 use janus::train::{train, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, InputSpec};
 
@@ -75,7 +73,8 @@ fn training_reports_are_consistent() {
         assert!(report.pairs_mined > 0, "{} mined nothing", w.name());
         assert!(report.entries_added > 0, "{} learned nothing", w.name());
         assert_eq!(
-            report.pairs_rejected, 0,
+            report.pairs_rejected,
+            0,
             "{}: condition evaluation disagreed with the online check",
             w.name()
         );

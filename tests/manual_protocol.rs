@@ -27,11 +27,11 @@ fn manual_begin_detect_commit_cycle() {
 
     // ...t1 commits first.
     let det = SequenceDetector::new();
-    assert!(!det.detect(&entry1, &log1, &[]), "empty history: valid");
+    assert!(!det.detect_ops(&entry1, &log1, &[]), "empty history: valid");
     store.apply_log(&log1);
 
     // t2's conflict history is t1's log; blind adds commute.
-    assert!(!det.detect(&entry2, &log2, &log1));
+    assert!(!det.detect_ops(&entry2, &log2, &log1));
     store.apply_log(&log2);
 
     assert_eq!(store.value(x), Some(&Value::int(12)));
@@ -55,11 +55,11 @@ fn manual_cycle_detects_real_conflicts() {
     let log2 = tx2.into_log();
 
     let det = SequenceDetector::new();
-    assert!(!det.detect(&entry1, &log1, &[]));
+    assert!(!det.detect_ops(&entry1, &log1, &[]));
     store.apply_log(&log1);
 
     // t2 read x before t1's increment: lost update, must conflict.
-    assert!(det.detect(&entry2, &log2, &log1));
+    assert!(det.detect_ops(&entry2, &log2, &log1));
     let _ = entry2;
 }
 
@@ -77,10 +77,7 @@ fn apply_log_groups_per_location() {
     store.apply_log(&log);
     assert_eq!(store.value(c), Some(&Value::int(50)));
     assert_eq!(m.entries(&store).len(), 50);
-    assert_eq!(
-        m.entries(&store)[10],
-        (Scalar::Int(10), Scalar::Int(20))
-    );
+    assert_eq!(m.entries(&store)[10], (Scalar::Int(10), Scalar::Int(20)));
 }
 
 #[test]
@@ -118,11 +115,7 @@ fn eager_privatization_is_semantically_equivalent() {
         .run(store, tasks);
 
     assert_eq!(persistent.stats.commits, eager.stats.commits);
-    assert_eq!(
-        m.entries(&persistent.store).len(),
-        210,
-        "all puts landed"
-    );
+    assert_eq!(m.entries(&persistent.store).len(), 210, "all puts landed");
     // Final relational contents agree.
     let a: Vec<_> = m.entries(&persistent.store);
     let loc = m.loc();

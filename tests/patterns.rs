@@ -9,8 +9,8 @@ use std::sync::Arc;
 use janus::adt::{Cell, Counter, MaxRegister};
 use janus::core::{Janus, Store, Task, TxView};
 use janus::detect::{CachedSequenceDetector, RelaxationSpec};
-use janus::train::{train, TrainConfig};
 use janus::relational::Scalar;
+use janus::train::{train, TrainConfig};
 
 /// A one-shot start gate: blocks until every task has begun at least
 /// once, then stays open. Unlike a `Barrier`, *retried* executions pass
@@ -208,5 +208,8 @@ fn unequal_writes_are_still_caught() {
     );
     let v = cell.value(&outcome.store);
     assert!(matches!(v, Scalar::Int(1..=4)), "some write won: {v:?}");
-    assert_eq!(outcome.stats.commits, 4, "all transactions eventually commit");
+    assert_eq!(
+        outcome.stats.commits, 4,
+        "all transactions eventually commit"
+    );
 }

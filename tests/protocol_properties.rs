@@ -59,7 +59,12 @@ fn serial_outcome(order: &[usize], tasks: &[Vec<Step>]) -> (i64, i64) {
 }
 
 fn all_permutation_outcomes(tasks: &[Vec<Step>]) -> Vec<(i64, i64)> {
-    fn go(rest: &mut Vec<usize>, acc: &mut Vec<usize>, tasks: &[Vec<Step>], out: &mut Vec<(i64, i64)>) {
+    fn go(
+        rest: &mut Vec<usize>,
+        acc: &mut Vec<usize>,
+        tasks: &[Vec<Step>],
+        out: &mut Vec<(i64, i64)>,
+    ) {
         if rest.is_empty() {
             out.push(serial_outcome(acc, tasks));
             return;

@@ -121,7 +121,9 @@ fn validity_no_conflicts_for_disjoint_tasks() {
     // detector (the validity half of Theorem 4.1's premise).
     for (label, detector) in detectors() {
         let mut store = Store::new();
-        let locs: Vec<LocId> = (0..16).map(|i| store.alloc(format!("x{i}").as_str(), Value::int(0))).collect();
+        let locs: Vec<LocId> = (0..16)
+            .map(|i| store.alloc(format!("x{i}").as_str(), Value::int(0)))
+            .collect();
         let tasks: Vec<Task> = locs
             .iter()
             .map(|&l| {
