@@ -2,17 +2,18 @@
 //!
 //! ```text
 //! figures [--table5] [--table6] [--fig9] [--fig10] [--fig11] [--classes]
-//!         [--pipeline] [--all] [--quick]
+//!         [--pipeline] [--attribution] [--all] [--quick]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` scales the
 //! production inputs down for smoke runs.
 
 use janus_bench::experiments::{
-    commit_pipeline, conflict_classes, figure11, headline, pipeline_counters, speedup_retry_grid,
-    table5, table6, GridPoint, THREAD_GRID,
+    attribution_traces, commit_pipeline, conflict_classes, figure11, headline, pipeline_counters,
+    speedup_retry_grid, table5, table6, GridPoint, THREAD_GRID,
 };
 use janus_bench::report::{bar, f2, pct, render_table};
+use janus_obs::text_report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +26,8 @@ fn main() {
             || has("--fig10")
             || has("--fig11")
             || has("--classes")
-            || has("--pipeline"));
+            || has("--pipeline")
+            || has("--attribution"));
 
     if all || has("--table5") {
         println!("== Table 5: benchmark characteristics ==");
@@ -176,6 +178,21 @@ fn main() {
             s.commits, s.retries, s.zero_copy_windows, s.delta_revalidations, s.detect_ops_scanned,
         );
         println!("(flat-reclone re-copies the whole window at every clock advance; the pipeline scans only deltas)\n");
+    }
+
+    if all || has("--attribution") {
+        eprintln!("recording lifecycle traces under write-set detection (quick={quick})...");
+        println!("== Abort attribution: lifecycle traces under write-set detection ==");
+        for (name, trace, stats) in attribution_traces(quick) {
+            let consistent = trace.count("commit") == stats.commits
+                && trace.count("abort") == stats.retries
+                && trace.check_well_formed().is_ok();
+            println!(
+                "-- {name} (trace consistency: {}) --",
+                if consistent { "ok" } else { "BROKEN" }
+            );
+            println!("{}", text_report(&trace, 5));
+        }
     }
 
     if all || has("--fig11") {

@@ -348,6 +348,30 @@ pub fn commit_pipeline(quick: bool) -> Vec<PipelineRow> {
     out
 }
 
+/// Runs every workload through the real threaded runtime under write-set
+/// detection with the lifecycle recorder attached, returning each
+/// workload's name, recorded trace and run statistics. The traces drive
+/// the `figures --attribution` report: which classes and locations cause
+/// the aborts that serialize each benchmark.
+pub fn attribution_traces(quick: bool) -> Vec<(String, janus_obs::Trace, RunStats)> {
+    let threads = if quick { 4 } else { 8 };
+    let mut out = Vec::new();
+    for workload in all_workloads() {
+        let w = workload.as_ref();
+        let input = grid_input(w, quick);
+        let scenario = w.build(&input);
+        let recorder = janus_obs::Recorder::new();
+        let det: Arc<dyn ConflictDetector> = Arc::new(WriteSetDetector::new());
+        let outcome = Janus::new(det)
+            .threads(threads)
+            .ordered(w.ordered())
+            .recorder(Arc::clone(&recorder))
+            .run(scenario.store, scenario.tasks);
+        out.push((w.name().to_string(), recorder.finish(), outcome.stats));
+    }
+    out
+}
+
 /// Runs a contended workload through the real threaded runtime and
 /// returns its [`RunStats`], whose detection-cost counters (ops scanned,
 /// delta re-validations, zero-copy windows) quantify what the pipeline

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
 use janus_log::{CommittedLog, HistoryWindow};
+use janus_obs::{EventKind, Recorder, RingHandle};
 use janus_train::{train, CommutativityCache, TrainConfig, TrainReport, TrainingRun};
 use parking_lot::RwLock;
 
@@ -76,6 +77,27 @@ impl RunStats {
     }
 }
 
+impl janus_obs::Snapshot for RunStats {
+    fn source(&self) -> &'static str {
+        "run"
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("commits".to_string(), self.commits),
+            ("retries".to_string(), self.retries),
+            (
+                "wall_ns".to_string(),
+                u64::try_from(self.wall.as_nanos()).unwrap_or(u64::MAX),
+            ),
+            ("history_reclaimed".to_string(), self.history_reclaimed),
+            ("detect_ops_scanned".to_string(), self.detect_ops_scanned),
+            ("delta_revalidations".to_string(), self.delta_revalidations),
+            ("zero_copy_windows".to_string(), self.zero_copy_windows),
+        ]
+    }
+}
+
 /// The result of a parallel run: the final shared state and statistics.
 #[derive(Debug)]
 pub struct Outcome {
@@ -136,8 +158,8 @@ impl Shared {
     }
 
     /// Drops every history entry below the GC horizon (the oldest active
-    /// transaction's begin time).
-    fn reclaim(&mut self, horizon: u64) {
+    /// transaction's begin time). Returns the number of entries dropped.
+    fn reclaim(&mut self, horizon: u64) -> u64 {
         let floor = horizon
             .checked_sub(1)
             .expect("GC horizon below the initial clock value");
@@ -155,6 +177,7 @@ impl Shared {
             self.history.drain(..drop_count);
             self.pruned += drop_count as u64;
         }
+        drop_count as u64
     }
 }
 
@@ -204,6 +227,7 @@ pub struct Janus {
     ordered: bool,
     eager_privatization: bool,
     gc_history: bool,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Janus {
@@ -218,7 +242,19 @@ impl Janus {
             ordered: false,
             eager_privatization: false,
             gc_history: true,
+            recorder: None,
         }
+    }
+
+    /// Attaches a lifecycle-trace recorder: every worker thread registers
+    /// an event ring and records `begin`/`validate_open`/
+    /// `delta_revalidate`/`per_cell_check`/`abort`/`commit`/`gc_reclaim`
+    /// events through it. With no recorder attached (the default), every
+    /// instrumentation site is a single branch on `None` — no event is
+    /// constructed and nothing is allocated.
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Enables or disables commit-log garbage collection. On (the
@@ -284,30 +320,42 @@ impl Janus {
             parking_lot::Mutex::new(None);
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(tasks.len().max(1)) {
-                scope.spawn(|| loop {
-                    if poisoned.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let i = next_task.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.run_task(
-                            &tasks[i],
-                            (i + 1) as u64,
-                            &clock,
-                            &shared,
-                            &active,
-                            &counters,
-                            &poisoned,
-                        )
-                    }));
-                    if let Err(payload) = result {
-                        poisoned.store(true, Ordering::SeqCst);
-                        panic_payload.lock().get_or_insert(payload);
-                        break;
+            for w in 0..self.threads.min(tasks.len().max(1)) {
+                let (tasks, clock, shared, active, counters) =
+                    (&tasks, &clock, &shared, &active, &counters);
+                let (next_task, poisoned, panic_payload) = (&next_task, &poisoned, &panic_payload);
+                scope.spawn(move || {
+                    // One event ring per worker, registered up front so
+                    // the per-task path never touches the recorder.
+                    let obs = self
+                        .recorder
+                        .as_ref()
+                        .map(|r| r.register(format!("worker-{w}")));
+                    loop {
+                        if poisoned.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let i = next_task.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_task(
+                                &tasks[i],
+                                (i + 1) as u64,
+                                clock,
+                                shared,
+                                active,
+                                counters,
+                                poisoned,
+                                obs.as_ref(),
+                            )
+                        }));
+                        if let Err(payload) = result {
+                            poisoned.store(true, Ordering::SeqCst);
+                            panic_payload.lock().get_or_insert(payload);
+                            break;
+                        }
                     }
                 });
             }
@@ -352,6 +400,7 @@ impl Janus {
         active: &ActiveBegins,
         counters: &RunCounters,
         poisoned: &std::sync::atomic::AtomicBool,
+        obs: Option<&RingHandle>,
     ) {
         'restart: loop {
             // CREATETRANSACTION (read lock): snapshot the clock and the
@@ -374,6 +423,10 @@ impl Janus {
                 };
                 (begin, snapshot)
             };
+            if let Some(o) = obs {
+                o.set_clock(begin);
+                o.record(EventKind::Begin { task: tid });
+            }
             // RUNSEQUENTIAL against the privatized copy.
             let mut tx = TxView::new(snapshot.clone());
             task.run(&mut tx);
@@ -388,6 +441,9 @@ impl Janus {
                         if self.gc_history {
                             active.unregister(begin);
                         }
+                        if let Some(o) = obs {
+                            o.record(EventKind::Abort { task: tid });
+                        }
                         return;
                     }
                     std::thread::yield_now();
@@ -400,10 +456,13 @@ impl Janus {
             // validation extension below and, on success, becomes the
             // history segment other transactions validate against.
             let txn_log = Arc::new(CommittedLog::new(std::mem::take(&mut tx.log)));
-            let mut session = self.detector.begin_validation(&entry, &txn_log);
+            let mut session = self.detector.begin_validation_traced(&entry, &txn_log, obs);
             let mut validated_to = begin;
             loop {
                 let now = clock.load(Ordering::SeqCst);
+                if let Some(o) = obs {
+                    o.set_clock(now);
+                }
                 // GETCOMMITTEDHISTORY(validated_to, now) — the read lock
                 // only clones `Arc`s to the committed segments; detection
                 // runs with no lock held and no operation copied. On the
@@ -420,6 +479,15 @@ impl Janus {
                     counters.zero_copy_windows.fetch_add(1, Ordering::Relaxed);
                     if validated_to > begin {
                         counters.delta_revalidations.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = obs {
+                            o.record(EventKind::DeltaRevalidate {
+                                window_segments: delta.len() as u64,
+                            });
+                        }
+                    } else if let Some(o) = obs {
+                        o.record(EventKind::ValidateOpen {
+                            window_segments: delta.len() as u64,
+                        });
                     }
                 }
                 let conflict = session.extend(&HistoryWindow::new(&delta));
@@ -428,6 +496,9 @@ impl Janus {
                     counters.retries.fetch_add(1, Ordering::Relaxed);
                     if self.gc_history {
                         active.unregister(begin);
+                    }
+                    if let Some(o) = obs {
+                        o.record(EventKind::Abort { task: tid });
                     }
                     continue 'restart; // abort: rerun from scratch
                 }
@@ -460,9 +531,18 @@ impl Janus {
                     // no re-decomposition ever happens for this log.
                     g.history.push(Arc::clone(&txn_log));
                     let now_clock = clock.fetch_add(1, Ordering::SeqCst) + 1;
+                    if let Some(o) = obs {
+                        o.set_clock(now_clock);
+                        o.record(EventKind::Commit { task: tid });
+                    }
                     if self.gc_history {
                         active.unregister(begin);
-                        g.reclaim(active.horizon(now_clock));
+                        let reclaimed = g.reclaim(active.horizon(now_clock));
+                        if reclaimed > 0 {
+                            if let Some(o) = obs {
+                                o.record(EventKind::GcReclaim { reclaimed });
+                            }
+                        }
                     }
                     return;
                 }
@@ -625,6 +705,45 @@ mod tests {
         // the point.
         let _ = hits;
         assert_eq!(outcome.stats.commits, 12);
+    }
+
+    #[test]
+    fn traced_run_matches_run_stats_and_is_well_formed() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let recorder = Recorder::new();
+        let janus = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .recorder(Arc::clone(&recorder));
+        let outcome = janus.run(store, identity_tasks(work, 16));
+        let trace = recorder.finish();
+        trace
+            .check_well_formed()
+            .expect("lifecycle trace well-formed");
+        assert_eq!(trace.count("commit"), outcome.stats.commits);
+        assert_eq!(trace.count("abort"), outcome.stats.retries);
+        assert_eq!(
+            trace.count("begin"),
+            outcome.stats.commits + outcome.stats.retries,
+            "every attempt begins exactly once"
+        );
+        assert_eq!(
+            trace.count("validate_open") + trace.count("delta_revalidate"),
+            outcome.stats.zero_copy_windows
+        );
+        assert_eq!(
+            trace.count("delta_revalidate"),
+            outcome.stats.delta_revalidations
+        );
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(2);
+        let outcome = janus.run(store, identity_tasks(work, 4));
+        assert_eq!(outcome.stats.commits, 4);
     }
 
     #[test]

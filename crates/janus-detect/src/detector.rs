@@ -18,9 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use janus_log::{CellKey, ClassId, CommittedLog, HistoryWindow, LocId, Op};
+use janus_obs::{CheckReason, EventKind, RingHandle, Verdict};
 use janus_relational::{Key, Value};
 
-use crate::projection::conflict_cell;
+use crate::projection::conflict_cell_attributed;
 use crate::{Relaxation, RelaxationSpec};
 
 /// Read access to a transaction's entry state (`t.SharedSnapshot` in
@@ -60,6 +61,10 @@ pub struct DetectorStats {
     /// cost driver of detection: incremental re-validation exists to keep
     /// this from growing quadratically with the history window.
     pub ops_scanned: AtomicU64,
+    /// Per-cell verdicts rendered (every judge invocation, pass or
+    /// conflict) — the denominator of abort attribution, and the count
+    /// recorded `per_cell_check` trace events must match.
+    pub cells_checked: AtomicU64,
     /// Conflicting cells attributed to the class of their location —
     /// the data behind "which data structure serializes this benchmark"
     /// discussions (§7.2).
@@ -87,6 +92,11 @@ impl DetectorStats {
         self.ops_scanned.load(Ordering::Relaxed)
     }
 
+    /// Per-cell verdicts rendered so far.
+    pub fn cells_checked(&self) -> u64 {
+        self.cells_checked.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.queries.store(0, Ordering::Relaxed);
@@ -94,6 +104,7 @@ impl DetectorStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.ops_scanned.store(0, Ordering::Relaxed);
+        self.cells_checked.store(0, Ordering::Relaxed);
         self.by_class.lock().expect("stats mutex").clear();
     }
 
@@ -117,6 +128,28 @@ impl DetectorStats {
             .map(|(c, n)| (c.clone(), *n))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl janus_obs::Snapshot for DetectorStats {
+    fn source(&self) -> &'static str {
+        "detector"
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let (queries, conflicts, cache_hits, cache_misses) = self.snapshot();
+        let mut v = vec![
+            ("queries".to_string(), queries),
+            ("conflicts".to_string(), conflicts),
+            ("cache_hits".to_string(), cache_hits),
+            ("cache_misses".to_string(), cache_misses),
+            ("ops_scanned".to_string(), self.ops_scanned()),
+            ("cells_checked".to_string(), self.cells_checked()),
+        ];
+        for (class, n) in self.conflicts_by_class() {
+            v.push((format!("by_class.{}", class.label()), n));
+        }
         v
     }
 }
@@ -146,14 +179,26 @@ pub trait ValidationSession {
 /// (Theorem 4.1's requirements).
 pub trait ConflictDetector: Send + Sync {
     /// Opens an incremental validation session for one transaction
-    /// attempt. `txn` is the transaction's own log, pre-decomposed; the
-    /// committed history is fed in through
+    /// attempt, recording one `per_cell_check` trace event per judged
+    /// cell into `obs` when it is present. `txn` is the transaction's own
+    /// log, pre-decomposed; the committed history is fed in through
     /// [`ValidationSession::extend`].
+    fn begin_validation_traced<'a>(
+        &'a self,
+        entry: &'a dyn EntryState,
+        txn: &'a CommittedLog,
+        obs: Option<&'a RingHandle>,
+    ) -> Box<dyn ValidationSession + 'a>;
+
+    /// [`begin_validation_traced`](ConflictDetector::begin_validation_traced)
+    /// without tracing.
     fn begin_validation<'a>(
         &'a self,
         entry: &'a dyn EntryState,
         txn: &'a CommittedLog,
-    ) -> Box<dyn ValidationSession + 'a>;
+    ) -> Box<dyn ValidationSession + 'a> {
+        self.begin_validation_traced(entry, txn, None)
+    }
 
     /// `DETECTCONFLICTS(t.SharedSnapshot, t.Log, window)`: whether the
     /// transaction's operations conflict with the committed window. The
@@ -191,8 +236,10 @@ trait CellJudge: Sync {
     /// The detector's counters.
     fn judge_stats(&self) -> &DetectorStats;
 
-    /// Whether the cell's subsequences conflict. Implementations record
-    /// class attribution for conflicting cells themselves.
+    /// Whether the cell's subsequences conflict, plus the rule that
+    /// decided the verdict (for abort attribution). Class attribution,
+    /// counter updates and trace events are handled centrally by the
+    /// session.
     fn judge(
         &self,
         class: &ClassId,
@@ -200,7 +247,7 @@ trait CellJudge: Sync {
         cell: &CellKey,
         txn: &[&Op],
         committed: &[&Op],
-    ) -> bool;
+    ) -> (bool, CheckReason);
 }
 
 /// The shared incremental engine: accumulates committed segments and
@@ -214,6 +261,8 @@ struct Session<'a, D: ?Sized> {
     /// concurrently.
     segments: Vec<Arc<CommittedLog>>,
     conflicted: bool,
+    /// The owning worker's event ring, when lifecycle tracing is on.
+    obs: Option<&'a RingHandle>,
 }
 
 /// Opens a session over a per-cell judge, counting the query.
@@ -221,6 +270,7 @@ fn open_session<'a, D: CellJudge>(
     judge: &'a D,
     entry: &'a dyn EntryState,
     txn: &'a CommittedLog,
+    obs: Option<&'a RingHandle>,
 ) -> Box<dyn ValidationSession + 'a> {
     judge.judge_stats().queries.fetch_add(1, Ordering::Relaxed);
     Box::new(Session {
@@ -229,17 +279,54 @@ fn open_session<'a, D: CellJudge>(
         txn,
         segments: Vec::new(),
         conflicted: false,
+        obs,
     })
 }
 
 impl<D: CellJudge + ?Sized> Session<'_, D> {
+    /// Runs one per-cell judgement and handles everything around it:
+    /// counter updates, class attribution for conflicting cells, and the
+    /// `per_cell_check` trace event. The event's `class` clone is an
+    /// `Arc` bump — the traced path allocates nothing per check.
+    fn judge_cell(
+        &self,
+        loc: LocId,
+        class: &ClassId,
+        entry: Option<&Value>,
+        cell: &CellKey,
+        t_ops: &[&Op],
+        c_ops: &[&Op],
+    ) -> bool {
+        let stats = self.judge.judge_stats();
+        let ops_scanned = (t_ops.len() + c_ops.len()) as u64;
+        stats.ops_scanned.fetch_add(ops_scanned, Ordering::Relaxed);
+        stats.cells_checked.fetch_add(1, Ordering::Relaxed);
+        let (hit, reason) = self.judge.judge(class, entry, cell, t_ops, c_ops);
+        if hit {
+            stats.record_class_conflict(class);
+        }
+        if let Some(obs) = self.obs {
+            obs.record(EventKind::PerCellCheck {
+                loc,
+                class: class.clone(),
+                verdict: if hit {
+                    Verdict::Conflict
+                } else {
+                    Verdict::Pass
+                },
+                reason,
+                ops_scanned,
+            });
+        }
+        hit
+    }
+
     /// Re-evaluates every common cell of one location against the *full*
     /// accumulated committed subsequence for that location. Sound because
     /// a cell's verdict is a function of the two subsequences alone; the
     /// caller only invokes this for locations a new delta touched.
     fn check_loc(&self, loc: LocId) -> bool {
         let ht = self.txn.loc(loc).expect("dirty location is txn-touched");
-        let stats = self.judge.judge_stats();
         // Fold the accumulated committed subsequence for this location
         // out of the per-segment indices (no decomposition happens here —
         // every segment was decomposed once, at commit time).
@@ -261,10 +348,8 @@ impl<D: CellJudge + ?Sized> Session<'_, D> {
         if ht.has_whole || c_has_whole {
             let mut t_ops: Vec<&Op> = Vec::with_capacity(ht.ops.len());
             self.txn.resolve(&ht.ops, &mut t_ops);
-            stats
-                .ops_scanned
-                .fetch_add((t_ops.len() + c_ops.len()) as u64, Ordering::Relaxed);
-            self.judge.judge(
+            self.judge_cell(
+                loc,
                 &ht.class,
                 entry_value.as_ref(),
                 &CellKey::Whole,
@@ -283,13 +368,7 @@ impl<D: CellJudge + ?Sized> Session<'_, D> {
                 // so sequence evaluation may run against a relation pruned
                 // to the key — avoiding whole-object clones per replay.
                 let pruned = entry_value.as_ref().map(|v| prune_to_key(v, key));
-                stats
-                    .ops_scanned
-                    .fetch_add((t_ops.len() + c_key_ops.len()) as u64, Ordering::Relaxed);
-                if self
-                    .judge
-                    .judge(&ht.class, pruned.as_ref(), &cell, &t_ops, c_key_ops)
-                {
+                if self.judge_cell(loc, &ht.class, pruned.as_ref(), &cell, &t_ops, c_key_ops) {
                     return true;
                 }
             }
@@ -403,27 +482,25 @@ impl CellJudge for WriteSetDetector {
 
     fn judge(
         &self,
-        class: &ClassId,
+        _class: &ClassId,
         _entry: Option<&Value>,
         _cell: &CellKey,
         txn: &[&Op],
         committed: &[&Op],
-    ) -> bool {
+    ) -> (bool, CheckReason) {
         let hit = write_set_cell(txn, committed, Relaxation::strict());
-        if hit {
-            self.stats.record_class_conflict(class);
-        }
-        hit
+        (hit, CheckReason::WritesetOverlap)
     }
 }
 
 impl ConflictDetector for WriteSetDetector {
-    fn begin_validation<'a>(
+    fn begin_validation_traced<'a>(
         &'a self,
         entry: &'a dyn EntryState,
         txn: &'a CommittedLog,
+        obs: Option<&'a RingHandle>,
     ) -> Box<dyn ValidationSession + 'a> {
-        open_session(self, entry, txn)
+        open_session(self, entry, txn, obs)
     }
 
     fn name(&self) -> &'static str {
@@ -474,28 +551,28 @@ impl CellJudge for SequenceDetector {
         cell: &CellKey,
         txn: &[&Op],
         committed: &[&Op],
-    ) -> bool {
+    ) -> (bool, CheckReason) {
         let relax = self.relax.effective(class, txn, committed);
-        let hit = match entry {
-            Some(v) => conflict_cell(v, cell, txn, committed, relax),
+        match entry {
+            Some(v) => conflict_cell_attributed(v, cell, txn, committed, relax),
             // No entry value (location unknown to the snapshot):
             // conservatively fall back to the write-set test.
-            None => write_set_cell(txn, committed, relax),
-        };
-        if hit {
-            self.stats.record_class_conflict(class);
+            None => (
+                write_set_cell(txn, committed, relax),
+                CheckReason::WritesetOverlap,
+            ),
         }
-        hit
     }
 }
 
 impl ConflictDetector for SequenceDetector {
-    fn begin_validation<'a>(
+    fn begin_validation_traced<'a>(
         &'a self,
         entry: &'a dyn EntryState,
         txn: &'a CommittedLog,
+        obs: Option<&'a RingHandle>,
     ) -> Box<dyn ValidationSession + 'a> {
-        open_session(self, entry, txn)
+        open_session(self, entry, txn, obs)
     }
 
     fn name(&self) -> &'static str {
@@ -586,36 +663,36 @@ impl<O: SequenceOracle> CellJudge for CachedSequenceDetector<O> {
         cell: &CellKey,
         txn: &[&Op],
         committed: &[&Op],
-    ) -> bool {
+    ) -> (bool, CheckReason) {
         let relax = self.relax.effective(class, txn, committed);
         if relax.tolerate_raw && relax.tolerate_waw {
             // Everything the cell check could flag is tolerated.
-            return false;
+            return (false, CheckReason::Commute);
         }
-        let hit = match self.oracle.query(class, entry, cell, txn, committed, relax) {
+        match self.oracle.query(class, entry, cell, txn, committed, relax) {
             Some(answer) => {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                answer
+                (answer, CheckReason::Commute)
             }
             None => {
                 self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                write_set_cell(txn, committed, relax)
+                (
+                    write_set_cell(txn, committed, relax),
+                    CheckReason::CacheMiss,
+                )
             }
-        };
-        if hit {
-            self.stats.record_class_conflict(class);
         }
-        hit
     }
 }
 
 impl<O: SequenceOracle> ConflictDetector for CachedSequenceDetector<O> {
-    fn begin_validation<'a>(
+    fn begin_validation_traced<'a>(
         &'a self,
         entry: &'a dyn EntryState,
         txn: &'a CommittedLog,
+        obs: Option<&'a RingHandle>,
     ) -> Box<dyn ValidationSession + 'a> {
-        open_session(self, entry, txn)
+        open_session(self, entry, txn, obs)
     }
 
     fn name(&self) -> &'static str {
@@ -889,6 +966,48 @@ mod tests {
             (0, 0),
             "relaxed cells never reach the oracle"
         );
+    }
+
+    #[test]
+    fn traced_session_records_per_cell_checks() {
+        use janus_obs::Recorder;
+
+        let mut s = MapState::default();
+        s.0.insert(LocId(0), Value::int(0));
+        let a = mk_ops(0, "hot", vec![read(), add(1)], &mut s);
+        let ok_seg = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "hot",
+            vec![add(2), add(-2)],
+            &mut s,
+        )))];
+        let bad_seg = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "hot",
+            vec![write(9)],
+            &mut s,
+        )))];
+        let txn = CommittedLog::new(a);
+        let det = SequenceDetector::new();
+        let rec = Recorder::new();
+        {
+            let h = rec.register("w0");
+            let mut session = det.begin_validation_traced(&s, &txn, Some(&h));
+            assert!(!session.extend(&HistoryWindow::new(&ok_seg)));
+            assert!(session.extend(&HistoryWindow::new(&bad_seg)));
+        }
+        let trace = rec.finish();
+        assert_eq!(trace.count("per_cell_check"), 2);
+        assert_eq!(trace.conflict_checks(), 1);
+        assert_eq!(det.stats().cells_checked(), 2, "events match the counter");
+        let reasons: Vec<CheckReason> = trace
+            .events()
+            .filter_map(|e| match &e.kind {
+                EventKind::PerCellCheck { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec![CheckReason::Commute, CheckReason::SameRead]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use detector::{
     SequenceDetector, SequenceOracle, ValidationSession, WriteSetDetector,
 };
 pub use projection::{
-    cell_value, commute, conflict_cell, last_write, net_delta, observes, read_prefixes,
-    replay_cell, same_read, CellValue,
+    cell_value, commute, conflict_cell, conflict_cell_attributed, last_write, net_delta, observes,
+    read_prefixes, replay_cell, same_read, CellValue,
 };
 pub use relax::{infer_waw_tolerance, Relaxation, RelaxationSpec};

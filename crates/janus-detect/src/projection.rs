@@ -2,6 +2,7 @@
 //! `COMMUTE` and the per-location `CONFLICT` procedure.
 
 use janus_log::{CellKey, Op, OpKind, OpResult};
+use janus_obs::CheckReason;
 use janus_relational::{Scalar, Value};
 
 use crate::Relaxation;
@@ -126,22 +127,37 @@ pub fn conflict_cell(
     committed: &[&Op],
     relax: Relaxation,
 ) -> bool {
+    conflict_cell_attributed(entry, cell, txn, committed, relax).0
+}
+
+/// [`conflict_cell`] with abort attribution: additionally names the
+/// Figure 8 check that decided the verdict. On conflict the reason is the
+/// check that failed first ([`CheckReason::SameRead`] or
+/// [`CheckReason::Commute`]); on pass it is [`CheckReason::Commute`], the
+/// last check standing between the cell and a conflict.
+pub fn conflict_cell_attributed(
+    entry: &Value,
+    cell: &CellKey,
+    txn: &[&Op],
+    committed: &[&Op],
+    relax: Relaxation,
+) -> (bool, CheckReason) {
     if !relax.tolerate_raw {
         for prefix in read_prefixes(txn) {
             if !same_read(entry, prefix, committed) {
-                return true;
+                return (true, CheckReason::SameRead);
             }
         }
         for prefix in read_prefixes(committed) {
             if !same_read(entry, prefix, txn) {
-                return true;
+                return (true, CheckReason::SameRead);
             }
         }
     }
     if !relax.tolerate_waw && !commute(entry, cell, txn, committed) {
-        return true;
+        return (true, CheckReason::Commute);
     }
-    false
+    (false, CheckReason::Commute)
 }
 
 /// Integer helper used in tests and conditions: the net delta of a pure

@@ -1,0 +1,148 @@
+//! The transaction-lifecycle event model.
+
+use janus_log::{ClassId, LocId};
+
+/// The outcome of one per-cell conflict check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The cell's subsequences were found compatible.
+    Pass,
+    /// The cell's subsequences conflict: the attempt will abort.
+    Conflict,
+}
+
+impl Verdict {
+    /// A short lower-case label ("pass" / "conflict").
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Conflict => "conflict",
+        }
+    }
+}
+
+/// Which rule decided a per-cell verdict — the abort-attribution axis:
+/// a conflict's reason names the check that failed, a pass's reason
+/// names the check that admitted the interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckReason {
+    /// The `SAMEREAD` direction of Figure 8 (an exposed read observes a
+    /// different value when the other subsequence runs first).
+    SameRead,
+    /// The `COMMUTE` direction of Figure 8 (the cell's final value
+    /// depends on the evaluation order).
+    Commute,
+    /// The write-set overlap test (read/write or write/write on a
+    /// common cell).
+    WritesetOverlap,
+    /// The commutativity cache missed and the write-set fallback
+    /// decided the verdict.
+    CacheMiss,
+}
+
+impl CheckReason {
+    /// A short lower-case label ("sameread", "commute",
+    /// "writeset-overlap", "cache-miss").
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckReason::SameRead => "sameread",
+            CheckReason::Commute => "commute",
+            CheckReason::WritesetOverlap => "writeset-overlap",
+            CheckReason::CacheMiss => "cache-miss",
+        }
+    }
+}
+
+/// One lifecycle event. Payload-only: the commit clock and monotonic
+/// timestamp live on the enclosing [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// `CREATETRANSACTION`: an attempt of task `task` begins (the clock
+    /// stamp is the attempt's begin time).
+    Begin {
+        /// The 1-based task id (= its commit position in ordered runs).
+        task: u64,
+    },
+    /// The first validation of an attempt fetched its conflict window.
+    ValidateOpen {
+        /// Committed segments in the window `[begin, now)`.
+        window_segments: u64,
+    },
+    /// The commit clock advanced mid-validation; only the delta window
+    /// is re-checked.
+    DeltaRevalidate {
+        /// Committed segments in the delta `[validated_to, now)`.
+        window_segments: u64,
+    },
+    /// One per-cell conflict check ran.
+    PerCellCheck {
+        /// The location whose cell was checked.
+        loc: LocId,
+        /// The location's static class.
+        class: ClassId,
+        /// The check's outcome.
+        verdict: Verdict,
+        /// Which rule decided the verdict.
+        reason: CheckReason,
+        /// Operations scanned by the check (both subsequences).
+        ops_scanned: u64,
+    },
+    /// The attempt aborted (a per-cell check conflicted); the task will
+    /// restart from a fresh snapshot.
+    Abort {
+        /// The aborting task's id.
+        task: u64,
+    },
+    /// The attempt committed (the clock stamp is the post-commit clock).
+    Commit {
+        /// The committing task's id.
+        task: u64,
+    },
+    /// History GC reclaimed committed logs below the horizon.
+    GcReclaim {
+        /// Entries reclaimed by this pass.
+        reclaimed: u64,
+    },
+}
+
+impl EventKind {
+    /// A short lower-case label for the event kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Begin { .. } => "begin",
+            EventKind::ValidateOpen { .. } => "validate_open",
+            EventKind::DeltaRevalidate { .. } => "delta_revalidate",
+            EventKind::PerCellCheck { .. } => "per_cell_check",
+            EventKind::Abort { .. } => "abort",
+            EventKind::Commit { .. } => "commit",
+            EventKind::GcReclaim { .. } => "gc_reclaim",
+        }
+    }
+}
+
+/// One recorded event: a lifecycle payload stamped with the commit clock
+/// observed when it was recorded and a monotonic timestamp relative to
+/// the recorder's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The commit clock observed at record time.
+    pub clock: u64,
+    /// Nanoseconds since the recorder's epoch (monotonic).
+    pub ts_ns: u64,
+    /// The lifecycle payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Verdict::Conflict.label(), "conflict");
+        assert_eq!(CheckReason::SameRead.label(), "sameread");
+        assert_eq!(CheckReason::CacheMiss.label(), "cache-miss");
+        assert_eq!(EventKind::Begin { task: 1 }.label(), "begin");
+        assert_eq!(EventKind::GcReclaim { reclaimed: 2 }.label(), "gc_reclaim");
+    }
+}

@@ -35,4 +35,4 @@ mod solver;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use prop::{is_equivalent, is_satisfiable, tseitin, PropFormula};
-pub use solver::{Solution, Solver, SolverStats};
+pub use solver::{global_solver_stats, reset_global_solver_stats, Solution, Solver, SolverStats};

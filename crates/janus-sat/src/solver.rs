@@ -106,6 +106,74 @@ pub struct SolverStats {
     pub restarts: u64,
 }
 
+impl SolverStats {
+    /// Adds another solver's counters into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+    }
+}
+
+/// Process-wide solver-activity totals. Solvers are created deep inside
+/// the symbolic verifier (one per equivalence query) and dropped
+/// immediately, so per-instance stats are unreachable from the CLI; each
+/// solver folds its counters in here when it drops.
+#[derive(Debug, Default)]
+struct GlobalSolverStats {
+    decisions: std::sync::atomic::AtomicU64,
+    conflicts: std::sync::atomic::AtomicU64,
+    propagations: std::sync::atomic::AtomicU64,
+    restarts: std::sync::atomic::AtomicU64,
+}
+
+static GLOBAL_STATS: GlobalSolverStats = GlobalSolverStats {
+    decisions: std::sync::atomic::AtomicU64::new(0),
+    conflicts: std::sync::atomic::AtomicU64::new(0),
+    propagations: std::sync::atomic::AtomicU64::new(0),
+    restarts: std::sync::atomic::AtomicU64::new(0),
+};
+
+/// The totals accumulated by every [`Solver`] dropped so far in this
+/// process.
+pub fn global_solver_stats() -> SolverStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    SolverStats {
+        decisions: GLOBAL_STATS.decisions.load(Relaxed),
+        conflicts: GLOBAL_STATS.conflicts.load(Relaxed),
+        propagations: GLOBAL_STATS.propagations.load(Relaxed),
+        restarts: GLOBAL_STATS.restarts.load(Relaxed),
+    }
+}
+
+/// Zeroes the process-wide solver totals (between experiment phases).
+pub fn reset_global_solver_stats() {
+    use std::sync::atomic::Ordering::Relaxed;
+    GLOBAL_STATS.decisions.store(0, Relaxed);
+    GLOBAL_STATS.conflicts.store(0, Relaxed);
+    GLOBAL_STATS.propagations.store(0, Relaxed);
+    GLOBAL_STATS.restarts.store(0, Relaxed);
+}
+
+impl Drop for Solver {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        GLOBAL_STATS
+            .decisions
+            .fetch_add(self.stats.decisions, Relaxed);
+        GLOBAL_STATS
+            .conflicts
+            .fetch_add(self.stats.conflicts, Relaxed);
+        GLOBAL_STATS
+            .propagations
+            .fetch_add(self.stats.propagations, Relaxed);
+        GLOBAL_STATS
+            .restarts
+            .fetch_add(self.stats.restarts, Relaxed);
+    }
+}
+
 const NO_REASON: usize = usize::MAX;
 
 impl Solver {

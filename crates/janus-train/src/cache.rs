@@ -54,17 +54,27 @@ struct Entry {
 
 /// Statistics of cache usage. Following §7.1, *unique* queries are
 /// counted: multiple hits/misses for the same abstract query signature
-/// count once.
+/// count once. Signatures are tracked as 64-bit hashes of the abstract
+/// query (not as rendered strings), and the tracked set is capped at
+/// [`CacheStats::UNIQUE_SIG_CAP`] — a long production run no longer grows
+/// an unbounded map of signature strings. Signatures arriving past the
+/// cap are counted in [`unique_overflow`](CacheStats::unique_overflow);
+/// the Figure 11 unique-miss-rate is exact whenever that counter is zero.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     /// Total per-cell queries answered from the cache.
     pub hits: AtomicU64,
     /// Total per-cell queries that missed.
     pub misses: AtomicU64,
-    unique: Mutex<BTreeMap<String, bool>>,
+    unique: Mutex<BTreeMap<u64, bool>>,
+    unique_overflow: AtomicU64,
 }
 
 impl CacheStats {
+    /// Maximum number of distinct query signatures tracked for the
+    /// unique-miss-rate metric.
+    pub const UNIQUE_SIG_CAP: usize = 1 << 16;
+
     /// Unique query signatures that hit, and that missed.
     pub fn unique_counts(&self) -> (u64, u64) {
         let unique = self.unique.lock().expect("cache stats mutex");
@@ -73,8 +83,17 @@ impl CacheStats {
         (hits, misses)
     }
 
+    /// Signatures that were not tracked because the unique set had
+    /// already reached [`CacheStats::UNIQUE_SIG_CAP`] distinct entries.
+    pub fn unique_overflow(&self) -> u64 {
+        self.unique_overflow.load(Ordering::Relaxed)
+    }
+
     /// The unique-query miss rate in percent (the Figure 11 metric), or
-    /// `None` if no queries were recorded.
+    /// `None` if no queries were recorded. Exact up to
+    /// [`CacheStats::UNIQUE_SIG_CAP`] distinct signatures; beyond that it
+    /// covers the first `UNIQUE_SIG_CAP` (see
+    /// [`unique_overflow`](CacheStats::unique_overflow)).
     pub fn miss_rate_percent(&self) -> Option<f64> {
         let (h, m) = self.unique_counts();
         let total = h + m;
@@ -85,17 +104,41 @@ impl CacheStats {
     pub fn reset(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.unique_overflow.store(0, Ordering::Relaxed);
         self.unique.lock().expect("cache stats mutex").clear();
     }
 
-    fn record(&self, sig: String, hit: bool) {
+    fn record(&self, sig: u64, hit: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         let mut unique = self.unique.lock().expect("cache stats mutex");
-        unique.entry(sig).or_insert(hit);
+        if !unique.contains_key(&sig) {
+            if unique.len() < CacheStats::UNIQUE_SIG_CAP {
+                unique.insert(sig, hit);
+            } else {
+                self.unique_overflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl janus_obs::Snapshot for CacheStats {
+    fn source(&self) -> &'static str {
+        "cache"
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let (unique_hits, unique_misses) = self.unique_counts();
+        vec![
+            ("hits".to_string(), self.hits.load(Ordering::Relaxed)),
+            ("misses".to_string(), self.misses.load(Ordering::Relaxed)),
+            ("unique_hits".to_string(), unique_hits),
+            ("unique_misses".to_string(), unique_misses),
+            ("unique_overflow".to_string(), self.unique_overflow()),
+        ]
     }
 }
 
@@ -207,18 +250,39 @@ impl CommutativityCache {
     }
 }
 
-fn signature(class: &ClassId, shape: CellShape, qa: &[AbstractOp], qb: &[AbstractOp]) -> String {
+/// Feeds `Display` output straight into a hasher, so signatures keep the
+/// rendered-string identity of the old implementation without building a
+/// string per query.
+struct HashWriter<H>(H);
+
+impl<H: std::hash::Hasher> std::fmt::Write for HashWriter<H> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The 64-bit signature of one abstract query: class, shape, and the two
+/// rendered operation streams in symmetric (order-independent) order.
+fn signature(class: &ClassId, shape: CellShape, qa: &[AbstractOp], qb: &[AbstractOp]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
     use std::fmt::Write;
-    let render = |s: &[AbstractOp]| {
-        let mut out = String::with_capacity(s.len());
-        for op in s {
-            let _ = write!(out, "{op}");
+    use std::hash::Hasher;
+
+    let side = |ops: &[AbstractOp]| {
+        let mut w = HashWriter(DefaultHasher::new());
+        for op in ops {
+            let _ = write!(w, "{op}#");
         }
-        out
+        w.0.finish()
     };
-    let (sa, sb) = (render(qa), render(qb));
+    let (sa, sb) = (side(qa), side(qb));
     let (lo, hi) = if sa <= sb { (sa, sb) } else { (sb, sa) };
-    format!("{class}#{shape:?}#{lo}#{hi}")
+    let mut w = HashWriter(DefaultHasher::new());
+    let _ = write!(w, "{class}#{shape:?}#");
+    w.0.write_u64(lo);
+    w.0.write_u64(hi);
+    w.0.finish()
 }
 
 impl SequenceOracle for CommutativityCache {
@@ -386,6 +450,39 @@ mod tests {
             Relaxation::strict(),
         );
         assert_eq!(ans, Some(false), "identity delta does not disturb the read");
+    }
+
+    #[test]
+    fn unique_signatures_are_capped() {
+        let stats = CacheStats::default();
+        let extra = 10u64;
+        for sig in 0..(CacheStats::UNIQUE_SIG_CAP as u64 + extra) {
+            stats.record(sig, false);
+        }
+        let (uh, um) = stats.unique_counts();
+        assert_eq!((uh, um), (0, CacheStats::UNIQUE_SIG_CAP as u64));
+        assert_eq!(stats.unique_overflow(), extra);
+        // A signature already tracked is not overflow, even at capacity.
+        stats.record(0, false);
+        assert_eq!(stats.unique_overflow(), extra);
+        stats.reset();
+        assert_eq!(stats.unique_overflow(), 0);
+        assert_eq!(stats.unique_counts(), (0, 0));
+    }
+
+    #[test]
+    fn signature_is_symmetric() {
+        let a = vec![AbstractOp::Add, AbstractOp::Read];
+        let b = vec![AbstractOp::Add];
+        let class = ClassId::new("x");
+        assert_eq!(
+            signature(&class, CellShape::Whole, &a, &b),
+            signature(&class, CellShape::Whole, &b, &a)
+        );
+        assert_ne!(
+            signature(&class, CellShape::Whole, &a, &b),
+            signature(&class, CellShape::Keyed, &a, &b)
+        );
     }
 
     #[test]

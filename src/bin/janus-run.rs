@@ -6,6 +6,7 @@
 //! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
 //!                            [--threads N] [--scale N] [--seed N]
 //!                            [--cache <file>] [--eager] [--no-gc]
+//!                            [--trace <file>] [--metrics]
 //! ```
 //!
 //! `train` exercises the workload's Table 6 training inputs sequentially
@@ -14,21 +15,33 @@
 //! parallel under the chosen detector; with `--detector cached` the cache
 //! is loaded from the file, so training and production can live in
 //! different processes — the offline/production split of Figure 6.
+//!
+//! `--trace FILE` records the full transaction lifecycle and writes a
+//! Chrome-trace JSON loadable in `chrome://tracing` (one track per worker
+//! thread); `--metrics` prints the unified metrics registry and the abort
+//! attribution report.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use janus::core::Janus;
 use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snapshot};
+use janus::sat::global_solver_stats;
 use janus::train::{train, CommutativityCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
+
+/// Flags that take a value. Everything else with a `--` prefix must be in
+/// [`BOOL_FLAGS`]; unknown flags are a usage error, not a silent no-op.
+const VALUE_FLAGS: &[&str] = &["detector", "threads", "scale", "seed", "cache", "trace"];
+const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics"];
 
 struct Args {
     positional: Vec<String>,
@@ -36,22 +49,28 @@ struct Args {
 }
 
 impl Args {
-    fn parse() -> Args {
+    fn parse() -> Result<Args, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = match name {
-                    "detector" | "threads" | "scale" | "seed" | "cache" => iter.next(),
-                    _ => None,
-                };
-                flags.push((name.to_string(), value));
+                if VALUE_FLAGS.contains(&name) {
+                    let value = iter
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                    flags.push((name.to_string(), Some(value)));
+                } else if BOOL_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
             } else {
                 positional.push(arg);
             }
         }
-        Args { positional, flags }
+        Ok(Args { positional, flags })
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -63,6 +82,17 @@ impl Args {
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// A numeric flag value, defaulting when absent, erroring on garbage
+    /// (instead of silently substituting the default).
+    fn numeric<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: invalid value {v:?}")),
+        }
     }
 }
 
@@ -115,6 +145,13 @@ fn cmd_train(args: &Args) -> ExitCode {
         report.symbolic_proved,
         report.symbolic_attempted,
     );
+    let solver = global_solver_stats();
+    if solver.decisions + solver.propagations > 0 {
+        println!(
+            "solver: {} decisions  {} conflicts  {} propagations  {} restarts",
+            solver.decisions, solver.conflicts, solver.propagations, solver.restarts,
+        );
+    }
     let path = cache_path(args, name);
     if let Err(e) = std::fs::write(&path, cache.to_text()) {
         eprintln!("cannot write {path}: {e}");
@@ -138,23 +175,23 @@ fn cmd_run(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let w: &dyn Workload = workload.as_ref();
-    let threads: usize = args
-        .value("threads")
-        .map(|v| v.parse().unwrap_or(4))
-        .unwrap_or(4);
     let default_input = w.production_inputs()[0];
-    let scale: usize = args
-        .value("scale")
-        .map(|v| v.parse().unwrap_or(default_input.scale))
-        .unwrap_or(default_input.scale);
-    let seed: u64 = args
-        .value("seed")
-        .map(|v| v.parse().unwrap_or(default_input.seed))
-        .unwrap_or(default_input.seed);
+    let (threads, scale, seed) = match (
+        args.numeric::<usize>("threads", 4),
+        args.numeric::<usize>("scale", default_input.scale),
+        args.numeric::<u64>("seed", default_input.seed),
+    ) {
+        (Ok(t), Ok(sc), Ok(se)) => (t, sc, se),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let input = InputSpec::new(scale, default_input.degree, seed);
 
     let detector_name = args.value("detector").unwrap_or("sequence");
     let relax = w.relaxations();
+    let mut cache_for_metrics: Option<Arc<CommutativityCache>> = None;
     let detector: Arc<dyn ConflictDetector> = match detector_name {
         "write-set" => Arc::new(WriteSetDetector::new()),
         "sequence" => Arc::new(SequenceDetector::with_relaxations(relax)),
@@ -167,6 +204,8 @@ fn cmd_run(args: &Args) -> ExitCode {
             match load_cache(&path) {
                 Ok(cache) => {
                     eprintln!("loaded {} cache entries from {path}", cache.len());
+                    let cache = Arc::new(cache);
+                    cache_for_metrics = Some(Arc::clone(&cache));
                     Arc::new(CachedSequenceDetector::with_relaxations(cache, relax))
                 }
                 Err(e) => {
@@ -184,12 +223,18 @@ fn cmd_run(args: &Args) -> ExitCode {
     eprintln!(
         "running {name} (scale={scale}, seed={seed}) on {threads} threads under {detector_name}..."
     );
+    let trace_path = args.value("trace").map(str::to_string);
+    let want_metrics = args.flag("metrics");
+    let recorder = (trace_path.is_some() || want_metrics).then(Recorder::new);
     let scenario = w.build(&input);
-    let janus = Janus::new(Arc::clone(&detector))
+    let mut janus = Janus::new(Arc::clone(&detector))
         .threads(threads)
         .ordered(w.ordered())
         .eager_privatization(args.flag("eager"))
         .gc_history(!args.flag("no-gc"));
+    if let Some(rec) = &recorder {
+        janus = janus.recorder(Arc::clone(rec));
+    }
     let outcome = janus.run(scenario.store, scenario.tasks);
 
     let ok = (scenario.check)(&outcome.store);
@@ -203,8 +248,9 @@ fn cmd_run(args: &Args) -> ExitCode {
         if ok { "ok" } else { "INVALID" },
     );
     println!(
-        "detection: {} ops scanned  {} windows zero-copy  {} delta re-validations",
+        "detection: {} ops scanned  {} cells checked  {} windows zero-copy  {} delta re-validations",
         outcome.stats.detect_ops_scanned,
+        detector.stats().cells_checked(),
         outcome.stats.zero_copy_windows,
         outcome.stats.delta_revalidations,
     );
@@ -215,6 +261,41 @@ fn cmd_run(args: &Args) -> ExitCode {
             println!("  {class}: {n}");
         }
     }
+    let solver = global_solver_stats();
+    if solver.decisions + solver.propagations > 0 {
+        println!(
+            "solver: {} decisions  {} conflicts  {} propagations  {} restarts",
+            solver.decisions, solver.conflicts, solver.propagations, solver.restarts,
+        );
+    }
+
+    if let Some(rec) = recorder {
+        let trace = rec.finish();
+        if let Some(path) = &trace_path {
+            if let Err(e) = std::fs::write(path, chrome_trace_json(&trace)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace written to {path} ({} events, {} dropped; load in chrome://tracing)",
+                trace.len(),
+                trace.dropped()
+            );
+        }
+        if want_metrics {
+            let mut metrics = MetricsRegistry::new();
+            metrics.absorb(&outcome.stats);
+            metrics.absorb(detector.stats() as &dyn Snapshot);
+            if let Some(cache) = &cache_for_metrics {
+                metrics.absorb(cache.stats());
+            }
+            metrics.absorb(&global_solver_stats());
+            metrics.absorb_trace(&trace);
+            println!("--- metrics ---");
+            print!("{}", metrics.render());
+            println!("{}", text_report(&trace, 6));
+        }
+    }
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -223,7 +304,13 @@ fn cmd_run(args: &Args) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args = Args::parse();
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     match args.positional.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("train") => cmd_train(&args),

@@ -23,6 +23,7 @@
 //! | [`log`] | `janus-log` | operation logs and per-location decomposition |
 //! | [`sat`] | `janus-sat` | the SAT solver behind symbolic equivalence checks |
 //! | [`persist`] | `janus-persist` | the persistent map behind O(1) snapshots |
+//! | [`obs`] | `janus-obs` | lifecycle tracing, abort attribution, the unified metrics registry |
 //! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
 //!
 //! # Quickstart
@@ -98,6 +99,12 @@ pub mod sat {
 /// Persistent data structures (re-export of `janus-persist`).
 pub mod persist {
     pub use janus_persist::*;
+}
+
+/// Transaction-lifecycle tracing, abort attribution and the unified
+/// metrics registry (re-export of `janus-obs`).
+pub mod obs {
+    pub use janus_obs::*;
 }
 
 /// The five evaluation benchmarks (re-export of `janus-workloads`).

@@ -1,0 +1,159 @@
+//! Lifecycle-trace consistency.
+//!
+//! The observability layer must be a *faithful witness*: for any random
+//! task mix, thread count and detector, the recorded lifecycle trace must
+//! tell exactly the same story as the runtime's own counters. Every
+//! `begin` reaches exactly one terminal `commit`/`abort` (checked by
+//! [`Trace::check_well_formed`]), commit events equal `RunStats::commits`,
+//! abort events equal `RunStats::retries`, per-cell check events equal
+//! `DetectorStats::cells_checked`, conflict verdicts equal the detector's
+//! per-class attribution counters, and the operations the events claim to
+//! have scanned equal the operations the detector actually scanned.
+
+use std::sync::Arc;
+
+use janus::core::{Janus, Store, Task, TxView};
+use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::obs::{EventKind, Recorder, Verdict};
+use janus::relational::Value;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum K {
+    Read,
+    Add(i64),
+    Write(i64),
+    Max(i64),
+}
+
+/// One random transactional access: a location choice plus an operation.
+fn access_strategy() -> impl Strategy<Value = (usize, K)> {
+    (
+        0usize..3,
+        prop_oneof![
+            Just(K::Read),
+            (-2i64..3).prop_map(K::Add),
+            (0i64..3).prop_map(K::Write),
+            (0i64..3).prop_map(K::Max),
+        ],
+    )
+}
+
+/// Builds one task per access list, each replaying its accesses against
+/// the three preallocated locations.
+fn mk_tasks(specs: &[Vec<(usize, K)>], locs: [janus::log::LocId; 3]) -> Vec<Task> {
+    specs
+        .iter()
+        .map(|accesses| {
+            let accesses = accesses.clone();
+            Task::new(move |tx: &mut TxView| {
+                for &(i, k) in &accesses {
+                    let loc = locs[i];
+                    match k {
+                        K::Read => {
+                            tx.read(loc);
+                        }
+                        K::Add(d) => tx.add(loc, d),
+                        K::Write(v) => tx.write(loc, v),
+                        K::Max(v) => tx.max_with(loc, v),
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+/// Runs the task mix traced and checks every event-vs-counter identity.
+fn check_trace(specs: &[Vec<(usize, K)>], threads: usize, detector: Arc<dyn ConflictDetector>) {
+    let mut store = Store::new();
+    let locs = [
+        store.alloc("a", Value::int(0)),
+        store.alloc("b", Value::int(0)),
+        store.alloc("c", Value::int(0)),
+    ];
+    let recorder = Recorder::new();
+    let outcome = Janus::new(Arc::clone(&detector))
+        .threads(threads)
+        .recorder(Arc::clone(&recorder))
+        .run(store, mk_tasks(specs, locs));
+    let trace = recorder.finish();
+
+    // Structure: every begin reaches exactly one commit or abort, events
+    // sit inside attempts, timestamps are monotone per thread.
+    prop_assert!(
+        trace.check_well_formed().is_ok(),
+        "ill-formed trace: {:?}",
+        trace.check_well_formed()
+    );
+    prop_assert_eq!(trace.dropped(), 0, "no events may be dropped");
+
+    // Lifecycle events match the runtime's counters exactly.
+    prop_assert_eq!(trace.count("commit"), outcome.stats.commits);
+    prop_assert_eq!(trace.count("abort"), outcome.stats.retries);
+    prop_assert_eq!(
+        trace.count("begin"),
+        outcome.stats.commits + outcome.stats.retries
+    );
+    prop_assert_eq!(
+        trace.count("validate_open") + trace.count("delta_revalidate"),
+        outcome.stats.zero_copy_windows
+    );
+    prop_assert_eq!(
+        trace.count("delta_revalidate"),
+        outcome.stats.delta_revalidations
+    );
+
+    // Per-cell check events match the detector's counters: one event per
+    // judged cell, conflict verdicts equal the per-class attribution, and
+    // the scanned-op totals agree.
+    let stats = detector.stats();
+    prop_assert_eq!(trace.count("per_cell_check"), stats.cells_checked());
+    let by_class: u64 = stats.conflicts_by_class().iter().map(|(_, n)| n).sum();
+    prop_assert_eq!(trace.conflict_checks(), by_class);
+    let (event_conflicts, event_ops) =
+        trace
+            .events()
+            .fold((0u64, 0u64), |(c, o), e| match &e.kind {
+                EventKind::PerCellCheck {
+                    verdict,
+                    ops_scanned,
+                    ..
+                } => (
+                    c + u64::from(*verdict == Verdict::Conflict),
+                    o + ops_scanned,
+                ),
+                _ => (c, o),
+            });
+    prop_assert_eq!(event_conflicts, by_class);
+    prop_assert_eq!(event_ops, stats.ops_scanned());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequence detection: the trace is a faithful witness for every
+    /// random task mix and thread count.
+    #[test]
+    fn sequence_trace_matches_counters(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(access_strategy(), 0..5),
+            0..8,
+        ),
+        threads in 1usize..=4,
+    ) {
+        check_trace(&specs, threads, Arc::new(SequenceDetector::new()));
+    }
+
+    /// Write-set detection aborts far more often; the identities must
+    /// hold through every retry loop as well.
+    #[test]
+    fn write_set_trace_matches_counters(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(access_strategy(), 0..5),
+            0..8,
+        ),
+        threads in 1usize..=4,
+    ) {
+        check_trace(&specs, threads, Arc::new(WriteSetDetector::new()));
+    }
+}
