@@ -1,13 +1,16 @@
 //! The parallel runtime: `DOPARALLEL` / `RUNTASK` / `CREATETRANSACTION` /
 //! `COMMIT` of Figure 7.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
-use janus_log::{CommittedLog, HistoryWindow};
-use janus_obs::{EventKind, Recorder, RingHandle};
+use janus_log::{ClassId, CommittedLog, HistoryWindow};
+use janus_obs::{AbortReason, EventKind, Recorder, RingHandle};
+use janus_sched::{
+    backoff, DegradeConfig, DegradeController, Fifo, Parker, SchedStats, SchedulePolicy, TaskSource,
+};
 use janus_train::{train, CommutativityCache, TrainConfig, TrainReport, TrainingRun};
 use parking_lot::RwLock;
 
@@ -105,6 +108,8 @@ pub struct Outcome {
     pub store: Store,
     /// Run statistics.
     pub stats: RunStats,
+    /// Scheduling statistics (dispatch, backoff, affinity, degradation).
+    pub sched: SchedStats,
 }
 
 /// The shared mutable state guarded by the protocol's read-write lock.
@@ -184,6 +189,10 @@ impl Shared {
 /// Monotone counters shared by the worker threads of one run.
 #[derive(Default)]
 struct RunCounters {
+    /// Committed transactions, counted at each `COMMIT` — the commit
+    /// clock mirrors it, but statistics must not be derived from clock
+    /// arithmetic (poisoned runs stop the clock mid-flight).
+    commits: AtomicU64,
     retries: AtomicU64,
     delta_revalidations: AtomicU64,
     zero_copy_windows: AtomicU64,
@@ -228,6 +237,8 @@ pub struct Janus {
     eager_privatization: bool,
     gc_history: bool,
     recorder: Option<Arc<Recorder>>,
+    schedule: Arc<dyn SchedulePolicy>,
+    degrade: Option<DegradeConfig>,
 }
 
 impl Janus {
@@ -243,7 +254,30 @@ impl Janus {
             eager_privatization: false,
             gc_history: true,
             recorder: None,
+            schedule: Arc::new(Fifo),
+            degrade: None,
         }
+    }
+
+    /// Sets the scheduling policy. The default, [`janus_sched::Fifo`],
+    /// preserves the original dispatch bit for bit: one shared atomic
+    /// counter, immediate retry on abort. [`janus_sched::Backoff`] and
+    /// [`janus_sched::Affinity`] trade a little latency for far fewer
+    /// retries under contention.
+    pub fn schedule(mut self, policy: Arc<dyn SchedulePolicy>) -> Self {
+        self.schedule = policy;
+        self
+    }
+
+    /// Enables serial-fallback degradation: when the windowed retry
+    /// ratio crosses `config.threshold`, retries of tasks that touched
+    /// the hot location classes serialize on a token until the window
+    /// cools. Ignored in ordered runs — a serialized retry waiting for
+    /// its commit turn while holding the token would deadlock a
+    /// predecessor's serialized retry.
+    pub fn degrade(mut self, config: DegradeConfig) -> Self {
+        self.degrade = Some(config);
+        self
     }
 
     /// Attaches a lifecycle-trace recorder: every worker thread registers
@@ -312,18 +346,30 @@ impl Janus {
             pruned: 0,
         });
         let active = ActiveBegins::default();
-        let next_task = AtomicUsize::new(0);
         let counters = RunCounters::default();
         let ops_scanned_at_start = self.detector.stats().ops_scanned();
         let poisoned = std::sync::atomic::AtomicBool::new(false);
         let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
             parking_lot::Mutex::new(None);
+        let workers = self.threads.min(tasks.len().max(1));
+        // One dispatch state per run: the policy is reusable config, the
+        // source is this run's shared queue/counter state.
+        let source = self.schedule.bind(tasks.len(), workers);
+        // Degradation is unordered-only: a serialized retry waiting for
+        // its commit turn while holding the token would deadlock any
+        // predecessor whose own retry needs the token.
+        let controller = if self.ordered {
+            None
+        } else {
+            self.degrade.clone().map(DegradeController::new)
+        };
 
         std::thread::scope(|scope| {
-            for w in 0..self.threads.min(tasks.len().max(1)) {
+            for w in 0..workers {
                 let (tasks, clock, shared, active, counters) =
                     (&tasks, &clock, &shared, &active, &counters);
-                let (next_task, poisoned, panic_payload) = (&next_task, &poisoned, &panic_payload);
+                let (poisoned, panic_payload) = (&poisoned, &panic_payload);
+                let (source, controller) = (&source, &controller);
                 scope.spawn(move || {
                     // One event ring per worker, registered up front so
                     // the per-task path never touches the recorder.
@@ -335,24 +381,37 @@ impl Janus {
                         if poisoned.load(Ordering::SeqCst) {
                             break;
                         }
-                        let i = next_task.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks.len() {
-                            break;
-                        }
+                        let i = match source.next_task(w) {
+                            Some(i) => i,
+                            None => break,
+                        };
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             self.run_task(
                                 &tasks[i],
                                 (i + 1) as u64,
+                                w,
                                 clock,
                                 shared,
                                 active,
                                 counters,
+                                source.as_ref(),
+                                controller.as_ref(),
                                 poisoned,
                                 obs.as_ref(),
                             )
                         }));
                         if let Err(payload) = result {
                             poisoned.store(true, Ordering::SeqCst);
+                            // Close the panicking attempt's lifecycle so
+                            // abort attribution does not lose it; the
+                            // distinct reason keeps it out of contention
+                            // statistics.
+                            if let Some(o) = obs.as_ref() {
+                                o.record(EventKind::Abort {
+                                    task: (i + 1) as u64,
+                                    reason: AbortReason::Poisoned,
+                                });
+                            }
                             panic_payload.lock().get_or_insert(payload);
                             break;
                         }
@@ -365,14 +424,20 @@ impl Janus {
             std::panic::resume_unwind(payload);
         }
         let shared = shared.into_inner();
-        // The clock counts commits: it starts at 1 and is bumped once per
-        // committed transaction. (Equal to tasks.len() unless the run was
-        // poisoned by a panic.)
-        let commits = clock.load(Ordering::SeqCst) - 1;
+        // Commits come from the dedicated counter; the commit clock
+        // mirrors it (clock = commits + 1) but is an implementation
+        // detail of windowing, not a statistic.
+        let commits = counters.commits.load(Ordering::Relaxed);
+        debug_assert_eq!(commits, clock.load(Ordering::SeqCst) - 1);
+        let mut sched = source.stats();
+        if let Some(c) = &controller {
+            c.merge_into(&mut sched);
+        }
         let mut final_store = store;
         final_store.slots = shared.slots;
         Outcome {
             store: final_store,
+            sched,
             stats: RunStats {
                 commits,
                 retries: counters.retries.load(Ordering::Relaxed),
@@ -395,14 +460,28 @@ impl Janus {
         &self,
         task: &Task,
         tid: u64,
+        worker: usize,
         clock: &AtomicU64,
         shared: &RwLock<Shared>,
         active: &ActiveBegins,
         counters: &RunCounters,
+        source: &dyn TaskSource,
+        controller: Option<&DegradeController>,
         poisoned: &std::sync::atomic::AtomicBool,
         obs: Option<&RingHandle>,
     ) {
+        // Consecutive aborts of this task (drives the backoff curve) and
+        // the location classes its last aborted attempt touched (drives
+        // degraded-retry targeting).
+        let mut attempt: u32 = 0;
+        let mut aborted_classes: Vec<ClassId> = Vec::new();
         'restart: loop {
+            // Degraded retries of hot-class tasks hold the serial token
+            // for the whole re-execution; first attempts stay optimistic.
+            let _serial = match controller {
+                Some(c) if attempt > 0 => c.serial_guard(&aborted_classes),
+                _ => None,
+            };
             // CREATETRANSACTION (read lock): snapshot the clock and the
             // shared state consistently, and register the begin time for
             // history GC while the read lock excludes concurrent pruning.
@@ -434,19 +513,28 @@ impl Janus {
             // In-order execution: wait until all preceding transactions
             // have committed.
             if self.ordered {
+                // Escalating spin → yield → park instead of a bare
+                // `yield_now` loop: long waits (deep pipelines, slow
+                // predecessors) cede the core.
+                let mut parker = Parker::new();
                 while clock.load(Ordering::SeqCst) != tid {
                     if poisoned.load(Ordering::SeqCst) {
                         // A predecessor panicked and will never commit;
-                        // spinning would hang forever.
+                        // spinning would hang forever. The distinct
+                        // abort reason keeps these bailouts out of
+                        // contention attribution.
                         if self.gc_history {
                             active.unregister(begin);
                         }
                         if let Some(o) = obs {
-                            o.record(EventKind::Abort { task: tid });
+                            o.record(EventKind::Abort {
+                                task: tid,
+                                reason: AbortReason::Poisoned,
+                            });
                         }
                         return;
                     }
-                    std::thread::yield_now();
+                    parker.pause();
                 }
             }
 
@@ -498,7 +586,34 @@ impl Janus {
                         active.unregister(begin);
                     }
                     if let Some(o) = obs {
-                        o.record(EventKind::Abort { task: tid });
+                        o.record(EventKind::Abort {
+                            task: tid,
+                            reason: AbortReason::Conflict,
+                        });
+                    }
+                    if let Some(c) = controller {
+                        aborted_classes.clear();
+                        aborted_classes.extend(txn_log.ops().iter().map(|op| op.class.clone()));
+                        aborted_classes.sort_unstable();
+                        aborted_classes.dedup();
+                        if let Some(on) = c.record(&aborted_classes, true) {
+                            if let Some(o) = obs {
+                                o.record(EventKind::SchedDegrade { on });
+                            }
+                        }
+                    }
+                    let hint = source.on_abort(worker, (tid - 1) as usize, attempt);
+                    attempt += 1;
+                    if hint.steps > 0 {
+                        if let Some(o) = obs {
+                            o.record(EventKind::SchedBackoff {
+                                task: tid,
+                                steps: hint.steps,
+                            });
+                        }
+                        // Yield the slot instead of hot-restarting; bail
+                        // promptly if the run is poisoned meanwhile.
+                        backoff::wait(hint.steps, || poisoned.load(Ordering::SeqCst));
                     }
                     continue 'restart; // abort: rerun from scratch
                 }
@@ -531,6 +646,7 @@ impl Janus {
                     // no re-decomposition ever happens for this log.
                     g.history.push(Arc::clone(&txn_log));
                     let now_clock = clock.fetch_add(1, Ordering::SeqCst) + 1;
+                    counters.commits.fetch_add(1, Ordering::Relaxed);
                     if let Some(o) = obs {
                         o.set_clock(now_clock);
                         o.record(EventKind::Commit { task: tid });
@@ -544,8 +660,18 @@ impl Janus {
                             }
                         }
                     }
-                    return;
                 }
+                // Scheduler bookkeeping happens after the write lock is
+                // released: none of it is on the commit critical path.
+                source.on_commit(worker, (tid - 1) as usize);
+                if let Some(c) = controller {
+                    if let Some(on) = c.record(&[], false) {
+                        if let Some(o) = obs {
+                            o.record(EventKind::SchedDegrade { on });
+                        }
+                    }
+                }
+                return;
             }
         }
     }
@@ -589,6 +715,8 @@ impl std::fmt::Debug for Janus {
             .field("detector", &self.detector.name())
             .field("threads", &self.threads)
             .field("ordered", &self.ordered)
+            .field("schedule", &self.schedule.name())
+            .field("degrade", &self.degrade)
             .finish()
     }
 }
@@ -821,12 +949,31 @@ mod tests {
         let work = store.alloc("work", Value::int(0));
         let mut tasks = identity_tasks(work, 6);
         tasks.insert(3, Task::new(|_tx: &mut TxView| panic!("boom in task body")));
-        let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(2);
+        let recorder = Recorder::new();
+        let janus = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(2)
+            .recorder(Arc::clone(&recorder));
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| janus.run(store, tasks)));
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("boom"), "original payload preserved: {msg:?}");
+        // Even a poisoned run's trace is well-formed: the panicking
+        // attempt is closed by a poisoned abort, so every begin is
+        // accounted for by a commit or an abort.
+        let trace = recorder.finish();
+        trace
+            .check_well_formed()
+            .expect("poisoned trace still well-formed");
+        assert_eq!(
+            trace.count("begin"),
+            trace.count("commit") + trace.count("abort"),
+            "commits + aborts (conflict and in-flight poisoned) close every attempt"
+        );
+        assert!(
+            trace.aborts_with_reason(janus_obs::AbortReason::Poisoned) >= 1,
+            "the panicking attempt is attributed to poisoning, not contention"
+        );
     }
 
     #[test]
@@ -843,6 +990,123 @@ mod tests {
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| janus.run(store, tasks)));
         assert!(result.is_err(), "panic must propagate, not hang");
+    }
+
+    fn hot_rmw_tasks(loc: janus_log::LocId, n: i64) -> Vec<Task> {
+        (1..=n)
+            .map(|d| {
+                Task::new(move |tx: &mut TxView| {
+                    let v = tx.read_int(loc);
+                    tx.write(loc, v + d);
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_policy_commits_all_tasks_under_contention() {
+        let mut store = Store::new();
+        let hot = store.alloc("hot", Value::int(0));
+        let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+            .threads(4)
+            .schedule(Arc::new(janus_sched::Backoff::new(7)))
+            .run(store, hot_rmw_tasks(hot, 16));
+        assert_eq!(outcome.stats.commits, 16);
+        assert_eq!(outcome.store.value(hot), Some(&Value::int((1..=16).sum())));
+        assert_eq!(outcome.sched.dispatched, 16);
+        assert_eq!(
+            outcome.sched.backoff_waits, outcome.stats.retries,
+            "every conflict abort backs off exactly once"
+        );
+    }
+
+    #[test]
+    fn affinity_policy_commits_all_tasks() {
+        let mut store = Store::new();
+        let hot = store.alloc("hot", Value::int(0));
+        let cold = store.alloc("cold", Value::int(0));
+        let mut tasks = hot_rmw_tasks(hot, 8);
+        tasks.extend((1..=8).map(|d| Task::new(move |tx: &mut TxView| tx.add(cold, d))));
+        // Exact footprints: the hot RMW chain shares hot.0, the adds
+        // share cold.0.
+        let fps: Vec<Vec<u64>> = (0..8)
+            .map(|_| vec![hot.0])
+            .chain((0..8).map(|_| vec![cold.0]))
+            .collect();
+        let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+            .threads(4)
+            .schedule(Arc::new(janus_sched::Affinity::new(Arc::new(
+                janus_sched::ExactFootprints(fps),
+            ))))
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 16);
+        assert_eq!(outcome.store.value(hot), Some(&Value::int((1..=8).sum())));
+        assert_eq!(outcome.store.value(cold), Some(&Value::int((1..=8).sum())));
+        assert_eq!(
+            outcome.sched.affinity_hits + outcome.sched.affinity_steals,
+            16
+        );
+        assert_eq!(
+            outcome.sched.affinity_routed, 14,
+            "each chain's tail joined its head's worker"
+        );
+    }
+
+    #[test]
+    fn degradation_serializes_hot_retries_and_preserves_results() {
+        let mut store = Store::new();
+        let hot = store.alloc("hot", Value::int(0));
+        let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+            .threads(4)
+            .degrade(janus_sched::DegradeConfig {
+                window: 8,
+                threshold: 0.25,
+            })
+            .run(store, hot_rmw_tasks(hot, 32));
+        assert_eq!(outcome.stats.commits, 32);
+        assert_eq!(outcome.store.value(hot), Some(&Value::int((1..=32).sum())));
+        // Degradation may or may not engage depending on interleaving;
+        // when it does, serialized retries must have been counted.
+        if outcome.sched.degrade_windows > 0 {
+            assert!(outcome.sched.serial_retries <= outcome.stats.retries);
+        }
+    }
+
+    #[test]
+    fn ordered_run_ignores_degradation() {
+        let mut store = Store::new();
+        let x = store.alloc("x", Value::int(1));
+        let tasks: Vec<Task> = (1..=8)
+            .map(|i| {
+                Task::new(move |tx: &mut TxView| {
+                    let v = tx.read_int(x);
+                    tx.write(x, v * 3 + i);
+                })
+            })
+            .collect();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .ordered(true)
+            .degrade(janus_sched::DegradeConfig {
+                window: 2,
+                threshold: 0.0,
+            })
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 8);
+        assert_eq!(outcome.sched.degrade_windows, 0, "unordered-only");
+        assert_eq!(outcome.sched.serial_retries, 0);
+    }
+
+    #[test]
+    fn fifo_outcome_exposes_sched_stats() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .run(store, identity_tasks(work, 12));
+        assert_eq!(outcome.sched.dispatched, 12);
+        assert_eq!(outcome.sched.backoff_waits, 0, "fifo never backs off");
+        assert_eq!(outcome.sched.degrade_windows, 0);
     }
 
     #[test]

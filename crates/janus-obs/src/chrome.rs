@@ -67,11 +67,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         for e in &t.events {
             match &e.kind {
                 EventKind::Begin { task } => open = Some((*task, e.ts_ns, e.clock)),
-                EventKind::Commit { task } | EventKind::Abort { task } => {
-                    let outcome = if matches!(e.kind, EventKind::Commit { .. }) {
-                        "commit"
-                    } else {
-                        "abort"
+                EventKind::Commit { task } | EventKind::Abort { task, .. } => {
+                    let (outcome, reason_arg) = match &e.kind {
+                        EventKind::Abort { reason, .. } => {
+                            ("abort", format!(",\"reason\":\"{}\"", reason.label()))
+                        }
+                        _ => ("commit", String::new()),
                     };
                     let (_, t0, begin_clock) = open.take().unwrap_or((*task, e.ts_ns, e.clock));
                     push_event(
@@ -81,10 +82,38 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                             "{{\"name\":\"txn {task} {outcome}\",\"cat\":\"txn\",\
                              \"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
                              \"args\":{{\"task\":{task},\"outcome\":\"{outcome}\",\
-                             \"begin_clock\":{begin_clock},\"end_clock\":{}}}}}",
+                             \"begin_clock\":{begin_clock},\"end_clock\":{}{reason_arg}}}}}",
                             t.tid,
                             us(t0),
                             us(e.ts_ns.saturating_sub(t0)),
+                            e.clock
+                        ),
+                    );
+                }
+                EventKind::SchedBackoff { task, steps } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"sched_backoff\",\"cat\":\"sched\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                             \"args\":{{\"task\":{task},\"steps\":{steps},\"clock\":{}}}}}",
+                            t.tid,
+                            us(e.ts_ns),
+                            e.clock
+                        ),
+                    );
+                }
+                EventKind::SchedDegrade { on } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"sched_degrade\",\"cat\":\"sched\",\"ph\":\"i\",\
+                             \"s\":\"p\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                             \"args\":{{\"on\":{on},\"clock\":{}}}}}",
+                            t.tid,
+                            us(e.ts_ns),
                             e.clock
                         ),
                     );
@@ -159,7 +188,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CheckReason, Verdict};
+    use crate::event::{AbortReason, CheckReason, Verdict};
     use crate::recorder::Recorder;
     use janus_log::{ClassId, LocId};
 
@@ -185,7 +214,12 @@ mod tests {
                 reason: CheckReason::WritesetOverlap,
                 ops_scanned: 4,
             });
-            h.record(EventKind::Abort { task: 1 });
+            h.record(EventKind::Abort {
+                task: 1,
+                reason: AbortReason::Conflict,
+            });
+            h.record(EventKind::SchedBackoff { task: 1, steps: 5 });
+            h.record(EventKind::SchedDegrade { on: true });
             h.record(EventKind::Begin { task: 1 });
             h.set_clock(2);
             h.record(EventKind::Commit { task: 1 });
@@ -193,9 +227,14 @@ mod tests {
         let json = chrome_trace_json(&rec.finish());
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("txn 1 abort"));
+        assert!(json.contains("\"reason\":\"conflict\""));
         assert!(json.contains("txn 1 commit"));
         assert!(json.contains("conflict hot\\\"spot"));
         assert!(json.contains("\"reason\":\"writeset-overlap\""));
+        assert!(json.contains("\"name\":\"sched_backoff\""));
+        assert!(json.contains("\"steps\":5"));
+        assert!(json.contains("\"name\":\"sched_degrade\""));
+        assert!(json.contains("\"on\":true"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         // Balanced braces outside string literals is a decent smoke test
         // for hand-rolled JSON.

@@ -53,6 +53,31 @@ impl CheckReason {
     }
 }
 
+/// Why an attempt ended in an abort — the terminal-event axis of abort
+/// attribution. Conflicts are the detector speaking; poisoned bailouts
+/// are the runtime draining ordered waiters (and panicked attempts) out
+/// of a run that can never complete, and must not be mistaken for
+/// contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AbortReason {
+    /// A per-cell conflict check failed; the task will retry.
+    Conflict,
+    /// The run was poisoned by a panic: an ordered waiter whose
+    /// predecessor will never commit bailed out, or the panicking
+    /// attempt itself was closed. The task will *not* retry.
+    Poisoned,
+}
+
+impl AbortReason {
+    /// A short lower-case label ("conflict" / "poisoned").
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::Conflict => "conflict",
+            AbortReason::Poisoned => "poisoned",
+        }
+    }
+}
+
 /// One lifecycle event. Payload-only: the commit clock and monotonic
 /// timestamp live on the enclosing [`Event`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,11 +112,29 @@ pub enum EventKind {
         /// Operations scanned by the check (both subsequences).
         ops_scanned: u64,
     },
-    /// The attempt aborted (a per-cell check conflicted); the task will
-    /// restart from a fresh snapshot.
+    /// The attempt aborted; see [`AbortReason`] for whether the task
+    /// restarts from a fresh snapshot (conflict) or is abandoned
+    /// (poisoned run).
     Abort {
         /// The aborting task's id.
         task: u64,
+        /// Why the attempt ended without committing.
+        reason: AbortReason,
+    },
+    /// The scheduler delayed an aborted task's retry (the wait happens
+    /// between this attempt's `abort` and the next `begin`).
+    SchedBackoff {
+        /// The backing-off task's id.
+        task: u64,
+        /// Wait length, in backoff steps.
+        steps: u64,
+    },
+    /// The degradation feedback loop flipped state: `on = true` means
+    /// retries of hot tasks now serialize; `on = false` means full
+    /// parallelism re-opened.
+    SchedDegrade {
+        /// The new degradation state.
+        on: bool,
     },
     /// The attempt committed (the clock stamp is the post-commit clock).
     Commit {
@@ -114,6 +157,8 @@ impl EventKind {
             EventKind::DeltaRevalidate { .. } => "delta_revalidate",
             EventKind::PerCellCheck { .. } => "per_cell_check",
             EventKind::Abort { .. } => "abort",
+            EventKind::SchedBackoff { .. } => "sched_backoff",
+            EventKind::SchedDegrade { .. } => "sched_degrade",
             EventKind::Commit { .. } => "commit",
             EventKind::GcReclaim { .. } => "gc_reclaim",
         }
@@ -144,5 +189,15 @@ mod tests {
         assert_eq!(CheckReason::CacheMiss.label(), "cache-miss");
         assert_eq!(EventKind::Begin { task: 1 }.label(), "begin");
         assert_eq!(EventKind::GcReclaim { reclaimed: 2 }.label(), "gc_reclaim");
+        assert_eq!(AbortReason::Conflict.label(), "conflict");
+        assert_eq!(AbortReason::Poisoned.label(), "poisoned");
+        assert_eq!(
+            EventKind::SchedBackoff { task: 1, steps: 4 }.label(),
+            "sched_backoff"
+        );
+        assert_eq!(
+            EventKind::SchedDegrade { on: true }.label(),
+            "sched_degrade"
+        );
     }
 }

@@ -35,7 +35,7 @@ mod recorder;
 mod report;
 
 pub use chrome::chrome_trace_json;
-pub use event::{CheckReason, Event, EventKind, Verdict};
+pub use event::{AbortReason, CheckReason, Event, EventKind, Verdict};
 pub use metrics::{Histogram, MetricsRegistry, Snapshot};
 pub use recorder::{Recorder, RingHandle, ThreadTrace, Trace};
 pub use report::{attribution, text_report, AbortAttribution};

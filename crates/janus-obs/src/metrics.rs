@@ -178,7 +178,11 @@ impl MetricsRegistry {
     ///   per attempt;
     /// * `window_segments` — committed segments per fetched window;
     /// * `ops_scanned_per_attempt` — operations scanned by per-cell
-    ///   checks, summed over each attempt.
+    ///   checks, summed over each attempt;
+    /// * `backoff_steps` — scheduler backoff wait lengths.
+    ///
+    /// Aborts additionally count under `trace.abort.<reason>`, and
+    /// degradation onsets under `trace.degrade_on`.
     pub fn absorb_trace(&mut self, trace: &Trace) {
         for t in &trace.threads {
             let mut validate_open_ts: Option<u64> = None;
@@ -201,11 +205,22 @@ impl MetricsRegistry {
                         attempt_ops += ops_scanned;
                     }
                     EventKind::Commit { .. } | EventKind::Abort { .. } => {
+                        if let EventKind::Abort { reason, .. } = &e.kind {
+                            self.add(&format!("trace.abort.{}", reason.label()), 1);
+                        }
                         if let Some(t0) = validate_open_ts.take() {
                             self.observe("validation_latency_ns", e.ts_ns.saturating_sub(t0));
                         }
                         self.observe("ops_scanned_per_attempt", attempt_ops);
                         attempt_ops = 0;
+                    }
+                    EventKind::SchedBackoff { steps, .. } => {
+                        self.observe("backoff_steps", *steps);
+                    }
+                    EventKind::SchedDegrade { on } => {
+                        if *on {
+                            self.add("trace.degrade_on", 1);
+                        }
                     }
                     EventKind::GcReclaim { reclaimed } => {
                         self.add("trace.gc_reclaimed_entries", *reclaimed);

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::event::{Event, EventKind, Verdict};
+use crate::event::{AbortReason, Event, EventKind, Verdict};
 
 /// The trace recorder: hands out one [`RingHandle`] per worker thread
 /// and collects their event rings when the handles drop.
@@ -196,6 +196,13 @@ impl Trace {
         self.events().filter(|e| e.kind.label() == label).count() as u64
     }
 
+    /// Aborts carrying the given reason.
+    pub fn aborts_with_reason(&self, reason: AbortReason) -> u64 {
+        self.events()
+            .filter(|e| matches!(e.kind, EventKind::Abort { reason: r, .. } if r == reason))
+            .count() as u64
+    }
+
     /// Per-cell checks that returned a conflict verdict.
     pub fn conflict_checks(&self) -> u64 {
         self.events()
@@ -243,7 +250,7 @@ impl Trace {
                             t.label
                         ));
                     }
-                    (EventKind::Commit { task } | EventKind::Abort { task }, Some(prev)) => {
+                    (EventKind::Commit { task } | EventKind::Abort { task, .. }, Some(prev)) => {
                         if *task != prev {
                             return Err(format!(
                                 "thread {} event {i}: task {task} closed an attempt \
@@ -345,11 +352,20 @@ mod tests {
             let h = rec.register("w0");
             begin(&h, 1);
             h.record(EventKind::ValidateOpen { window_segments: 0 });
-            h.record(EventKind::Abort { task: 1 });
+            h.record(EventKind::Abort {
+                task: 1,
+                reason: AbortReason::Conflict,
+            });
+            // Scheduler events are legal between attempts.
+            h.record(EventKind::SchedBackoff { task: 1, steps: 3 });
+            h.record(EventKind::SchedDegrade { on: true });
             begin(&h, 1);
             h.record(EventKind::Commit { task: 1 });
         }
-        assert!(rec.finish().check_well_formed().is_ok());
+        let trace = rec.finish();
+        assert!(trace.check_well_formed().is_ok());
+        assert_eq!(trace.aborts_with_reason(AbortReason::Conflict), 1);
+        assert_eq!(trace.aborts_with_reason(AbortReason::Poisoned), 0);
 
         let rec = Recorder::new();
         {

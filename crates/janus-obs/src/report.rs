@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 use janus_log::LocId;
 
-use crate::event::{EventKind, Verdict};
+use crate::event::{AbortReason, EventKind, Verdict};
 use crate::recorder::Trace;
 
 /// Aggregated abort attribution extracted from a trace: conflicting
@@ -82,6 +82,18 @@ pub fn text_report(trace: &Trace, top_k: usize) -> String {
     if commits > 0 {
         let _ = writeln!(out, "retry ratio: {:.3}", aborts as f64 / commits as f64);
     }
+    if aborts > 0 {
+        let _ = writeln!(
+            out,
+            "aborts by reason: {} conflict  {} poisoned",
+            trace.aborts_with_reason(AbortReason::Conflict),
+            trace.aborts_with_reason(AbortReason::Poisoned),
+        );
+    }
+    let backoffs = trace.count("sched_backoff");
+    if backoffs > 0 {
+        let _ = writeln!(out, "scheduler: {backoffs} backoff waits");
+    }
     let attr = attribution(trace);
     if attr.by_class.is_empty() {
         let _ = writeln!(out, "no conflicting cells recorded");
@@ -131,7 +143,11 @@ mod tests {
                 reason: CheckReason::Commute,
                 ops_scanned: 2,
             });
-            h.record(EventKind::Abort { task: 1 });
+            h.record(EventKind::Abort {
+                task: 1,
+                reason: AbortReason::Conflict,
+            });
+            h.record(EventKind::SchedBackoff { task: 1, steps: 2 });
             h.record(EventKind::Begin { task: 1 });
             h.record(EventKind::Commit { task: 1 });
         }
@@ -144,5 +160,7 @@ mod tests {
         assert!(report.contains("top abort-causing classes"));
         assert!(report.contains("hot"));
         assert!(report.contains("retry ratio: 1.000"));
+        assert!(report.contains("aborts by reason: 1 conflict  0 poisoned"));
+        assert!(report.contains("scheduler: 1 backoff waits"));
     }
 }

@@ -1,0 +1,258 @@
+//! Serial-fallback degradation: an abort-rate feedback loop.
+//!
+//! Optimistic execution has an unbounded worst case: a pathological
+//! workload can abort every attempt many times, running *slower* than
+//! sequential while burning every core. The controller below bounds it.
+//! Attempt outcomes stream into a fixed-size window; when the window's
+//! retry ratio crosses the configured threshold, the controller marks
+//! the location classes responsible for most of the window's aborts as
+//! *hot* and degrades: a retry of a task that touched a hot class must
+//! hold the serial token while it re-executes, so the hot set collapses
+//! to sequential execution (first attempts stay optimistic, and tasks
+//! off the hot classes keep running in parallel). The window keeps
+//! accumulating; as soon as a window closes below the threshold the hot
+//! set is cleared and full parallelism re-opens.
+//!
+//! Degraded execution is never wrong — it only removes concurrency —
+//! and the worst case is bounded by one wasted optimistic attempt per
+//! task plus the sequential execution of the hot set.
+
+use std::collections::BTreeMap;
+
+use janus_log::ClassId;
+use parking_lot::{Mutex, MutexGuard};
+
+/// Configuration of the degradation feedback loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeConfig {
+    /// Attempts per feedback window.
+    pub window: u64,
+    /// Windowed retry ratio (aborts / attempts) at or above which the
+    /// scheduler degrades.
+    pub threshold: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window: 32,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Proof that the holder may run a degraded retry: a lock on the serial
+/// token. Dropping it re-admits the next degraded retry.
+pub type SerialGuard<'a> = MutexGuard<'a, ()>;
+
+#[derive(Debug, Default)]
+struct Window {
+    attempts: u64,
+    aborts: u64,
+    class_aborts: BTreeMap<ClassId, u64>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    current: Window,
+    /// Classes whose retries serialize; empty when fully parallel.
+    hot: Vec<ClassId>,
+    degraded: bool,
+    degrade_windows: u64,
+}
+
+/// The abort-rate feedback controller. One per run; shared by all
+/// workers. All methods are cheap relative to the attempt they follow
+/// (one short mutex hold), and a disabled controller is simply absent.
+#[derive(Debug)]
+pub struct DegradeController {
+    config: DegradeConfig,
+    state: Mutex<State>,
+    token: Mutex<()>,
+    serial_retries: std::sync::atomic::AtomicU64,
+}
+
+impl DegradeController {
+    /// A controller in the fully-parallel state.
+    pub fn new(config: DegradeConfig) -> Self {
+        assert!(config.window >= 1, "degradation window must be positive");
+        assert!(
+            (0.0..=f64::MAX).contains(&config.threshold),
+            "degradation threshold must be non-negative"
+        );
+        DegradeController {
+            config,
+            state: Mutex::new(State::default()),
+            token: Mutex::new(()),
+            serial_retries: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records one attempt outcome. `classes` are the location classes
+    /// the attempt touched (consulted only for aborts). Returns
+    /// `Some(on)` when the feedback loop flipped the degradation state.
+    pub fn record(&self, classes: &[ClassId], aborted: bool) -> Option<bool> {
+        let mut s = self.state.lock();
+        s.current.attempts += 1;
+        if aborted {
+            s.current.aborts += 1;
+            for class in classes {
+                *s.current.class_aborts.entry(class.clone()).or_insert(0) += 1;
+            }
+        }
+        if s.current.attempts < self.config.window {
+            return None;
+        }
+        // The window is full: decide, then start the next window.
+        let window = std::mem::take(&mut s.current);
+        let ratio = window.aborts as f64 / window.attempts as f64;
+        let was = s.degraded;
+        if ratio >= self.config.threshold && window.aborts > 0 {
+            // Degrade the classes carrying at least a quarter of the
+            // window's aborts; if attribution is too diffuse to name
+            // any, degrade globally (empty hot set = every retry).
+            let cut = (window.aborts / 4).max(1);
+            s.hot = window
+                .class_aborts
+                .iter()
+                .filter(|(_, &n)| n >= cut)
+                .map(|(c, _)| c.clone())
+                .collect();
+            s.degraded = true;
+            s.degrade_windows += 1;
+        } else {
+            s.degraded = false;
+            s.hot.clear();
+        }
+        (was != s.degraded).then_some(s.degraded)
+    }
+
+    /// Whether the controller is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().degraded
+    }
+
+    /// The currently-hot classes (empty also when fully parallel —
+    /// check [`DegradeController::is_degraded`] to distinguish a global
+    /// degrade from no degrade).
+    pub fn hot_classes(&self) -> Vec<ClassId> {
+        self.state.lock().hot.clone()
+    }
+
+    /// Called before re-executing an aborted attempt that touched
+    /// `classes`: when degraded and the attempt intersects the hot set
+    /// (or the hot set is global), blocks until the serial token is
+    /// free and returns the guard; the retry then runs serialized
+    /// against every other degraded retry. Returns `None` while fully
+    /// parallel.
+    pub fn serial_guard(&self, classes: &[ClassId]) -> Option<SerialGuard<'_>> {
+        {
+            let s = self.state.lock();
+            if !s.degraded {
+                return None;
+            }
+            if !s.hot.is_empty() && !classes.iter().any(|c| s.hot.contains(c)) {
+                return None;
+            }
+            // The state lock is released before taking the token, so a
+            // long serial retry never blocks outcome recording.
+        }
+        self.serial_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(self.token.lock())
+    }
+
+    /// Folds the controller's counters into scheduler stats.
+    pub fn merge_into(&self, stats: &mut crate::SchedStats) {
+        let s = self.state.lock();
+        stats.degrade_windows += s.degrade_windows;
+        stats.serial_retries += self
+            .serial_retries
+            .load(std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(labels: &[&str]) -> Vec<ClassId> {
+        labels.iter().map(ClassId::new).collect()
+    }
+
+    #[test]
+    fn quiet_windows_stay_parallel() {
+        let c = DegradeController::new(DegradeConfig {
+            window: 4,
+            threshold: 0.5,
+        });
+        for _ in 0..16 {
+            assert_eq!(c.record(&[], false), None);
+        }
+        assert!(!c.is_degraded());
+        assert!(c.serial_guard(&classes(&["hot"])).is_none());
+    }
+
+    #[test]
+    fn hot_window_degrades_the_responsible_class_then_cools() {
+        let c = DegradeController::new(DegradeConfig {
+            window: 4,
+            threshold: 0.5,
+        });
+        let hot = classes(&["hot"]);
+        let cold = classes(&["cold"]);
+        // 3 aborts on "hot" + 1 commit: ratio 0.75 >= 0.5.
+        c.record(&hot, true);
+        c.record(&hot, true);
+        c.record(&hot, true);
+        assert_eq!(c.record(&cold, false), Some(true), "window flips on");
+        assert!(c.is_degraded());
+        assert_eq!(c.hot_classes(), hot);
+        // Hot retries serialize; cold retries do not.
+        assert!(c.serial_guard(&hot).is_some());
+        assert!(c.serial_guard(&cold).is_none());
+        // A clean window re-opens parallelism.
+        for _ in 0..3 {
+            assert_eq!(c.record(&hot, false), None);
+        }
+        assert_eq!(c.record(&hot, false), Some(false), "window flips off");
+        assert!(!c.is_degraded());
+        assert!(c.serial_guard(&hot).is_none());
+
+        let mut stats = crate::SchedStats::default();
+        c.merge_into(&mut stats);
+        assert_eq!(stats.degrade_windows, 1);
+        assert_eq!(stats.serial_retries, 1);
+    }
+
+    #[test]
+    fn diffuse_aborts_degrade_globally() {
+        let c = DegradeController::new(DegradeConfig {
+            window: 2,
+            threshold: 0.5,
+        });
+        // Aborts with no class attribution at all.
+        c.record(&[], true);
+        assert_eq!(c.record(&[], true), Some(true));
+        assert!(c.is_degraded());
+        assert!(c.hot_classes().is_empty());
+        // Global hot set: every retry serializes.
+        assert!(c.serial_guard(&classes(&["anything"])).is_some());
+        assert!(c.serial_guard(&[]).is_some());
+    }
+
+    #[test]
+    fn token_serializes_holders() {
+        let c = DegradeController::new(DegradeConfig {
+            window: 1,
+            threshold: 0.1,
+        });
+        c.record(&[], true);
+        assert!(c.is_degraded());
+        let g = c.serial_guard(&[]).expect("degraded");
+        // While held, the token mutex is exclusive; just verify the
+        // guard releases cleanly and a second acquisition succeeds.
+        drop(g);
+        assert!(c.serial_guard(&[]).is_some());
+    }
+}

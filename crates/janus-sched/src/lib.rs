@@ -1,0 +1,56 @@
+//! Contention-aware scheduling for the JANUS runtime.
+//!
+//! The protocol of Figure 7 dispenses tasks with a bare counter and
+//! re-runs every aborted attempt immediately from scratch. That is the
+//! right policy when conflicts are rare — the regime sequence-based
+//! detection creates — but under genuine contention it livelocks the
+//! runtime on exactly the workloads the paper targets: every worker
+//! re-executes against the same hot location, loses the commit race,
+//! and pays the full re-execution again. Transaction-repair systems
+//! show that once optimistic validation starts failing, the *retry
+//! policy* (not the detector) dominates throughput.
+//!
+//! This crate supplies the missing policy layer:
+//!
+//! * [`SchedulePolicy`] — a pluggable strategy, bound per run to a
+//!   [`TaskSource`] the workers dispatch through.
+//!   * [`Fifo`] — the seed behavior, bit for bit: a shared atomic
+//!     counter, immediate retry on abort.
+//!   * [`Backoff`] — per-task randomized exponential backoff with a
+//!     deterministic seeded RNG: an aborted attempt waits a bounded,
+//!     reproducible number of yield/park steps before re-executing,
+//!     ceding its core to workers that can still make progress.
+//!   * [`Affinity`] — routes tasks to workers by predicted footprint
+//!     overlap (the read/write sets the trainer already mines), so
+//!     likely-conflicting tasks serialize on one worker's queue instead
+//!     of aborting against each other. Idle workers steal from the
+//!     longest queue, so routing never strands work.
+//! * [`DegradeController`] — an abort-rate feedback loop: when the
+//!   windowed retry ratio crosses a threshold, retries of tasks that
+//!   touched the hot location classes must hold a serial token while
+//!   they re-execute, collapsing the hot set to sequential execution
+//!   (never wrong, bounded worst case); the window keeps accumulating
+//!   and parallelism re-opens as soon as it cools.
+//! * [`backoff::wait`] / [`Parker`] — the spin→yield→park primitive
+//!   shared by the backoff policy and the ordered-commit wait (which
+//!   previously burned a core in a `yield_now` loop).
+//!
+//! Everything here is deterministic given its inputs: backoff waits are
+//! a pure function of `(seed, task, attempt)`, affinity partitions are
+//! a pure function of the predicted footprints, and `Fifo` preserves
+//! the seed scheduler exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod backoff;
+mod degrade;
+mod policy;
+mod stats;
+
+pub use affinity::{Affinity, ExactFootprints, FootprintPredictor, TrainedFootprints};
+pub use backoff::{Backoff, BackoffHint, Parker};
+pub use degrade::{DegradeConfig, DegradeController, SerialGuard};
+pub use policy::{Fifo, SchedulePolicy, TaskSource};
+pub use stats::SchedStats;

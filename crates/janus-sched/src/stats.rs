@@ -1,0 +1,67 @@
+//! Scheduler counters, absorbed by the unified metrics registry.
+
+/// Monotone counters describing what the scheduler did during one run.
+///
+/// Populated by the bound [`TaskSource`](crate::TaskSource) and, when
+/// degradation is enabled, merged with the
+/// [`DegradeController`](crate::DegradeController)'s counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks handed to workers (every task exactly once).
+    pub dispatched: u64,
+    /// Aborted attempts that waited a non-zero backoff before retrying.
+    pub backoff_waits: u64,
+    /// Total backoff steps waited across all retries (one step is one
+    /// spin/yield/park unit of [`backoff::wait`](crate::backoff::wait)).
+    pub backoff_steps: u64,
+    /// Tasks served to a worker from its own affinity queue.
+    pub affinity_hits: u64,
+    /// Tasks an idle worker stole from another worker's queue.
+    pub affinity_steals: u64,
+    /// Tasks the affinity partitioner placed by footprint overlap (the
+    /// rest were placed by load balance alone).
+    pub affinity_routed: u64,
+    /// Feedback windows that closed in (or entered) the degraded state.
+    pub degrade_windows: u64,
+    /// Retries that re-executed while holding the serial token.
+    pub serial_retries: u64,
+}
+
+impl janus_obs::Snapshot for SchedStats {
+    fn source(&self) -> &'static str {
+        "sched"
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("dispatched".to_string(), self.dispatched),
+            ("backoff_waits".to_string(), self.backoff_waits),
+            ("backoff_steps".to_string(), self.backoff_steps),
+            ("affinity_hits".to_string(), self.affinity_hits),
+            ("affinity_steals".to_string(), self.affinity_steals),
+            ("affinity_routed".to_string(), self.affinity_routed),
+            ("degrade_windows".to_string(), self.degrade_windows),
+            ("serial_retries".to_string(), self.serial_retries),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_obs::Snapshot;
+
+    #[test]
+    fn snapshot_exposes_every_counter() {
+        let stats = SchedStats {
+            dispatched: 3,
+            backoff_waits: 2,
+            ..Default::default()
+        };
+        assert_eq!(stats.source(), "sched");
+        let counters = stats.counters();
+        assert_eq!(counters.len(), 8);
+        assert!(counters.contains(&("dispatched".to_string(), 3)));
+        assert!(counters.contains(&("backoff_waits".to_string(), 2)));
+    }
+}

@@ -6,6 +6,8 @@
 //! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
 //!                            [--threads N] [--scale N] [--seed N]
 //!                            [--cache <file>] [--eager] [--no-gc]
+//!                            [--schedule fifo|backoff|affinity]
+//!                            [--degrade-threshold R] [--degrade-window N]
 //!                            [--trace <file>] [--metrics]
 //! ```
 //!
@@ -20,6 +22,14 @@
 //! Chrome-trace JSON loadable in `chrome://tracing` (one track per worker
 //! thread); `--metrics` prints the unified metrics registry and the abort
 //! attribution report.
+//!
+//! `--schedule` picks the retry/dispatch policy: `fifo` (the default;
+//! immediate retry), `backoff` (deterministic randomized exponential
+//! backoff) or `affinity` (tasks routed to workers by footprint overlap,
+//! mined from a sequential hindsight pre-run). `--degrade-threshold R`
+//! enables serial-fallback degradation: when a `--degrade-window`-sized
+//! window of attempts retries at ratio >= R, retries of hot-class tasks
+//! serialize until the window cools.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,19 +38,30 @@ use janus::core::Janus;
 use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
 use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snapshot};
 use janus::sat::global_solver_stats;
+use janus::sched::{Affinity, Backoff, DegradeConfig, SchedulePolicy, TrainedFootprints};
 use janus::train::{train, CommutativityCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--trace FILE] [--metrics]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
 
 /// Flags that take a value. Everything else with a `--` prefix must be in
 /// [`BOOL_FLAGS`]; unknown flags are a usage error, not a silent no-op.
-const VALUE_FLAGS: &[&str] = &["detector", "threads", "scale", "seed", "cache", "trace"];
+const VALUE_FLAGS: &[&str] = &[
+    "detector",
+    "threads",
+    "scale",
+    "seed",
+    "cache",
+    "trace",
+    "schedule",
+    "degrade-threshold",
+    "degrade-window",
+];
 const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics"];
 
 struct Args {
@@ -227,11 +248,56 @@ fn cmd_run(args: &Args) -> ExitCode {
     let want_metrics = args.flag("metrics");
     let recorder = (trace_path.is_some() || want_metrics).then(Recorder::new);
     let scenario = w.build(&input);
+    let schedule_name = args.value("schedule").unwrap_or("fifo");
+    let schedule: Arc<dyn SchedulePolicy> = match schedule_name {
+        "fifo" => Arc::new(janus::sched::Fifo),
+        "backoff" => Arc::new(Backoff::default()),
+        "affinity" => {
+            // Hindsight profiling: mine each production task's exact
+            // footprint from a sequential pre-run on a cloned store,
+            // then route overlapping tasks to the same worker.
+            eprintln!("mining footprints from a sequential pre-run...");
+            let (_, training) = Janus::run_sequential(scenario.store.clone(), &scenario.tasks);
+            Arc::new(Affinity::new(Arc::new(
+                TrainedFootprints::from_training_run(&training),
+            )))
+        }
+        other => {
+            eprintln!("unknown schedule {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let degrade_threshold = match args.value("degrade-threshold").map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(t)) if t >= 0.0 => Some(t),
+        Some(_) => {
+            eprintln!("error: flag --degrade-threshold: expected a non-negative ratio");
+            return usage();
+        }
+    };
+    let degrade_window = match args.numeric::<u64>("degrade-window", 32) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => {
+            eprintln!("error: flag --degrade-window: must be at least 1");
+            return usage();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let mut janus = Janus::new(Arc::clone(&detector))
         .threads(threads)
         .ordered(w.ordered())
         .eager_privatization(args.flag("eager"))
-        .gc_history(!args.flag("no-gc"));
+        .gc_history(!args.flag("no-gc"))
+        .schedule(schedule);
+    if let Some(threshold) = degrade_threshold {
+        janus = janus.degrade(DegradeConfig {
+            window: degrade_window,
+            threshold,
+        });
+    }
     if let Some(rec) = &recorder {
         janus = janus.recorder(Arc::clone(rec));
     }
@@ -254,6 +320,19 @@ fn cmd_run(args: &Args) -> ExitCode {
         outcome.stats.zero_copy_windows,
         outcome.stats.delta_revalidations,
     );
+    if schedule_name != "fifo" || outcome.sched.degrade_windows > 0 {
+        println!(
+            "schedule ({schedule_name}): {} dispatched  {} backoff waits ({} steps)  \
+             {} affinity hits  {} steals  {} degraded windows  {} serial retries",
+            outcome.sched.dispatched,
+            outcome.sched.backoff_waits,
+            outcome.sched.backoff_steps,
+            outcome.sched.affinity_hits,
+            outcome.sched.affinity_steals,
+            outcome.sched.degrade_windows,
+            outcome.sched.serial_retries,
+        );
+    }
     let by_class = detector.stats().conflicts_by_class();
     if !by_class.is_empty() {
         println!("conflicting classes:");
@@ -285,6 +364,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         if want_metrics {
             let mut metrics = MetricsRegistry::new();
             metrics.absorb(&outcome.stats);
+            metrics.absorb(&outcome.sched);
             metrics.absorb(detector.stats() as &dyn Snapshot);
             if let Some(cache) = &cache_for_metrics {
                 metrics.absorb(cache.stats());

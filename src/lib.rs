@@ -24,6 +24,7 @@
 //! | [`sat`] | `janus-sat` | the SAT solver behind symbolic equivalence checks |
 //! | [`persist`] | `janus-persist` | the persistent map behind O(1) snapshots |
 //! | [`obs`] | `janus-obs` | lifecycle tracing, abort attribution, the unified metrics registry |
+//! | [`sched`] | `janus-sched` | contention-aware scheduling: backoff, affinity routing, serial-fallback degradation |
 //! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
 //!
 //! # Quickstart
@@ -105,6 +106,12 @@ pub mod persist {
 /// metrics registry (re-export of `janus-obs`).
 pub mod obs {
     pub use janus_obs::*;
+}
+
+/// Contention-aware scheduling policies, backoff and serial-fallback
+/// degradation (re-export of `janus-sched`).
+pub mod sched {
+    pub use janus_sched::*;
 }
 
 /// The five evaluation benchmarks (re-export of `janus-workloads`).
