@@ -16,6 +16,21 @@ use janus_bench::experiments::{
 use janus_bench::report::{bar, f2, pct, render_table};
 use janus_obs::text_report;
 
+/// The faulted attribution entry injects panics on purpose; keep their
+/// backtraces out of the report. Genuine panics still print.
+fn quiet_injected_panics() {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("janus-fault:"));
+        if !injected {
+            hook(info);
+        }
+    }));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
@@ -185,14 +200,24 @@ fn main() {
     if all || has("--attribution") {
         eprintln!("recording lifecycle traces under write-set detection (quick={quick})...");
         println!("== Abort attribution: lifecycle traces under write-set detection ==");
+        quiet_injected_panics();
         for (name, trace, stats) in attribution_traces(quick) {
             let consistent = trace.count("commit") == stats.commits
-                && trace.count("abort") == stats.retries
+                && trace.count("abort") == stats.retries + stats.tasks_failed
                 && trace.check_well_formed().is_ok();
             println!(
                 "-- {name} (trace consistency: {}) --",
                 if consistent { "ok" } else { "BROKEN" }
             );
+            if stats.faults_injected > 0 || stats.tasks_failed > 0 {
+                println!(
+                    "robustness: {} faults injected, {} tasks failed, {} budget escalations, {} watchdog fires",
+                    stats.faults_injected,
+                    stats.tasks_failed,
+                    stats.retry_budget_escalations,
+                    stats.watchdog_fires,
+                );
+            }
             println!("{}", text_report(&trace, 5));
         }
     }

@@ -3,10 +3,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use janus_core::{Janus, RunStats, Store, Task};
+use janus_core::{Janus, PanicPolicy, RunStats, Store, Task};
 use janus_detect::{
     CachedSequenceDetector, ConflictDetector, MapState, SequenceDetector, WriteSetDetector,
 };
+use janus_fault::FaultPlan;
 use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
 use janus_relational::Value;
 use janus_train::{train, CommutativityCache, TrainConfig};
@@ -368,6 +369,29 @@ pub fn attribution_traces(quick: bool) -> Vec<(String, janus_obs::Trace, RunStat
             .recorder(Arc::clone(&recorder))
             .run(scenario.store, scenario.tasks);
         out.push((w.name().to_string(), recorder.finish(), outcome.stats));
+    }
+    // One chaos entry: the first workload re-run under seeded fault
+    // injection with panic isolation, so the attribution report also
+    // exercises the `Failed` abort ledger (faults injected, tasks
+    // failed, and the split abort counts all flow through the trace).
+    if let Some(workload) = all_workloads().into_iter().next() {
+        let w = workload.as_ref();
+        let input = grid_input(w, quick);
+        let scenario = w.build(&input);
+        let recorder = janus_obs::Recorder::new();
+        let det: Arc<dyn ConflictDetector> = Arc::new(WriteSetDetector::new());
+        let outcome = Janus::new(det)
+            .threads(threads)
+            .ordered(w.ordered())
+            .panic_policy(PanicPolicy::Isolate)
+            .faults(Arc::new(FaultPlan::seeded(42, 0.05)))
+            .recorder(Arc::clone(&recorder))
+            .run(scenario.store, scenario.tasks);
+        out.push((
+            format!("{} (faulted: seed 42, rate 0.05, isolate)", w.name()),
+            recorder.finish(),
+            outcome.stats,
+        ));
     }
     out
 }

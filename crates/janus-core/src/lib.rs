@@ -59,6 +59,6 @@ mod runtime;
 mod store;
 mod txview;
 
-pub use runtime::{Janus, Outcome, RunStats, Task};
+pub use runtime::{Janus, Outcome, PanicPolicy, RunStats, Task, TaskFailure};
 pub use store::{SnapshotState, Store};
 pub use txview::TxView;

@@ -1,11 +1,12 @@
 //! The parallel runtime: `DOPARALLEL` / `RUNTASK` / `CREATETRANSACTION` /
 //! `COMMIT` of Figure 7.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
+use janus_fault::{FaultKind, FaultPlan};
 use janus_log::{ClassId, CommittedLog, HistoryWindow};
 use janus_obs::{AbortReason, EventKind, Recorder, RingHandle};
 use janus_sched::{
@@ -16,6 +17,123 @@ use parking_lot::RwLock;
 
 use crate::store::{SnapshotState, Store};
 use crate::txview::TxView;
+
+/// What the runtime does with a panic escaping a task body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PanicPolicy {
+    /// Fail-stop (the default, the seed behavior): the run is poisoned,
+    /// other workers stop picking up work, ordered waiters bail out, and
+    /// the first panic payload is re-raised from [`Janus::run`].
+    #[default]
+    Poison,
+    /// Fault isolation: the panicking task's transaction is discarded,
+    /// the task is recorded in [`Outcome::failed`] (payload message and
+    /// attempt count), and the remaining tasks run to completion. In
+    /// ordered runs the failed task's commit turn is released with a
+    /// tombstone so successors never hang.
+    Isolate,
+}
+
+/// One task isolated after a body panic under [`PanicPolicy::Isolate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The failed task's 1-based id.
+    pub task: u64,
+    /// The panic payload, rendered to a string when possible.
+    pub message: String,
+    /// Attempts the task made, including the failing one.
+    pub attempts: u32,
+}
+
+/// Renders a panic payload for [`TaskFailure::message`].
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Worker-phase encoding for the watchdog's diagnostic dump: each worker
+/// publishes `phase | task << 3` into one relaxed atomic, so the dump
+/// can name what every worker was doing when progress stopped.
+mod phase {
+    pub const IDLE: u64 = 0;
+    pub const RUNNING: u64 = 1;
+    pub const ORDERED_WAIT: u64 = 2;
+    pub const VALIDATING: u64 = 3;
+    pub const COMMITTING: u64 = 4;
+    pub const BACKOFF: u64 = 5;
+    pub const SERIAL_WAIT: u64 = 6;
+    pub const DONE: u64 = 7;
+
+    pub fn label(p: u64) -> &'static str {
+        match p {
+            IDLE => "idle",
+            RUNNING => "running",
+            ORDERED_WAIT => "ordered-wait",
+            VALIDATING => "validating",
+            COMMITTING => "committing",
+            BACKOFF => "backoff",
+            SERIAL_WAIT => "serial-wait",
+            DONE => "done",
+            _ => "unknown",
+        }
+    }
+
+    /// Phases in which the worker is parked waiting for someone else.
+    pub fn is_parked(p: u64) -> bool {
+        matches!(p, ORDERED_WAIT | BACKOFF | SERIAL_WAIT)
+    }
+}
+
+/// One published phase word per worker (see [`phase`]).
+struct WorkerPhases(Vec<AtomicU64>);
+
+impl WorkerPhases {
+    fn new(workers: usize) -> Self {
+        WorkerPhases((0..workers).map(|_| AtomicU64::new(phase::IDLE)).collect())
+    }
+
+    fn set(&self, worker: usize, phase: u64, task: u64) {
+        self.0[worker].store(phase | (task << 3), Ordering::Relaxed);
+    }
+
+    fn get(&self, worker: usize) -> (u64, u64) {
+        let v = self.0[worker].load(Ordering::Relaxed);
+        (v & 7, v >> 3)
+    }
+}
+
+/// Decrements the live-worker count when its worker exits — by return,
+/// break, or unwind — so the watchdog can never wait on a dead worker.
+struct LiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One run's shared state, bundled so every worker, the watchdog, and
+/// each attempt see the same view without Figure 7's parameter list
+/// growing past readability.
+struct RunCtx<'a> {
+    clock: &'a AtomicU64,
+    shared: &'a RwLock<Shared>,
+    active: &'a ActiveBegins,
+    counters: &'a RunCounters,
+    source: &'a dyn TaskSource,
+    controller: Option<&'a DegradeController>,
+    poisoned: &'a AtomicBool,
+    phases: &'a WorkerPhases,
+    failed: &'a parking_lot::Mutex<Vec<TaskFailure>>,
+    /// Escalated retries without a degradation controller serialize on
+    /// this run-level token instead.
+    escalation: &'a parking_lot::Mutex<()>,
+}
 
 /// One unit of work: a program plus its initial data values (`o ↦ ν`),
 /// captured in a closure that runs against a [`TxView`].
@@ -67,6 +185,17 @@ pub struct RunStats {
     /// History windows served zero-copy (shared pre-decomposed segments;
     /// no operation cloned, no log re-decomposed).
     pub zero_copy_windows: u64,
+    /// Faults injected by the attached [`FaultPlan`] during this run
+    /// (zero with no plan attached).
+    pub faults_injected: u64,
+    /// Tasks isolated after a body panic ([`PanicPolicy::Isolate`]).
+    pub tasks_failed: u64,
+    /// Tasks whose conflict-abort count crossed the retry budget and
+    /// whose further retries were serialized on the escalation token.
+    pub retry_budget_escalations: u64,
+    /// Times the commit-clock watchdog observed no progress for a full
+    /// interval and emitted a diagnostic dump.
+    pub watchdog_fires: u64,
 }
 
 impl RunStats {
@@ -97,6 +226,13 @@ impl janus_obs::Snapshot for RunStats {
             ("detect_ops_scanned".to_string(), self.detect_ops_scanned),
             ("delta_revalidations".to_string(), self.delta_revalidations),
             ("zero_copy_windows".to_string(), self.zero_copy_windows),
+            ("faults_injected".to_string(), self.faults_injected),
+            ("tasks_failed".to_string(), self.tasks_failed),
+            (
+                "retry_budget_escalations".to_string(),
+                self.retry_budget_escalations,
+            ),
+            ("watchdog_fires".to_string(), self.watchdog_fires),
         ]
     }
 }
@@ -110,6 +246,12 @@ pub struct Outcome {
     pub stats: RunStats,
     /// Scheduling statistics (dispatch, backoff, affinity, degradation).
     pub sched: SchedStats,
+    /// Tasks isolated after a body panic under [`PanicPolicy::Isolate`],
+    /// sorted by task id. Empty under [`PanicPolicy::Poison`] (the panic
+    /// propagates instead) and in fault-free runs.
+    pub failed: Vec<TaskFailure>,
+    /// Diagnostic dumps emitted by the commit-clock watchdog, in order.
+    pub watchdog_dumps: Vec<String>,
 }
 
 /// The shared mutable state guarded by the protocol's read-write lock.
@@ -196,6 +338,12 @@ struct RunCounters {
     retries: AtomicU64,
     delta_revalidations: AtomicU64,
     zero_copy_windows: AtomicU64,
+    tasks_failed: AtomicU64,
+    escalations: AtomicU64,
+    watchdog_fires: AtomicU64,
+    /// Commit turns released with an empty history entry for failed
+    /// ordered tasks. The clock mirrors `commits + tombstones`.
+    tombstones: AtomicU64,
 }
 
 /// The multiset of in-flight transactions' begin times. Registration
@@ -239,6 +387,10 @@ pub struct Janus {
     recorder: Option<Arc<Recorder>>,
     schedule: Arc<dyn SchedulePolicy>,
     degrade: Option<DegradeConfig>,
+    panic_policy: PanicPolicy,
+    max_attempts: Option<u32>,
+    watchdog: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Janus {
@@ -256,7 +408,58 @@ impl Janus {
             recorder: None,
             schedule: Arc::new(Fifo),
             degrade: None,
+            panic_policy: PanicPolicy::default(),
+            max_attempts: None,
+            watchdog: None,
+            faults: None,
         }
+    }
+
+    /// Sets the panic policy: [`PanicPolicy::Poison`] (the default)
+    /// fails the whole run on a task-body panic; [`PanicPolicy::Isolate`]
+    /// discards only the panicking task's transaction and records it in
+    /// [`Outcome::failed`].
+    pub fn panic_policy(mut self, policy: PanicPolicy) -> Self {
+        self.panic_policy = policy;
+        self
+    }
+
+    /// Sets the per-task retry budget: after `budget` conflict aborts, a
+    /// task's further retries take the serial token unconditionally
+    /// (through the degradation controller when one is configured, else
+    /// a run-level token), so it can no longer be starved by the
+    /// contenders that aborted it. Ignored in ordered runs, which have
+    /// an inherent progress guarantee: the task at the clock's turn
+    /// validates against a window that drains. Default: unbounded.
+    pub fn max_attempts(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "the retry budget must allow one attempt");
+        self.max_attempts = Some(budget);
+        self
+    }
+
+    /// Arms the commit-clock watchdog: when neither the clock nor any
+    /// progress counter moves for `interval`, the watchdog emits a
+    /// diagnostic dump (per-worker phase, hot classes, parked waiters)
+    /// to stderr and [`Outcome::watchdog_dumps`], then escalates per
+    /// the panic policy — the run is treated as hung and poisoned
+    /// (under [`PanicPolicy::Poison`] the payload propagates from
+    /// [`Janus::run`]). Default: disarmed.
+    pub fn watchdog(mut self, interval: Duration) -> Self {
+        assert!(
+            !interval.is_zero(),
+            "the watchdog interval must be positive"
+        );
+        self.watchdog = Some(interval);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan: task-body panics,
+    /// forced validation conflicts and commit-stall delays are injected
+    /// at the plan's sites. With no plan attached (the default), every
+    /// injection site is a single branch on `None`.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Sets the scheduling policy. The default, [`janus_sched::Fifo`],
@@ -332,11 +535,18 @@ impl Janus {
     ///
     /// # Panics
     ///
-    /// If a task body panics, the run is poisoned: other workers stop
-    /// picking up work (and ordered waiters bail out instead of spinning
-    /// forever), and the first panic payload is propagated from `run`.
-    /// Committed transactions keep their effects; the panicking
-    /// transaction's privatized effects are discarded, as for any abort.
+    /// Under [`PanicPolicy::Poison`] (the default), a task-body panic
+    /// poisons the run: other workers stop picking up work (and ordered
+    /// waiters bail out instead of spinning forever), and the first
+    /// panic payload is propagated from `run`. Committed transactions
+    /// keep their effects; the panicking transaction's privatized
+    /// effects are discarded, as for any abort.
+    ///
+    /// Under [`PanicPolicy::Isolate`], only the panicking task is lost:
+    /// its transaction is discarded, the task lands in
+    /// [`Outcome::failed`], and `run` returns normally. An armed
+    /// watchdog ([`Janus::watchdog`]) that declares the run hung still
+    /// panics under `Poison`.
     pub fn run(&self, store: Store, tasks: Vec<Task>) -> Outcome {
         let started = Instant::now();
         let clock = AtomicU64::new(1);
@@ -348,10 +558,18 @@ impl Janus {
         let active = ActiveBegins::default();
         let counters = RunCounters::default();
         let ops_scanned_at_start = self.detector.stats().ops_scanned();
-        let poisoned = std::sync::atomic::AtomicBool::new(false);
+        let faults_at_start = self.faults.as_ref().map_or(0, |f| f.stats().injected());
+        let poisoned = AtomicBool::new(false);
         let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
             parking_lot::Mutex::new(None);
+        let failed: parking_lot::Mutex<Vec<TaskFailure>> = parking_lot::Mutex::new(Vec::new());
+        let dumps: parking_lot::Mutex<Vec<String>> = parking_lot::Mutex::new(Vec::new());
+        // The run-level escalation token, used when no degradation
+        // controller (whose token is shared instead) is configured.
+        let escalation = parking_lot::Mutex::new(());
         let workers = self.threads.min(tasks.len().max(1));
+        let phases = WorkerPhases::new(workers);
+        let live = AtomicU64::new(workers as u64);
         // One dispatch state per run: the policy is reusable config, the
         // source is this run's shared queue/counter state.
         let source = self.schedule.bind(tasks.len(), workers);
@@ -363,14 +581,27 @@ impl Janus {
         } else {
             self.degrade.clone().map(DegradeController::new)
         };
+        let ctx = RunCtx {
+            clock: &clock,
+            shared: &shared,
+            active: &active,
+            counters: &counters,
+            source: source.as_ref(),
+            controller: controller.as_ref(),
+            poisoned: &poisoned,
+            phases: &phases,
+            failed: &failed,
+            escalation: &escalation,
+        };
 
         std::thread::scope(|scope| {
             for w in 0..workers {
-                let (tasks, clock, shared, active, counters) =
-                    (&tasks, &clock, &shared, &active, &counters);
-                let (poisoned, panic_payload) = (&poisoned, &panic_payload);
-                let (source, controller) = (&source, &controller);
+                let (tasks, ctx) = (&tasks, &ctx);
+                let (panic_payload, live) = (&panic_payload, &live);
                 scope.spawn(move || {
+                    // The decrement rides a drop guard so the watchdog
+                    // can never wait on a worker that already unwound.
+                    let _live = LiveGuard(live);
                     // One event ring per worker, registered up front so
                     // the per-task path never touches the recorder.
                     let obs = self
@@ -378,30 +609,19 @@ impl Janus {
                         .as_ref()
                         .map(|r| r.register(format!("worker-{w}")));
                     loop {
-                        if poisoned.load(Ordering::SeqCst) {
+                        if ctx.poisoned.load(Ordering::SeqCst) {
                             break;
                         }
-                        let i = match source.next_task(w) {
+                        ctx.phases.set(w, phase::IDLE, 0);
+                        let i = match ctx.source.next_task(w) {
                             Some(i) => i,
                             None => break,
                         };
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_task(
-                                &tasks[i],
-                                (i + 1) as u64,
-                                w,
-                                clock,
-                                shared,
-                                active,
-                                counters,
-                                source.as_ref(),
-                                controller.as_ref(),
-                                poisoned,
-                                obs.as_ref(),
-                            )
+                            self.run_task(&tasks[i], (i + 1) as u64, w, ctx, obs.as_ref())
                         }));
                         if let Err(payload) = result {
-                            poisoned.store(true, Ordering::SeqCst);
+                            ctx.poisoned.store(true, Ordering::SeqCst);
                             // Close the panicking attempt's lifecycle so
                             // abort attribution does not lose it; the
                             // distinct reason keeps it out of contention
@@ -416,7 +636,13 @@ impl Janus {
                             break;
                         }
                     }
+                    ctx.phases.set(w, phase::DONE, 0);
                 });
+            }
+            if let Some(interval) = self.watchdog {
+                let (ctx, dumps) = (&ctx, &dumps);
+                let (panic_payload, live) = (&panic_payload, &live);
+                scope.spawn(move || self.watchdog_loop(interval, ctx, dumps, panic_payload, live));
             }
         });
 
@@ -425,19 +651,30 @@ impl Janus {
         }
         let shared = shared.into_inner();
         // Commits come from the dedicated counter; the commit clock
-        // mirrors it (clock = commits + 1) but is an implementation
-        // detail of windowing, not a statistic.
+        // mirrors commits + tombstones (released turns of failed ordered
+        // tasks) but is an implementation detail of windowing, not a
+        // statistic. Poisoned runs stop the clock mid-flight, so the
+        // identity only holds for runs that drained normally.
         let commits = counters.commits.load(Ordering::Relaxed);
-        debug_assert_eq!(commits, clock.load(Ordering::SeqCst) - 1);
+        if !poisoned.load(Ordering::SeqCst) {
+            debug_assert_eq!(
+                commits + counters.tombstones.load(Ordering::Relaxed),
+                clock.load(Ordering::SeqCst) - 1
+            );
+        }
         let mut sched = source.stats();
         if let Some(c) = &controller {
             c.merge_into(&mut sched);
         }
         let mut final_store = store;
         final_store.slots = shared.slots;
+        let mut failed = failed.into_inner();
+        failed.sort_by_key(|f| f.task);
         Outcome {
             store: final_store,
             sched,
+            failed,
+            watchdog_dumps: dumps.into_inner(),
             stats: RunStats {
                 commits,
                 retries: counters.retries.load(Ordering::Relaxed),
@@ -450,24 +687,128 @@ impl Janus {
                     .saturating_sub(ops_scanned_at_start),
                 delta_revalidations: counters.delta_revalidations.load(Ordering::Relaxed),
                 zero_copy_windows: counters.zero_copy_windows.load(Ordering::Relaxed),
+                faults_injected: self
+                    .faults
+                    .as_ref()
+                    .map_or(0, |f| f.stats().injected().saturating_sub(faults_at_start)),
+                tasks_failed: counters.tasks_failed.load(Ordering::Relaxed),
+                retry_budget_escalations: counters.escalations.load(Ordering::Relaxed),
+                watchdog_fires: counters.watchdog_fires.load(Ordering::Relaxed),
             },
         }
     }
 
-    /// `RUNTASK`, retried until it commits.
-    #[allow(clippy::too_many_arguments)] // mirrors Figure 7's explicit state
+    /// The commit-clock watchdog: ticks at a tenth of the interval,
+    /// resetting whenever the clock or any progress counter moves. A
+    /// full interval with no movement means the run is stuck (a hung
+    /// task body, a stalled commit, a scheduling bug): the watchdog
+    /// emits one diagnostic dump — per-worker phase, hot classes,
+    /// parked waiters — to stderr and [`Outcome::watchdog_dumps`], then
+    /// poisons the run so waiters drain instead of spinning forever
+    /// (under [`PanicPolicy::Poison`] the hang also propagates as a
+    /// panic from [`Janus::run`]).
+    fn watchdog_loop(
+        &self,
+        interval: Duration,
+        ctx: &RunCtx<'_>,
+        dumps: &parking_lot::Mutex<Vec<String>>,
+        panic_payload: &parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        live: &AtomicU64,
+    ) {
+        let tick = (interval / 10).max(Duration::from_millis(1));
+        let mut last = self.progress_vector(ctx);
+        let mut stalled = Duration::ZERO;
+        let mut fired = false;
+        while live.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(tick);
+            let cur = self.progress_vector(ctx);
+            if cur != last {
+                last = cur;
+                stalled = Duration::ZERO;
+                continue;
+            }
+            if fired {
+                continue; // already escalated: just wait for the drain
+            }
+            stalled += tick;
+            if stalled < interval {
+                continue;
+            }
+            fired = true;
+            ctx.counters.watchdog_fires.fetch_add(1, Ordering::Relaxed);
+            let dump = self.render_watchdog_dump(stalled, ctx);
+            eprintln!("{dump}");
+            dumps.lock().push(dump);
+            if self.panic_policy == PanicPolicy::Poison {
+                panic_payload.lock().get_or_insert_with(|| {
+                    Box::new(format!(
+                        "janus watchdog: no commit progress within {interval:?}"
+                    )) as Box<dyn std::any::Any + Send>
+                });
+            }
+            ctx.poisoned.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Everything whose movement counts as progress to the watchdog.
+    fn progress_vector(&self, ctx: &RunCtx<'_>) -> [u64; 6] {
+        [
+            ctx.clock.load(Ordering::SeqCst),
+            ctx.counters.commits.load(Ordering::Relaxed),
+            ctx.counters.retries.load(Ordering::Relaxed),
+            ctx.counters.tasks_failed.load(Ordering::Relaxed),
+            ctx.counters.tombstones.load(Ordering::Relaxed),
+            self.faults.as_ref().map_or(0, |f| f.stats().injected()),
+        ]
+    }
+
+    /// The watchdog's diagnostic dump: what every worker was doing when
+    /// progress stopped, how many were parked behind someone else, and
+    /// which location classes were carrying the conflicts.
+    fn render_watchdog_dump(&self, stalled: Duration, ctx: &RunCtx<'_>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "janus watchdog: no commit progress for {stalled:?} \
+             (clock {}, {} commits, {} retries, {} failed)",
+            ctx.clock.load(Ordering::SeqCst),
+            ctx.counters.commits.load(Ordering::Relaxed),
+            ctx.counters.retries.load(Ordering::Relaxed),
+            ctx.counters.tasks_failed.load(Ordering::Relaxed),
+        );
+        let mut parked = 0;
+        for w in 0..ctx.phases.0.len() {
+            let (p, task) = ctx.phases.get(w);
+            if phase::is_parked(p) {
+                parked += 1;
+            }
+            if task > 0 {
+                let _ = writeln!(out, "  worker {w}: {} (task {task})", phase::label(p));
+            } else {
+                let _ = writeln!(out, "  worker {w}: {}", phase::label(p));
+            }
+        }
+        let _ = writeln!(out, "  parked waiters: {parked}");
+        let hot = self.detector.stats().conflicts_by_class();
+        if !hot.is_empty() {
+            let _ = writeln!(out, "  hot classes:");
+            for (class, conflicts) in hot.iter().take(5) {
+                let _ = writeln!(out, "    {class}: {conflicts} conflicts");
+            }
+        }
+        out
+    }
+
+    /// `RUNTASK`, retried until it commits (or, under
+    /// [`PanicPolicy::Isolate`], until its body panics and the task is
+    /// recorded as failed).
     fn run_task(
         &self,
         task: &Task,
         tid: u64,
         worker: usize,
-        clock: &AtomicU64,
-        shared: &RwLock<Shared>,
-        active: &ActiveBegins,
-        counters: &RunCounters,
-        source: &dyn TaskSource,
-        controller: Option<&DegradeController>,
-        poisoned: &std::sync::atomic::AtomicBool,
+        ctx: &RunCtx<'_>,
         obs: Option<&RingHandle>,
     ) {
         // Consecutive aborts of this task (drives the backoff curve) and
@@ -476,20 +817,46 @@ impl Janus {
         let mut attempt: u32 = 0;
         let mut aborted_classes: Vec<ClassId> = Vec::new();
         'restart: loop {
+            // Retry-budget escalation: once this task has burned its
+            // conflict-abort budget, every further attempt runs under
+            // the serial token unconditionally, so it cannot be starved
+            // forever by the contenders that keep aborting it. Ordered
+            // runs skip this (commit order already bounds livelock, and
+            // a token held across an ordered wait could deadlock a
+            // predecessor's retry).
+            let escalated = !self.ordered && matches!(self.max_attempts, Some(n) if attempt >= n);
+            if escalated && Some(attempt) == self.max_attempts {
+                ctx.counters.escalations.fetch_add(1, Ordering::Relaxed);
+            }
+            let _escalation_guard = if escalated {
+                ctx.phases.set(worker, phase::SERIAL_WAIT, tid);
+                // The degradation controller's token doubles as the
+                // escalation token so escalated and degraded retries
+                // serialize against each other; without a controller the
+                // run-level token serves.
+                match ctx.controller {
+                    Some(c) => (Some(c.force_guard()), None),
+                    None => (None, Some(ctx.escalation.lock())),
+                }
+            } else {
+                (None, None)
+            };
             // Degraded retries of hot-class tasks hold the serial token
             // for the whole re-execution; first attempts stay optimistic.
-            let _serial = match controller {
-                Some(c) if attempt > 0 => c.serial_guard(&aborted_classes),
+            // An escalated attempt already holds the same token (the
+            // mutex is not reentrant).
+            let _serial = match ctx.controller {
+                Some(c) if attempt > 0 && !escalated => c.serial_guard(&aborted_classes),
                 _ => None,
             };
             // CREATETRANSACTION (read lock): snapshot the clock and the
             // shared state consistently, and register the begin time for
             // history GC while the read lock excludes concurrent pruning.
             let (begin, snapshot) = {
-                let g = shared.read();
-                let begin = clock.load(Ordering::SeqCst);
+                let g = ctx.shared.read();
+                let begin = ctx.clock.load(Ordering::SeqCst);
                 if self.gc_history {
-                    active.register(begin);
+                    ctx.active.register(begin);
                 }
                 let snapshot = if self.eager_privatization {
                     // Deep copy: every slot (and its value) is cloned.
@@ -506,25 +873,50 @@ impl Janus {
                 o.set_clock(begin);
                 o.record(EventKind::Begin { task: tid });
             }
-            // RUNSEQUENTIAL against the privatized copy.
+            // RUNSEQUENTIAL against the privatized copy. The body runs
+            // inside its own catch so a panic can be attributed to this
+            // task and — under `Isolate` — absorbed without taking the
+            // run down. An injected panic takes the identical path a
+            // genuine one would.
             let mut tx = TxView::new(snapshot.clone());
-            task.run(&mut tx);
+            ctx.phases.set(worker, phase::RUNNING, tid);
+            let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = &self.faults {
+                    if plan.should_inject(FaultKind::TaskPanic, tid, attempt) {
+                        panic!("janus-fault: injected panic (task {tid}, attempt {attempt})");
+                    }
+                }
+                task.run(&mut tx);
+            }));
+            if let Err(payload) = body {
+                match self.panic_policy {
+                    // Rethrow: the worker loop's outer catch poisons the
+                    // run and stores the payload, exactly as before the
+                    // policy existed.
+                    PanicPolicy::Poison => std::panic::resume_unwind(payload),
+                    PanicPolicy::Isolate => {
+                        self.isolate_failure(tid, worker, begin, attempt, payload, ctx, obs);
+                        return;
+                    }
+                }
+            }
 
             // In-order execution: wait until all preceding transactions
             // have committed.
             if self.ordered {
+                ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
                 // Escalating spin → yield → park instead of a bare
                 // `yield_now` loop: long waits (deep pipelines, slow
                 // predecessors) cede the core.
                 let mut parker = Parker::new();
-                while clock.load(Ordering::SeqCst) != tid {
-                    if poisoned.load(Ordering::SeqCst) {
+                while ctx.clock.load(Ordering::SeqCst) != tid {
+                    if ctx.poisoned.load(Ordering::SeqCst) {
                         // A predecessor panicked and will never commit;
                         // spinning would hang forever. The distinct
                         // abort reason keeps these bailouts out of
                         // contention attribution.
                         if self.gc_history {
-                            active.unregister(begin);
+                            ctx.active.unregister(begin);
                         }
                         if let Some(o) = obs {
                             o.record(EventKind::Abort {
@@ -547,7 +939,8 @@ impl Janus {
             let mut session = self.detector.begin_validation_traced(&entry, &txn_log, obs);
             let mut validated_to = begin;
             loop {
-                let now = clock.load(Ordering::SeqCst);
+                ctx.phases.set(worker, phase::VALIDATING, tid);
+                let now = ctx.clock.load(Ordering::SeqCst);
                 if let Some(o) = obs {
                     o.set_clock(now);
                 }
@@ -558,15 +951,19 @@ impl Janus {
                 // race only the delta `[validated_to, now)` is fetched
                 // and re-validated.
                 let delta: Vec<Arc<CommittedLog>> = if now > validated_to {
-                    let g = shared.read();
+                    let g = ctx.shared.read();
                     g.window(validated_to, now)
                 } else {
                     Vec::new()
                 };
                 if !delta.is_empty() {
-                    counters.zero_copy_windows.fetch_add(1, Ordering::Relaxed);
+                    ctx.counters
+                        .zero_copy_windows
+                        .fetch_add(1, Ordering::Relaxed);
                     if validated_to > begin {
-                        counters.delta_revalidations.fetch_add(1, Ordering::Relaxed);
+                        ctx.counters
+                            .delta_revalidations
+                            .fetch_add(1, Ordering::Relaxed);
                         if let Some(o) = obs {
                             o.record(EventKind::DeltaRevalidate {
                                 window_segments: delta.len() as u64,
@@ -578,12 +975,22 @@ impl Janus {
                         });
                     }
                 }
-                let conflict = session.extend(&HistoryWindow::new(&delta));
+                let mut conflict = session.extend(&HistoryWindow::new(&delta));
+                // A forced conflict flips a clean verdict so the full
+                // genuine abort path (counters, events, degradation,
+                // backoff) runs; a real conflict is never masked.
+                if !conflict {
+                    if let Some(plan) = &self.faults {
+                        if plan.should_inject(FaultKind::ForcedConflict, tid, attempt) {
+                            conflict = true;
+                        }
+                    }
+                }
                 validated_to = now;
                 if conflict {
-                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    ctx.counters.retries.fetch_add(1, Ordering::Relaxed);
                     if self.gc_history {
-                        active.unregister(begin);
+                        ctx.active.unregister(begin);
                     }
                     if let Some(o) = obs {
                         o.record(EventKind::Abort {
@@ -591,7 +998,7 @@ impl Janus {
                             reason: AbortReason::Conflict,
                         });
                     }
-                    if let Some(c) = controller {
+                    if let Some(c) = ctx.controller {
                         aborted_classes.clear();
                         aborted_classes.extend(txn_log.ops().iter().map(|op| op.class.clone()));
                         aborted_classes.sort_unstable();
@@ -602,7 +1009,7 @@ impl Janus {
                             }
                         }
                     }
-                    let hint = source.on_abort(worker, (tid - 1) as usize, attempt);
+                    let hint = ctx.source.on_abort(worker, (tid - 1) as usize, attempt);
                     attempt += 1;
                     if hint.steps > 0 {
                         if let Some(o) = obs {
@@ -611,16 +1018,26 @@ impl Janus {
                                 steps: hint.steps,
                             });
                         }
+                        ctx.phases.set(worker, phase::BACKOFF, tid);
                         // Yield the slot instead of hot-restarting; bail
                         // promptly if the run is poisoned meanwhile.
-                        backoff::wait(hint.steps, || poisoned.load(Ordering::SeqCst));
+                        backoff::wait(hint.steps, || ctx.poisoned.load(Ordering::SeqCst));
                     }
                     continue 'restart; // abort: rerun from scratch
                 }
+                // An injected stall delays the transaction at its most
+                // sensitive point — validated but not yet committed — to
+                // widen commit races and exercise the watchdog.
+                if let Some(plan) = &self.faults {
+                    if plan.should_inject(FaultKind::CommitStall, tid, attempt) {
+                        std::thread::sleep(Duration::from_micros(plan.stall_micros(tid, attempt)));
+                    }
+                }
                 // COMMIT (write lock).
                 {
-                    let mut g = shared.write();
-                    if clock.load(Ordering::SeqCst) != now {
+                    ctx.phases.set(worker, phase::COMMITTING, tid);
+                    let mut g = ctx.shared.write();
+                    if ctx.clock.load(Ordering::SeqCst) != now {
                         continue; // history evolved: re-validate the delta
                     }
                     // REPLAYLOGGEDOPERATIONS: group by location so each
@@ -645,15 +1062,15 @@ impl Janus {
                     // The decomposition computed above is shared as-is:
                     // no re-decomposition ever happens for this log.
                     g.history.push(Arc::clone(&txn_log));
-                    let now_clock = clock.fetch_add(1, Ordering::SeqCst) + 1;
-                    counters.commits.fetch_add(1, Ordering::Relaxed);
+                    let now_clock = ctx.clock.fetch_add(1, Ordering::SeqCst) + 1;
+                    ctx.counters.commits.fetch_add(1, Ordering::Relaxed);
                     if let Some(o) = obs {
                         o.set_clock(now_clock);
                         o.record(EventKind::Commit { task: tid });
                     }
                     if self.gc_history {
-                        active.unregister(begin);
-                        let reclaimed = g.reclaim(active.horizon(now_clock));
+                        ctx.active.unregister(begin);
+                        let reclaimed = g.reclaim(ctx.active.horizon(now_clock));
                         if reclaimed > 0 {
                             if let Some(o) = obs {
                                 o.record(EventKind::GcReclaim { reclaimed });
@@ -663,8 +1080,8 @@ impl Janus {
                 }
                 // Scheduler bookkeeping happens after the write lock is
                 // released: none of it is on the commit critical path.
-                source.on_commit(worker, (tid - 1) as usize);
-                if let Some(c) = controller {
+                ctx.source.on_commit(worker, (tid - 1) as usize);
+                if let Some(c) = ctx.controller {
                     if let Some(on) = c.record(&[], false) {
                         if let Some(o) = obs {
                             o.record(EventKind::SchedDegrade { on });
@@ -672,6 +1089,80 @@ impl Janus {
                     }
                 }
                 return;
+            }
+        }
+    }
+
+    /// Closes a panicking attempt under [`PanicPolicy::Isolate`]: the
+    /// transaction's privatized effects are dropped (nothing was ever
+    /// published), the task is recorded as failed, and — in ordered
+    /// runs — its commit turn is released with a tombstone so successors
+    /// never hang waiting for a commit that cannot come.
+    #[allow(clippy::too_many_arguments)] // closes run_task's explicit state
+    fn isolate_failure(
+        &self,
+        tid: u64,
+        worker: usize,
+        begin: u64,
+        attempt: u32,
+        payload: Box<dyn std::any::Any + Send>,
+        ctx: &RunCtx<'_>,
+        obs: Option<&RingHandle>,
+    ) {
+        if self.gc_history {
+            ctx.active.unregister(begin);
+        }
+        ctx.counters.tasks_failed.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.record(EventKind::Abort {
+                task: tid,
+                reason: AbortReason::Failed,
+            });
+        }
+        ctx.failed.lock().push(TaskFailure {
+            task: tid,
+            message: payload_message(payload.as_ref()),
+            attempts: attempt + 1,
+        });
+        if self.ordered {
+            self.release_turn_with_tombstone(tid, worker, ctx, obs);
+        }
+    }
+
+    /// In ordered runs a failed task still owns a commit turn: every
+    /// successor waits for `clock == tid + 1`. Waiting for this task's
+    /// own turn and then advancing the clock past it releases them. The
+    /// advance must be mirrored by a history entry — [`Shared::window`]
+    /// indexes history by clock value — so the released turn pushes an
+    /// empty committed log (a tombstone): successors validate against it
+    /// and find nothing to conflict with.
+    fn release_turn_with_tombstone(
+        &self,
+        tid: u64,
+        worker: usize,
+        ctx: &RunCtx<'_>,
+        obs: Option<&RingHandle>,
+    ) {
+        ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
+        let mut parker = Parker::new();
+        while ctx.clock.load(Ordering::SeqCst) != tid {
+            if ctx.poisoned.load(Ordering::SeqCst) {
+                // The run is already failing wholesale; successors bail
+                // on the poison flag, not the clock.
+                return;
+            }
+            parker.pause();
+        }
+        let mut g = ctx.shared.write();
+        g.history.push(Arc::new(CommittedLog::new(Vec::new())));
+        let now_clock = ctx.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.counters.tombstones.fetch_add(1, Ordering::Relaxed);
+        if self.gc_history {
+            let reclaimed = g.reclaim(ctx.active.horizon(now_clock));
+            if reclaimed > 0 {
+                if let Some(o) = obs {
+                    o.record(EventKind::GcReclaim { reclaimed });
+                }
             }
         }
     }
@@ -1157,5 +1648,185 @@ mod tests {
             .and_then(Value::as_int)
             .expect("int");
         assert!((0..24).contains(&v));
+    }
+
+    #[test]
+    fn isolated_panic_records_failure_and_commits_the_rest() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let mut tasks = identity_tasks(work, 6);
+        tasks[3] = Task::new(|_tx: &mut TxView| panic!("boom in task 4"));
+        let recorder = Recorder::new();
+        let janus = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(3)
+            .panic_policy(PanicPolicy::Isolate)
+            .recorder(Arc::clone(&recorder));
+        let outcome = janus.run(store, tasks);
+        assert_eq!(outcome.stats.commits, 5);
+        assert_eq!(outcome.stats.tasks_failed, 1);
+        assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].task, 4);
+        assert_eq!(outcome.failed[0].attempts, 1);
+        assert!(outcome.failed[0].message.contains("boom"));
+        let trace = recorder.finish();
+        trace
+            .check_well_formed()
+            .expect("well-formed under Isolate");
+        assert_eq!(trace.aborts_with_reason(AbortReason::Failed), 1);
+    }
+
+    #[test]
+    fn ordered_isolation_tombstones_the_failed_turn() {
+        // The failed task owns turn 2; without the tombstone, tasks 3..=6
+        // would wait on `clock == tid` forever.
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let mut tasks = identity_tasks(work, 6);
+        tasks[1] = Task::new(|_tx: &mut TxView| panic!("ordered boom"));
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(3)
+            .ordered(true)
+            .panic_policy(PanicPolicy::Isolate)
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 5, "every survivor commits");
+        assert_eq!(outcome.stats.tasks_failed, 1);
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].task, 2);
+        assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn seeded_panic_is_isolated_like_a_genuine_one() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let plan = Arc::new(FaultPlan::from_sites(vec![janus_fault::FaultSite {
+            kind: FaultKind::TaskPanic,
+            subject: 3,
+            attempt: 0,
+        }]));
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(3)
+            .panic_policy(PanicPolicy::Isolate)
+            .faults(Arc::clone(&plan))
+            .run(store, identity_tasks(work, 6));
+        assert_eq!(outcome.stats.commits, 5);
+        assert_eq!(outcome.stats.faults_injected, 1);
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].task, 3);
+        assert!(outcome.failed[0].message.contains("janus-fault"));
+        assert_eq!(plan.stats().injected_of(FaultKind::TaskPanic), 1);
+    }
+
+    #[test]
+    fn forced_conflicts_exhaust_the_budget_and_escalate() {
+        // Explicit sites: every task's attempts 0..3 are forced to
+        // conflict, so each task commits on attempt 3 after crossing the
+        // budget of 2 — the schedule of aborts is fully deterministic.
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let sites: Vec<janus_fault::FaultSite> = (1..=8u64)
+            .flat_map(|t| {
+                (0..3u32).map(move |a| janus_fault::FaultSite {
+                    kind: FaultKind::ForcedConflict,
+                    subject: t,
+                    attempt: a,
+                })
+            })
+            .collect();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .max_attempts(2)
+            .faults(Arc::new(FaultPlan::from_sites(sites)))
+            .run(store, identity_tasks(work, 8));
+        assert_eq!(outcome.stats.commits, 8);
+        assert_eq!(outcome.stats.retries, 24, "three forced aborts per task");
+        assert_eq!(outcome.stats.faults_injected, 24);
+        assert_eq!(
+            outcome.stats.retry_budget_escalations, 8,
+            "each task crosses the budget exactly once"
+        );
+        assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn commit_stall_injection_preserves_results() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let sites = Arc::new(FaultPlan::from_sites(
+            (1..=8u64)
+                .map(|t| janus_fault::FaultSite {
+                    kind: FaultKind::CommitStall,
+                    subject: t,
+                    attempt: 0,
+                })
+                .collect(),
+        ));
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .faults(Arc::clone(&sites))
+            .run(store, identity_tasks(work, 8));
+        assert_eq!(outcome.stats.commits, 8);
+        assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+        assert!(sites.stats().injected_of(FaultKind::CommitStall) >= 8);
+    }
+
+    #[test]
+    fn watchdog_dump_names_the_stuck_worker() {
+        // One task sleeps far past the watchdog interval: the watchdog
+        // fires mid-sleep, dumps, and (under Isolate) lets the task
+        // finish and commit normally.
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let tasks = vec![Task::new(move |tx: &mut TxView| {
+            std::thread::sleep(Duration::from_millis(400));
+            tx.add(work, 1);
+        })];
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(1)
+            .panic_policy(PanicPolicy::Isolate)
+            .watchdog(Duration::from_millis(50))
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 1, "the sleeper still commits");
+        assert!(outcome.stats.watchdog_fires >= 1);
+        assert_eq!(outcome.watchdog_dumps.len(), 1, "the watchdog fires once");
+        let dump = &outcome.watchdog_dumps[0];
+        assert!(dump.contains("no commit progress"), "dump: {dump}");
+        assert!(dump.contains("worker 0: running (task 1)"), "dump: {dump}");
+    }
+
+    #[test]
+    fn watchdog_under_poison_policy_fails_the_run() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let tasks = vec![Task::new(move |tx: &mut TxView| {
+            std::thread::sleep(Duration::from_millis(400));
+            tx.add(work, 1);
+        })];
+        let janus = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(1)
+            .watchdog(Duration::from_millis(50));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| janus.run(store, tasks)));
+        let payload = result.expect_err("a hung run panics under Poison");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("watchdog"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn quiet_run_never_wakes_the_watchdog() {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .watchdog(Duration::from_secs(5))
+            .run(store, identity_tasks(work, 16));
+        assert_eq!(outcome.stats.commits, 16);
+        assert_eq!(outcome.stats.watchdog_fires, 0);
+        assert!(outcome.watchdog_dumps.is_empty());
+        assert!(outcome.failed.is_empty());
     }
 }

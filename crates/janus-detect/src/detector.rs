@@ -624,6 +624,7 @@ pub struct CachedSequenceDetector<O> {
     oracle: O,
     relax: RelaxationSpec,
     stats: DetectorStats,
+    faults: Option<std::sync::Arc<janus_fault::FaultPlan>>,
 }
 
 impl<O: SequenceOracle> CachedSequenceDetector<O> {
@@ -633,6 +634,7 @@ impl<O: SequenceOracle> CachedSequenceDetector<O> {
             oracle,
             relax: RelaxationSpec::default(),
             stats: DetectorStats::new(),
+            faults: None,
         }
     }
 
@@ -642,7 +644,18 @@ impl<O: SequenceOracle> CachedSequenceDetector<O> {
             oracle,
             relax,
             stats: DetectorStats::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan: [`janus_fault::FaultKind::CacheMiss`]
+    /// sites (addressed by [`janus_fault::stable_key`] of the class
+    /// label) skip the oracle entirely, forcing the write-set fallback —
+    /// a chaos probe for degraded detection. With no plan attached (the
+    /// default), the query path pays one branch on `None`.
+    pub fn with_faults(mut self, plan: std::sync::Arc<janus_fault::FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The underlying oracle.
@@ -668,6 +681,22 @@ impl<O: SequenceOracle> CellJudge for CachedSequenceDetector<O> {
         if relax.tolerate_raw && relax.tolerate_waw {
             // Everything the cell check could flag is tolerated.
             return (false, CheckReason::Commute);
+        }
+        if let Some(plan) = &self.faults {
+            // Forced miss: the oracle is never consulted, so the
+            // write-set fallback decides — sound (it can only add
+            // conflicts), merely less precise.
+            if plan.should_inject(
+                janus_fault::FaultKind::CacheMiss,
+                janus_fault::stable_key(class.label()),
+                0,
+            ) {
+                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                return (
+                    write_set_cell(txn, committed, relax),
+                    CheckReason::CacheMiss,
+                );
+            }
         }
         match self.oracle.query(class, entry, cell, txn, committed, relax) {
             Some(answer) => {
@@ -918,6 +947,28 @@ mod tests {
 
         let (_, _, hits, misses) = det.stats().snapshot();
         assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn forced_cache_miss_skips_the_oracle() {
+        use janus_fault::{stable_key, FaultKind, FaultPlan, FaultSite};
+
+        let mut s = MapState::default();
+        s.0.insert(LocId(0), Value::int(0));
+        // The oracle would answer "no conflict" for "known"; the forced
+        // miss makes the write-set fallback flag the overlap instead.
+        let plan = std::sync::Arc::new(FaultPlan::from_sites(vec![FaultSite {
+            kind: FaultKind::CacheMiss,
+            subject: stable_key("known"),
+            attempt: 0,
+        }]));
+        let det = CachedSequenceDetector::new(TestOracle).with_faults(std::sync::Arc::clone(&plan));
+        let a = mk_ops(0, "known", vec![add(1), add(-1)], &mut s);
+        let b = mk_ops(0, "known", vec![add(2), add(-2)], &mut s);
+        assert!(det.detect_ops(&s, &a, &b), "fallback flags the overlap");
+        let (_, _, hits, misses) = det.stats().snapshot();
+        assert_eq!((hits, misses), (0, 1), "the oracle was never consulted");
+        assert_eq!(plan.stats().injected_of(FaultKind::CacheMiss), 1);
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the JANUS runtime.
+//!
+//! Robustness claims ("a panicking task cannot take the run down",
+//! "retry budgets guarantee progress", "ordered successors never hang
+//! behind a failed predecessor") are only trustworthy if the failure
+//! paths can be exercised *deterministically*: the same fault plan must
+//! inject the same faults at the same sites on every run, regardless of
+//! thread interleaving. This crate provides that plan:
+//!
+//! * [`FaultPlan`] — either a *seeded* plan (`seed × rate`, every
+//!   injection decision a pure function of `(seed, kind, subject,
+//!   attempt)`) or an *explicit* plan (a finite site list, for
+//!   regression tests that need one precise fault).
+//! * [`FaultKind`] — the four injection points threaded through the
+//!   runtime: task-body panics and forced validation conflicts and
+//!   commit-stall delays (`janus-core`), forced commutativity-cache
+//!   misses (`janus-detect`).
+//! * [`FaultStats`] — monotone injection counters implementing
+//!   [`janus_obs::Snapshot`], so chaos runs surface `faults_injected`
+//!   through the same metrics registry as every other subsystem.
+//!
+//! The plan is consulted behind an `Option` exactly like the lifecycle
+//! recorder: with no plan attached, every injection site is a single
+//! branch on `None` — nothing is hashed, counted or allocated.
+//!
+//! Seeded plans bound injection by attempt ([`FaultPlan::max_attempt`]):
+//! past the bound no site fires, so even a rate-1.0 plan cannot starve
+//! a task forever — the "no configuration hangs" guarantee the chaos
+//! suite asserts. Explicit site lists are exempt (each site names one
+//! `(kind, subject, attempt)` and fires exactly there).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The injection points the runtime threads a plan through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Panic inside the task body (exercises `PanicPolicy`). Subject:
+    /// the 1-based task id.
+    TaskPanic,
+    /// Force the validation verdict to "conflict" even though the
+    /// detector passed the attempt (exercises retry budgets and
+    /// escalation). Subject: the 1-based task id.
+    ForcedConflict,
+    /// Delay the attempt just before it takes the commit write lock
+    /// (exercises the commit-clock watchdog and ordered waiters).
+    /// Subject: the 1-based task id.
+    CommitStall,
+    /// Force a commutativity-cache miss so the write-set fallback
+    /// decides the verdict (exercises degraded detection). Subject:
+    /// [`stable_key`] of the location class label.
+    CacheMiss,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order (the per-kind counter layout).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TaskPanic,
+        FaultKind::ForcedConflict,
+        FaultKind::CommitStall,
+        FaultKind::CacheMiss,
+    ];
+
+    /// A short lower-case label ("panic", "conflict", "stall",
+    /// "cache-miss").
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TaskPanic => "panic",
+            FaultKind::ForcedConflict => "conflict",
+            FaultKind::CommitStall => "stall",
+            FaultKind::CacheMiss => "cache-miss",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::TaskPanic => 0,
+            FaultKind::ForcedConflict => 1,
+            FaultKind::CommitStall => 2,
+            FaultKind::CacheMiss => 3,
+        }
+    }
+}
+
+/// One explicit injection site: `kind` fires for `subject` on exactly
+/// attempt `attempt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// Which injection point fires.
+    pub kind: FaultKind,
+    /// The site's subject (task id, or [`stable_key`] of a class label
+    /// for [`FaultKind::CacheMiss`]).
+    pub subject: u64,
+    /// The 0-based attempt the site fires on.
+    pub attempt: u32,
+}
+
+/// How a plan decides.
+#[derive(Debug)]
+enum Mode {
+    /// Pseudo-random: fire iff `mix(seed, kind, subject, attempt)`
+    /// lands below the rate threshold (53-bit fixed point).
+    Seeded { seed: u64, threshold: u64 },
+    /// Explicit: fire iff the site is listed (sorted for binary search).
+    Sites(Vec<FaultSite>),
+}
+
+/// Monotone injection counters, shared by every thread consulting the
+/// plan. Implements [`janus_obs::Snapshot`] (source `"fault"`).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    by_kind: [AtomicU64; 4],
+}
+
+impl FaultStats {
+    /// Total faults injected, across all kinds.
+    pub fn injected(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Faults injected for one kind.
+    pub fn injected_of(&self, kind: FaultKind) -> u64 {
+        self.by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+}
+
+impl janus_obs::Snapshot for FaultStats {
+    fn source(&self) -> &'static str {
+        "fault"
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = vec![("faults_injected".to_string(), self.injected())];
+        for kind in FaultKind::ALL {
+            out.push((
+                format!("injected_{}", kind.label().replace('-', "_")),
+                self.injected_of(kind),
+            ));
+        }
+        out
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Decisions are pure: [`FaultPlan::decide`] depends only on the plan's
+/// configuration and the `(kind, subject, attempt)` triple, never on
+/// time, thread identity or interleaving — so the *set* of injected
+/// sites is identical across runs with the same plan, even though the
+/// order the runtime visits them in may vary.
+#[derive(Debug)]
+pub struct FaultPlan {
+    mode: Mode,
+    max_attempt: u32,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// The default injection bound for seeded plans: no site fires at
+    /// attempt 3 or later, so retries always drain.
+    pub const DEFAULT_MAX_ATTEMPT: u32 = 3;
+
+    /// The default injection rate for chaos runs that pick a seed but
+    /// no rate: one site in twenty fires.
+    pub const DEFAULT_RATE: f64 = 0.05;
+
+    /// A seeded plan: each `(kind, subject, attempt)` site fires
+    /// independently with probability `rate` (clamped to `[0, 1]`),
+    /// decided by a pure hash of the seed and the triple.
+    pub fn seeded(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // 53-bit fixed point: compare the hash's top 53 bits against
+        // rate * 2^53, so rate 1.0 fires always and 0.0 never.
+        let threshold = (rate * (1u64 << 53) as f64) as u64;
+        FaultPlan {
+            mode: Mode::Seeded { seed, threshold },
+            max_attempt: Self::DEFAULT_MAX_ATTEMPT,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An explicit plan firing exactly at the listed sites (duplicates
+    /// are collapsed). Sites are exempt from the attempt bound: each
+    /// names its own attempt.
+    pub fn from_sites(mut sites: Vec<FaultSite>) -> Self {
+        sites.sort_unstable();
+        sites.dedup();
+        FaultPlan {
+            mode: Mode::Sites(sites),
+            max_attempt: Self::DEFAULT_MAX_ATTEMPT,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Overrides the seeded-plan injection bound: no seeded site fires
+    /// at `attempt >= bound`. `bound = 0` disables seeded injection
+    /// entirely.
+    pub fn max_attempt(mut self, bound: u32) -> Self {
+        self.max_attempt = bound;
+        self
+    }
+
+    /// The pure injection decision for one site. No side effects; the
+    /// same plan configuration and triple always agree.
+    pub fn decide(&self, kind: FaultKind, subject: u64, attempt: u32) -> bool {
+        match &self.mode {
+            Mode::Seeded { seed, threshold } => {
+                attempt < self.max_attempt && site_hash(*seed, kind, subject, attempt) < *threshold
+            }
+            Mode::Sites(sites) => sites
+                .binary_search(&FaultSite {
+                    kind,
+                    subject,
+                    attempt,
+                })
+                .is_ok(),
+        }
+    }
+
+    /// [`FaultPlan::decide`], counting the injection when it fires.
+    /// This is what the runtime's injection sites call.
+    pub fn should_inject(&self, kind: FaultKind, subject: u64, attempt: u32) -> bool {
+        let fire = self.decide(kind, subject, attempt);
+        if fire {
+            self.stats.by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// The stall length for a [`FaultKind::CommitStall`] site, in
+    /// microseconds — deterministic in the site, bounded to `[50, 2000]`
+    /// so stalls are observable (to the watchdog) but never hang-like.
+    pub fn stall_micros(&self, subject: u64, attempt: u32) -> u64 {
+        let seed = match &self.mode {
+            Mode::Seeded { seed, .. } => *seed,
+            Mode::Sites(_) => 0,
+        };
+        50 + site_hash(seed, FaultKind::CommitStall, subject, attempt) % 1951
+    }
+
+    /// The plan's injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+}
+
+/// A pure mix of one injection site into a 53-bit value, compared
+/// against the rate threshold. The splitmix64 finalizer over a
+/// golden-ratio combination of the coordinates — the same recipe as
+/// `janus_sched`'s deterministic backoff schedule.
+fn site_hash(seed: u64, kind: FaultKind, subject: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        ^ (kind.index() as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+        ^ subject.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ u64::from(attempt).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) >> 11
+}
+
+/// A stable 64-bit key for string subjects (FNV-1a), used to address
+/// [`FaultKind::CacheMiss`] sites by location-class label.
+pub fn stable_key(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_obs::Snapshot as _;
+
+    /// Every injection decision a plan makes over a site matrix, in a
+    /// canonical order — the "injected-fault site sequence" of the
+    /// determinism guarantee.
+    fn decision_sequence(plan: &FaultPlan) -> Vec<(FaultKind, u64, u32, bool)> {
+        let mut out = Vec::new();
+        for kind in FaultKind::ALL {
+            for subject in 0..64 {
+                for attempt in 0..8 {
+                    out.push((kind, subject, attempt, plan.decide(kind, subject, attempt)));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_same_site_sequence() {
+        let a = FaultPlan::seeded(42, 0.2);
+        let b = FaultPlan::seeded(42, 0.2);
+        assert_eq!(decision_sequence(&a), decision_sequence(&b));
+        // And the sequence is non-trivial at this rate.
+        assert!(decision_sequence(&a).iter().any(|&(_, _, _, f)| f));
+        assert!(decision_sequence(&a).iter().any(|&(_, _, _, f)| !f));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::seeded(1, 0.2);
+        let b = FaultPlan::seeded(2, 0.2);
+        assert_ne!(decision_sequence(&a), decision_sequence(&b));
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let never = FaultPlan::seeded(7, 0.0);
+        let always = FaultPlan::seeded(7, 1.0);
+        for kind in FaultKind::ALL {
+            for subject in 0..32 {
+                assert!(!never.decide(kind, subject, 0));
+                assert!(always.decide(kind, subject, 0), "rate 1.0 always fires");
+            }
+        }
+        // NaN and out-of-range rates are defused, not propagated.
+        assert!(!FaultPlan::seeded(7, f64::NAN).decide(FaultKind::TaskPanic, 1, 0));
+        assert!(FaultPlan::seeded(7, 9.0).decide(FaultKind::TaskPanic, 1, 0));
+    }
+
+    #[test]
+    fn seeded_injection_respects_the_attempt_bound() {
+        let plan = FaultPlan::seeded(3, 1.0).max_attempt(2);
+        assert!(plan.decide(FaultKind::ForcedConflict, 5, 0));
+        assert!(plan.decide(FaultKind::ForcedConflict, 5, 1));
+        assert!(
+            !plan.decide(FaultKind::ForcedConflict, 5, 2),
+            "no seeded site fires at or past the bound — retries drain"
+        );
+        assert!(!FaultPlan::seeded(3, 1.0)
+            .max_attempt(0)
+            .decide(FaultKind::TaskPanic, 1, 0));
+    }
+
+    #[test]
+    fn explicit_sites_fire_exactly_as_listed() {
+        let plan = FaultPlan::from_sites(vec![
+            FaultSite {
+                kind: FaultKind::TaskPanic,
+                subject: 3,
+                attempt: 0,
+            },
+            FaultSite {
+                kind: FaultKind::ForcedConflict,
+                subject: 2,
+                attempt: 5,
+            },
+        ]);
+        assert!(plan.decide(FaultKind::TaskPanic, 3, 0));
+        assert!(!plan.decide(FaultKind::TaskPanic, 3, 1));
+        assert!(!plan.decide(FaultKind::TaskPanic, 2, 0));
+        assert!(
+            plan.decide(FaultKind::ForcedConflict, 2, 5),
+            "explicit sites are exempt from the attempt bound"
+        );
+    }
+
+    #[test]
+    fn should_inject_counts_per_kind() {
+        let plan = FaultPlan::from_sites(vec![FaultSite {
+            kind: FaultKind::CommitStall,
+            subject: 1,
+            attempt: 0,
+        }]);
+        assert!(plan.should_inject(FaultKind::CommitStall, 1, 0));
+        assert!(!plan.should_inject(FaultKind::CommitStall, 1, 1));
+        assert_eq!(plan.stats().injected(), 1);
+        assert_eq!(plan.stats().injected_of(FaultKind::CommitStall), 1);
+        assert_eq!(plan.stats().injected_of(FaultKind::TaskPanic), 0);
+        let counters = plan.stats().counters();
+        assert_eq!(plan.stats().source(), "fault");
+        assert!(counters.contains(&("faults_injected".to_string(), 1)));
+        assert!(counters.contains(&("injected_stall".to_string(), 1)));
+    }
+
+    #[test]
+    fn stall_lengths_are_deterministic_and_bounded() {
+        let plan = FaultPlan::seeded(11, 1.0);
+        for attempt in 0..4 {
+            let a = plan.stall_micros(9, attempt);
+            assert_eq!(a, plan.stall_micros(9, attempt));
+            assert!((50..=2000).contains(&a), "stall {a}µs within bounds");
+        }
+    }
+
+    #[test]
+    fn stable_key_is_stable_and_discriminating() {
+        assert_eq!(stable_key("acct"), stable_key("acct"));
+        assert_ne!(stable_key("acct"), stable_key("queue"));
+        assert_ne!(stable_key(""), stable_key("a"));
+    }
+}

@@ -66,14 +66,20 @@ pub enum AbortReason {
     /// predecessor will never commit bailed out, or the panicking
     /// attempt itself was closed. The task will *not* retry.
     Poisoned,
+    /// The task's body panicked under `PanicPolicy::Isolate`: its
+    /// transaction was discarded and the task recorded as failed, but
+    /// the run continues — unlike [`AbortReason::Poisoned`], only this
+    /// one task is lost. The task will *not* retry.
+    Failed,
 }
 
 impl AbortReason {
-    /// A short lower-case label ("conflict" / "poisoned").
+    /// A short lower-case label ("conflict" / "poisoned" / "failed").
     pub fn label(self) -> &'static str {
         match self {
             AbortReason::Conflict => "conflict",
             AbortReason::Poisoned => "poisoned",
+            AbortReason::Failed => "failed",
         }
     }
 }
@@ -191,6 +197,7 @@ mod tests {
         assert_eq!(EventKind::GcReclaim { reclaimed: 2 }.label(), "gc_reclaim");
         assert_eq!(AbortReason::Conflict.label(), "conflict");
         assert_eq!(AbortReason::Poisoned.label(), "poisoned");
+        assert_eq!(AbortReason::Failed.label(), "failed");
         assert_eq!(
             EventKind::SchedBackoff { task: 1, steps: 4 }.label(),
             "sched_backoff"

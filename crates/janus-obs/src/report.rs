@@ -85,9 +85,10 @@ pub fn text_report(trace: &Trace, top_k: usize) -> String {
     if aborts > 0 {
         let _ = writeln!(
             out,
-            "aborts by reason: {} conflict  {} poisoned",
+            "aborts by reason: {} conflict  {} poisoned  {} failed",
             trace.aborts_with_reason(AbortReason::Conflict),
             trace.aborts_with_reason(AbortReason::Poisoned),
+            trace.aborts_with_reason(AbortReason::Failed),
         );
     }
     let backoffs = trace.count("sched_backoff");
@@ -160,7 +161,7 @@ mod tests {
         assert!(report.contains("top abort-causing classes"));
         assert!(report.contains("hot"));
         assert!(report.contains("retry ratio: 1.000"));
-        assert!(report.contains("aborts by reason: 1 conflict  0 poisoned"));
+        assert!(report.contains("aborts by reason: 1 conflict  0 poisoned  0 failed"));
         assert!(report.contains("scheduler: 1 backoff waits"));
     }
 }

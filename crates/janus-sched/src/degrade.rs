@@ -162,6 +162,17 @@ impl DegradeController {
         Some(self.token.lock())
     }
 
+    /// Takes the serial token unconditionally, regardless of the
+    /// degradation state — the retry-budget escalation path: a task that
+    /// exhausted its conflict-abort budget re-executes under the token
+    /// so it cannot be starved by the contenders that aborted it.
+    /// Counted as a serial retry like any other token hold.
+    pub fn force_guard(&self) -> SerialGuard<'_> {
+        self.serial_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.token.lock()
+    }
+
     /// Folds the controller's counters into scheduler stats.
     pub fn merge_into(&self, stats: &mut crate::SchedStats) {
         let s = self.state.lock();
@@ -239,6 +250,19 @@ mod tests {
         // Global hot set: every retry serializes.
         assert!(c.serial_guard(&classes(&["anything"])).is_some());
         assert!(c.serial_guard(&[]).is_some());
+    }
+
+    #[test]
+    fn force_guard_bypasses_the_feedback_state() {
+        let c = DegradeController::new(DegradeConfig::default());
+        assert!(!c.is_degraded());
+        assert!(c.serial_guard(&classes(&["x"])).is_none());
+        // Escalation takes the token even while fully parallel.
+        let g = c.force_guard();
+        drop(g);
+        let mut stats = crate::SchedStats::default();
+        c.merge_into(&mut stats);
+        assert_eq!(stats.serial_retries, 1);
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! Serialization of trained commutativity caches.
 //!
 //! The offline/production split of Figure 6 implies the cache outlives
-//! the training process. This module round-trips a
-//! [`CommutativityCache`] through a line-based text format:
+//! the training process — and a file that outlives its writer can rot.
+//! This module round-trips a [`CommutativityCache`] through a versioned
+//! line-based text format with a trailing integrity checksum:
 //!
 //! ```text
-//! janus-cache v1 abstraction=true
+//! janus-cache v2 abstraction=true
 //! entry\t<class>\t<shape>\t<pattern-a>\t<pattern-b>\t<condition>
+//! checksum\t<fnv1a-64 of every preceding byte, 16 hex digits>
 //! ```
 //!
 //! Patterns use the display syntax (`{aa}+r`); class labels escape
-//! backslash, tab and newline.
+//! backslash, tab and newline. [`CommutativityCache::from_text`] also
+//! reads the checksum-less v1 format (written by earlier builds), and
+//! rejects unknown versions, truncation, and checksum mismatches with
+//! an error naming the offending line.
 
 use std::fmt;
 
@@ -121,10 +126,22 @@ pub fn parse_pattern(s: &str) -> Result<Pattern, String> {
     Ok(Pattern(stack.pop().expect("single frame")))
 }
 
+/// FNV-1a 64 over the serialized bytes preceding the checksum line
+/// (header and entries, each including its trailing newline).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl CommutativityCache {
-    /// Serializes the cache to the text format.
+    /// Serializes the cache to the current (v2) text format, ending with
+    /// the integrity checksum line.
     pub fn to_text(&self) -> String {
-        let mut out = format!("janus-cache v1 abstraction={}\n", self.uses_abstraction());
+        let mut out = format!("janus-cache v2 abstraction={}\n", self.uses_abstraction());
         for (class, shape, pat_a, pat_b, condition) in self.entries_iter() {
             let shape = match shape {
                 CellShape::Whole => "whole",
@@ -139,31 +156,92 @@ impl CommutativityCache {
                 escape(class.label()),
             ));
         }
+        out.push_str(&format!("checksum\t{:016x}\n", fnv1a(out.as_bytes())));
         out
     }
 
-    /// Parses a cache from the text format.
+    /// Parses a cache from the text format (v2, or the checksum-less v1
+    /// written by earlier builds).
     ///
     /// # Errors
     ///
     /// Returns a [`ParseCacheError`] naming the offending line on any
-    /// malformed header, field count, shape, pattern or condition.
+    /// unsupported version, malformed header, field count, shape,
+    /// pattern or condition — and, for v2, on a missing, malformed or
+    /// mismatching checksum line (truncation and bit rot both land
+    /// here).
     pub fn from_text(text: &str) -> Result<CommutativityCache, ParseCacheError> {
         let err = |line: usize, message: String| ParseCacheError { line, message };
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines
+        let header = text
+            .lines()
             .next()
             .ok_or_else(|| err(1, "empty input".to_string()))?;
-        let abstraction = match header {
-            "janus-cache v1 abstraction=true" => true,
-            "janus-cache v1 abstraction=false" => false,
+        let (version, abstraction) = match header {
+            "janus-cache v2 abstraction=true" => (2, true),
+            "janus-cache v2 abstraction=false" => (2, false),
+            // v1 predates the checksum: still read, never written.
+            "janus-cache v1 abstraction=true" => (1, true),
+            "janus-cache v1 abstraction=false" => (1, false),
+            other if other.starts_with("janus-cache v") => {
+                return Err(err(
+                    1,
+                    format!(
+                        "unsupported cache format version: {other:?} (this build reads v1 and v2)"
+                    ),
+                ));
+            }
             other => return Err(err(1, format!("bad header {other:?}"))),
         };
+        // v2: locate and verify the trailing checksum, then parse only
+        // the body before it. The checksum line starts its own line, so
+        // an escaped "checksum" inside a class label cannot shadow it.
+        let body = if version >= 2 {
+            let nl = text.rfind("\nchecksum\t").ok_or_else(|| {
+                err(
+                    text.lines().count().max(1),
+                    "missing checksum line (truncated cache?)".to_string(),
+                )
+            })?;
+            let body = &text[..nl + 1];
+            let lineno = body.lines().count() + 1;
+            let tail = &text[nl + 1..];
+            let line = tail.lines().next().expect("found above");
+            if tail.len() > line.len() + 1 {
+                return Err(err(
+                    lineno + 1,
+                    "content after the checksum line".to_string(),
+                ));
+            }
+            let hex = line.strip_prefix("checksum\t").expect("found above");
+            let stated = u64::from_str_radix(hex, 16)
+                .map_err(|_| err(lineno, format!("bad checksum field {hex:?}")))?;
+            let computed = fnv1a(body.as_bytes());
+            if stated != computed {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "checksum mismatch: file says {stated:016x}, contents hash to \
+                         {computed:016x} (corrupt or hand-edited cache)"
+                    ),
+                ));
+            }
+            body
+        } else {
+            text
+        };
         let mut cache = CommutativityCache::new(abstraction);
-        for (i, line) in lines {
+        for (i, line) in body.lines().enumerate().skip(1) {
             let lineno = i + 1;
             if line.is_empty() {
                 continue;
+            }
+            if line.starts_with("checksum\t") {
+                // Only reachable in v1 input (the v2 body excludes its
+                // checksum): a v1 cache never carries one.
+                return Err(err(
+                    lineno,
+                    "unexpected checksum line in a v1 cache".to_string(),
+                ));
             }
             let fields: Vec<&str> = line.split('\t').collect();
             if fields.len() != 6 || fields[0] != "entry" {
@@ -268,6 +346,80 @@ mod tests {
         assert!(CommutativityCache::from_text(bad).is_err());
         let bad = "janus-cache v1 abstraction=true\nentry\tc\twhole\ta\ta\tmaybe\n";
         assert!(CommutativityCache::from_text(bad).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_caches_still_parse() {
+        // A v1 serialization of `trained()`: same entries, old header,
+        // no checksum line.
+        let v2 = trained().to_text();
+        let v1: String = v2
+            .replace("janus-cache v2", "janus-cache v1")
+            .lines()
+            .filter(|l| !l.starts_with("checksum\t"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = CommutativityCache::from_text(&v1).expect("v1 parses");
+        assert_eq!(parsed.len(), trained().len());
+        // Re-serializing a legacy cache upgrades it to v2.
+        assert!(parsed.to_text().starts_with("janus-cache v2 "));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_a_version_error() {
+        let e = CommutativityCache::from_text("janus-cache v3 abstraction=true\n")
+            .expect_err("future version");
+        assert_eq!(e.line, 1);
+        assert!(
+            e.message.contains("unsupported cache format version"),
+            "message: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected_and_located() {
+        let good = trained().to_text();
+        assert!(good
+            .lines()
+            .last()
+            .expect("non-empty")
+            .starts_with("checksum\t"));
+        // Corrupt one entry byte without touching the checksum line.
+        let corrupt = good.replacen("whole", "keyed", 1);
+        assert_ne!(corrupt, good, "the fixture must contain a whole-cell entry");
+        let e = CommutativityCache::from_text(&corrupt).expect_err("corruption");
+        assert_eq!(e.line, good.lines().count());
+        assert!(e.message.contains("checksum mismatch"), "{}", e.message);
+    }
+
+    #[test]
+    fn truncated_v2_cache_is_rejected() {
+        let good = trained().to_text();
+        let truncated: String = good
+            .lines()
+            .filter(|l| !l.starts_with("checksum\t"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let e = CommutativityCache::from_text(&truncated).expect_err("truncation");
+        assert!(e.message.contains("missing checksum"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_checksum_and_trailing_content_are_rejected() {
+        let good = trained().to_text();
+        let bad_hex = good.replace("checksum\t", "checksum\tzz");
+        let e = CommutativityCache::from_text(&bad_hex).expect_err("bad hex");
+        assert!(e.message.contains("bad checksum field"), "{}", e.message);
+
+        let mut trailing = good.clone();
+        trailing.push_str("entry\tc\twhole\ta\ta\talways\n");
+        let e = CommutativityCache::from_text(&trailing).expect_err("trailing");
+        assert!(
+            e.message.contains("content after the checksum"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!                            [--cache <file>] [--eager] [--no-gc]
 //!                            [--schedule fifo|backoff|affinity]
 //!                            [--degrade-threshold R] [--degrade-window N]
+//!                            [--panic-policy poison|isolate] [--max-attempts N]
+//!                            [--watchdog-ms N] [--fault-seed N] [--fault-rate R]
 //!                            [--trace <file>] [--metrics]
 //! ```
 //!
@@ -30,12 +32,21 @@
 //! enables serial-fallback degradation: when a `--degrade-window`-sized
 //! window of attempts retries at ratio >= R, retries of hot-class tasks
 //! serialize until the window cools.
+//!
+//! The robustness flags drive the failure model: `--panic-policy
+//! isolate` survives task-body panics (the failed tasks are listed and
+//! the state check is skipped), `--max-attempts N` escalates a task to
+//! serialized execution after N conflict aborts, `--watchdog-ms N` arms
+//! the commit-clock watchdog, and `--fault-seed`/`--fault-rate` inject
+//! deterministic, seeded faults (panics, forced conflicts, commit
+//! stalls, cache misses) for chaos testing.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use janus::core::Janus;
+use janus::core::{Janus, PanicPolicy};
 use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::fault::FaultPlan;
 use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snapshot};
 use janus::sat::global_solver_stats;
 use janus::sched::{Affinity, Backoff, DegradeConfig, SchedulePolicy, TrainedFootprints};
@@ -44,7 +55,7 @@ use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--trace FILE] [--metrics]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +72,11 @@ const VALUE_FLAGS: &[&str] = &[
     "schedule",
     "degrade-threshold",
     "degrade-window",
+    "panic-policy",
+    "max-attempts",
+    "watchdog-ms",
+    "fault-seed",
+    "fault-rate",
 ];
 const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics"];
 
@@ -182,9 +198,18 @@ fn cmd_train(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn load_cache(path: &str) -> Result<CommutativityCache, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    CommutativityCache::from_text(&text).map_err(|e| format!("{path}: {e}"))
+enum CacheLoadError {
+    /// The file is absent or unreadable: the user has not trained yet.
+    Unreadable(String),
+    /// The file exists but fails version, parse or checksum validation.
+    Corrupt(String),
+}
+
+fn load_cache(path: &str) -> Result<CommutativityCache, CacheLoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CacheLoadError::Unreadable(format!("cannot read {path}: {e}")))?;
+    CommutativityCache::from_text(&text)
+        .map_err(|e| CacheLoadError::Corrupt(format!("{path}: {e}")))
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
@@ -210,16 +235,44 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let input = InputSpec::new(scale, default_input.degree, seed);
 
+    // The fault plan is parsed before the detector so cache-miss
+    // injection can be threaded into cached detection.
+    let fault_rate = match args.value("fault-rate").map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(r)) if (0.0..=1.0).contains(&r) => Some(r),
+        Some(_) => {
+            eprintln!("error: flag --fault-rate: expected a rate in [0, 1]");
+            return usage();
+        }
+    };
+    let fault_seed = match args.numeric::<u64>("fault-seed", 0) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let fault_plan = (args.value("fault-seed").is_some() || fault_rate.is_some()).then(|| {
+        Arc::new(FaultPlan::seeded(
+            fault_seed,
+            fault_rate.unwrap_or(FaultPlan::DEFAULT_RATE),
+        ))
+    });
+
     let detector_name = args.value("detector").unwrap_or("sequence");
     let relax = w.relaxations();
     let mut cache_for_metrics: Option<Arc<CommutativityCache>> = None;
     let detector: Arc<dyn ConflictDetector> = match detector_name {
         "write-set" => Arc::new(WriteSetDetector::new()),
         "sequence" => Arc::new(SequenceDetector::with_relaxations(relax)),
-        "online-learning" => Arc::new(CachedSequenceDetector::with_relaxations(
-            OnlineLearningCache::new(true),
-            relax,
-        )),
+        "online-learning" => {
+            let mut d =
+                CachedSequenceDetector::with_relaxations(OnlineLearningCache::new(true), relax);
+            if let Some(plan) = &fault_plan {
+                d = d.with_faults(Arc::clone(plan));
+            }
+            Arc::new(d)
+        }
         "cached" => {
             let path = cache_path(args, name);
             match load_cache(&path) {
@@ -227,11 +280,24 @@ fn cmd_run(args: &Args) -> ExitCode {
                     eprintln!("loaded {} cache entries from {path}", cache.len());
                     let cache = Arc::new(cache);
                     cache_for_metrics = Some(Arc::clone(&cache));
-                    Arc::new(CachedSequenceDetector::with_relaxations(cache, relax))
+                    let mut d = CachedSequenceDetector::with_relaxations(cache, relax);
+                    if let Some(plan) = &fault_plan {
+                        d = d.with_faults(Arc::clone(plan));
+                    }
+                    Arc::new(d)
                 }
-                Err(e) => {
+                Err(CacheLoadError::Unreadable(e)) => {
                     eprintln!("{e}\nhint: run `janus-run train {name}` first");
                     return ExitCode::FAILURE;
+                }
+                Err(CacheLoadError::Corrupt(e)) => {
+                    // A rotten cache must not take the run down — only
+                    // its speed: fall back to the oracle-free detector.
+                    eprintln!(
+                        "warning: {e}\nwarning: ignoring the corrupt cache; falling back to \
+                         write-set detection (retrain with `janus-run train {name}`)"
+                    );
+                    Arc::new(WriteSetDetector::new())
                 }
             }
         }
@@ -286,24 +352,79 @@ fn cmd_run(args: &Args) -> ExitCode {
             return usage();
         }
     };
+    let panic_policy = match args.value("panic-policy").unwrap_or("poison") {
+        "poison" => PanicPolicy::Poison,
+        "isolate" => PanicPolicy::Isolate,
+        other => {
+            eprintln!("error: flag --panic-policy: expected poison|isolate, got {other:?}");
+            return usage();
+        }
+    };
+    let max_attempts = match args.value("max-attempts").map(str::parse::<u32>) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => {
+            eprintln!("error: flag --max-attempts: expected a positive attempt budget");
+            return usage();
+        }
+    };
+    let watchdog_ms = match args.numeric::<u64>("watchdog-ms", 0) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let mut janus = Janus::new(Arc::clone(&detector))
         .threads(threads)
         .ordered(w.ordered())
         .eager_privatization(args.flag("eager"))
         .gc_history(!args.flag("no-gc"))
-        .schedule(schedule);
+        .schedule(schedule)
+        .panic_policy(panic_policy);
     if let Some(threshold) = degrade_threshold {
         janus = janus.degrade(DegradeConfig {
             window: degrade_window,
             threshold,
         });
     }
+    if let Some(budget) = max_attempts {
+        janus = janus.max_attempts(budget);
+    }
+    if watchdog_ms > 0 {
+        janus = janus.watchdog(std::time::Duration::from_millis(watchdog_ms));
+    }
+    if let Some(plan) = &fault_plan {
+        janus = janus.faults(Arc::clone(plan));
+    }
     if let Some(rec) = &recorder {
         janus = janus.recorder(Arc::clone(rec));
     }
+    if panic_policy == PanicPolicy::Isolate && fault_plan.is_some() {
+        // Injected panics are expected by construction: keep their
+        // backtraces out of the chaos run's output. Genuine panics
+        // still print through the default hook.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("janus-fault:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
     let outcome = janus.run(scenario.store, scenario.tasks);
 
-    let ok = (scenario.check)(&outcome.store);
+    // A workload's state check assumes every task committed; once tasks
+    // were isolated, the invariant no longer applies.
+    let (ok, state) = if outcome.failed.is_empty() {
+        let ok = (scenario.check)(&outcome.store);
+        (ok, if ok { "ok" } else { "INVALID" })
+    } else {
+        (true, "skipped (failed tasks)")
+    };
     println!(
         "commits: {}  retries: {}  retry/txn: {:.3}  wall: {:?}  gc-reclaimed: {}  state: {}",
         outcome.stats.commits,
@@ -311,8 +432,31 @@ fn cmd_run(args: &Args) -> ExitCode {
         outcome.stats.retry_ratio(),
         outcome.stats.wall,
         outcome.stats.history_reclaimed,
-        if ok { "ok" } else { "INVALID" },
+        state,
     );
+    let robust = outcome.stats.faults_injected
+        + outcome.stats.tasks_failed
+        + outcome.stats.retry_budget_escalations
+        + outcome.stats.watchdog_fires;
+    if fault_plan.is_some() || robust > 0 {
+        println!(
+            "robustness: {} faults injected  {} tasks failed  {} budget escalations  \
+             {} watchdog fires",
+            outcome.stats.faults_injected,
+            outcome.stats.tasks_failed,
+            outcome.stats.retry_budget_escalations,
+            outcome.stats.watchdog_fires,
+        );
+    }
+    if !outcome.failed.is_empty() {
+        println!("failed tasks ({}):", outcome.failed.len());
+        for f in &outcome.failed {
+            println!(
+                "  task {}: {} (after {} attempts)",
+                f.task, f.message, f.attempts
+            );
+        }
+    }
     println!(
         "detection: {} ops scanned  {} cells checked  {} windows zero-copy  {} delta re-validations",
         outcome.stats.detect_ops_scanned,
@@ -368,6 +512,9 @@ fn cmd_run(args: &Args) -> ExitCode {
             metrics.absorb(detector.stats() as &dyn Snapshot);
             if let Some(cache) = &cache_for_metrics {
                 metrics.absorb(cache.stats());
+            }
+            if let Some(plan) = &fault_plan {
+                metrics.absorb(plan.stats());
             }
             metrics.absorb(&global_solver_stats());
             metrics.absorb_trace(&trace);

@@ -25,6 +25,7 @@
 //! | [`persist`] | `janus-persist` | the persistent map behind O(1) snapshots |
 //! | [`obs`] | `janus-obs` | lifecycle tracing, abort attribution, the unified metrics registry |
 //! | [`sched`] | `janus-sched` | contention-aware scheduling: backoff, affinity routing, serial-fallback degradation |
+//! | [`fault`] | `janus-fault` | deterministic fault-injection plans for chaos testing |
 //! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
 //!
 //! # Quickstart
@@ -112,6 +113,12 @@ pub mod obs {
 /// degradation (re-export of `janus-sched`).
 pub mod sched {
     pub use janus_sched::*;
+}
+
+/// Deterministic fault-injection plans for chaos testing (re-export of
+/// `janus-fault`).
+pub mod fault {
+    pub use janus_fault::*;
 }
 
 /// The five evaluation benchmarks (re-export of `janus-workloads`).

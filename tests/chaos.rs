@@ -1,0 +1,299 @@
+//! Chaos harness: randomized fault injection against the full runtime.
+//!
+//! For any random task mix, thread count, schedule policy, fault seed
+//! and fault rate, a run under `PanicPolicy::Isolate` must (1) never
+//! hang, (2) keep its lifecycle trace well-formed, and (3) leave the
+//! committed state equal to a *sequential* execution of exactly the
+//! tasks that did not fail — injected panics take tasks out, but never
+//! corrupt what the survivors committed. Unordered cases use add-only
+//! (commutative) tasks so the surviving-subset replay is
+//! order-independent; ordered cases use order-dependent
+//! read-modify-writes and rely on commit order.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use janus::core::{Janus, PanicPolicy, Store, Task, TxView};
+use janus::detect::SequenceDetector;
+use janus::fault::{FaultKind, FaultPlan};
+use janus::obs::Recorder;
+use janus::relational::Value;
+use janus::sched::{Affinity, Backoff, ExactFootprints, Fifo, SchedulePolicy};
+use proptest::prelude::*;
+
+const LOCS: usize = 3;
+
+/// One task spec: the `(location index, delta)` accesses it performs.
+type Spec = Vec<(usize, i64)>;
+/// Task constructor: builds the workload from specs + allocated locations.
+type MkTasks = fn(&[Spec], &[janus::log::LocId]) -> Vec<Task>;
+
+/// Injected panics are expected output here; keep their backtraces out
+/// of the test log. Genuine panics (including proptest assertion
+/// failures) still print through the default hook.
+fn quiet_injected_panics() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("janus-fault:"));
+            if !injected {
+                hook(info);
+            }
+        }));
+    });
+}
+
+fn alloc_locs(store: &mut Store) -> Vec<janus::log::LocId> {
+    (0..LOCS)
+        .map(|i| store.alloc(format!("l{i}").as_str(), Value::int(0)))
+        .collect()
+}
+
+/// Per-task exact footprints for the affinity policy.
+fn footprints(specs: &[Spec], locs: &[janus::log::LocId]) -> Vec<Vec<u64>> {
+    specs
+        .iter()
+        .map(|accesses| {
+            let mut fp: Vec<u64> = accesses.iter().map(|&(i, _)| locs[i].0).collect();
+            fp.sort_unstable();
+            fp.dedup();
+            fp
+        })
+        .collect()
+}
+
+fn policy(index: usize, fps: Vec<Vec<u64>>) -> Arc<dyn SchedulePolicy> {
+    match index {
+        0 => Arc::new(Fifo),
+        1 => Arc::new(Backoff::new(5)),
+        _ => Arc::new(Affinity::new(Arc::new(ExactFootprints(fps)))),
+    }
+}
+
+/// Add-only tasks: commutative, so any committed subset reaches the
+/// same state in any order.
+fn add_tasks(specs: &[Spec], locs: &[janus::log::LocId]) -> Vec<Task> {
+    specs
+        .iter()
+        .map(|accesses| {
+            let accesses = accesses.clone();
+            let locs = locs.to_vec();
+            Task::new(move |tx: &mut TxView| {
+                for &(i, d) in &accesses {
+                    tx.add(locs[i], d);
+                }
+            })
+        })
+        .collect()
+}
+
+/// Order-dependent tasks: each access reads the location and writes a
+/// value that depends on what it read.
+fn rmw_tasks(specs: &[Spec], locs: &[janus::log::LocId]) -> Vec<Task> {
+    specs
+        .iter()
+        .map(|accesses| {
+            let accesses = accesses.clone();
+            let locs = locs.to_vec();
+            Task::new(move |tx: &mut TxView| {
+                for &(i, d) in &accesses {
+                    let v = tx.read_int(locs[i]);
+                    tx.write(locs[i], v * 2 + d);
+                }
+            })
+        })
+        .collect()
+}
+
+/// Runs the chaos configuration and checks trace shape, task
+/// accounting, and surviving-subset equivalence against a sequential
+/// replay of the non-failed tasks.
+#[allow(clippy::too_many_arguments)]
+fn check_chaos(
+    specs: &[Spec],
+    ordered: bool,
+    threads: usize,
+    policy_idx: usize,
+    fault_seed: u64,
+    rate_pct: u32,
+    budget: u32,
+    mk: MkTasks,
+) {
+    quiet_injected_panics();
+    let mut store = Store::new();
+    let locs = alloc_locs(&mut store);
+    let recorder = Recorder::new();
+    let mut janus = Janus::new(Arc::new(SequenceDetector::new()))
+        .threads(threads)
+        .ordered(ordered)
+        .schedule(policy(policy_idx, footprints(specs, &locs)))
+        .panic_policy(PanicPolicy::Isolate)
+        .faults(Arc::new(FaultPlan::seeded(
+            fault_seed,
+            f64::from(rate_pct) / 100.0,
+        )))
+        .recorder(Arc::clone(&recorder));
+    if !ordered {
+        janus = janus.max_attempts(budget);
+    }
+    let outcome = janus.run(store, mk(specs, &locs));
+
+    let trace = recorder.finish();
+    prop_assert!(
+        trace.check_well_formed().is_ok(),
+        "ill-formed trace: {:?}",
+        trace.check_well_formed()
+    );
+    // Every task either committed or was isolated — none lost, none run
+    // twice.
+    prop_assert_eq!(
+        outcome.stats.commits + outcome.stats.tasks_failed,
+        specs.len() as u64
+    );
+    prop_assert_eq!(outcome.failed.len() as u64, outcome.stats.tasks_failed);
+
+    // The committed state equals a sequential execution of exactly the
+    // non-failed tasks (in task order, which ordered mode preserves and
+    // the commutative unordered workload cannot observe).
+    let failed: HashSet<u64> = outcome.failed.iter().map(|f| f.task).collect();
+    let surviving: Vec<Spec> = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !failed.contains(&((i + 1) as u64)))
+        .map(|(_, s)| s.clone())
+        .collect();
+    let mut seq_store = Store::new();
+    let seq_locs = alloc_locs(&mut seq_store);
+    let (seq_store, _) = Janus::run_sequential(seq_store, &mk(&surviving, &seq_locs));
+    for (par, seq) in locs.iter().zip(&seq_locs) {
+        prop_assert_eq!(
+            outcome.store.value(*par),
+            seq_store.value(*seq),
+            "committed state diverges from the surviving subset"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unordered chaos: commutative tasks, all three schedule policies,
+    /// retry budgets armed.
+    #[test]
+    fn unordered_chaos_equals_sequential_surviving_subset(
+        specs in proptest::collection::vec(
+            proptest::collection::vec((0usize..LOCS, -3i64..4), 0..4),
+            0..8,
+        ),
+        threads in 1usize..=4,
+        policy_idx in 0usize..3,
+        fault_seed in 0u64..256,
+        rate_pct in 0u32..=40,
+        budget in 1u32..=3,
+    ) {
+        check_chaos(
+            &specs, false, threads, policy_idx, fault_seed, rate_pct, budget, add_tasks,
+        );
+    }
+
+    /// Ordered chaos: order-dependent tasks; failed turns must be
+    /// tombstoned so successors commit, and the survivors' commit order
+    /// must match task order.
+    #[test]
+    fn ordered_chaos_equals_sequential_surviving_subset(
+        specs in proptest::collection::vec(
+            proptest::collection::vec((0usize..LOCS, -3i64..4), 0..4),
+            0..8,
+        ),
+        threads in 1usize..=4,
+        policy_idx in 0usize..3,
+        fault_seed in 0u64..256,
+        rate_pct in 0u32..=40,
+    ) {
+        check_chaos(
+            &specs, true, threads, policy_idx, fault_seed, rate_pct, 1, rmw_tasks,
+        );
+    }
+}
+
+/// Same seed, same plan: the injected-fault decision is a pure function
+/// of `(seed, kind, subject, attempt)`, so two plans built alike agree
+/// on every site.
+#[test]
+fn same_seed_same_injected_site_sequence() {
+    let a = FaultPlan::seeded(42, 0.2);
+    let b = FaultPlan::seeded(42, 0.2);
+    for kind in [
+        FaultKind::TaskPanic,
+        FaultKind::ForcedConflict,
+        FaultKind::CommitStall,
+        FaultKind::CacheMiss,
+    ] {
+        for subject in 0..128u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    a.decide(kind, subject, attempt),
+                    b.decide(kind, subject, attempt),
+                    "plans with the same seed disagree at ({kind:?}, {subject}, {attempt})"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end determinism on a conflict-free workload: with disjoint
+/// locations, each task's attempt sequence depends only on the plan, so
+/// two runs with the same seed fail the same tasks after the same
+/// number of attempts and retry identically.
+#[test]
+fn same_seed_fails_the_same_tasks() {
+    quiet_injected_panics();
+    let run = || {
+        let mut store = Store::new();
+        let locs: Vec<_> = (0..16)
+            .map(|i| store.alloc(format!("x{i}").as_str(), Value::int(0)))
+            .collect();
+        let tasks: Vec<Task> = locs
+            .iter()
+            .map(|&l| Task::new(move |tx: &mut TxView| tx.add(l, 1)))
+            .collect();
+        Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(4)
+            .panic_policy(PanicPolicy::Isolate)
+            .faults(Arc::new(FaultPlan::seeded(7, 0.3)))
+            .run(store, tasks)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.failed, b.failed, "same seed, same failures");
+    assert_eq!(a.stats.commits, b.stats.commits);
+    assert_eq!(a.stats.retries, b.stats.retries);
+    assert_eq!(a.stats.tasks_failed, b.stats.tasks_failed);
+}
+
+/// Rate 1.0 is the saturation point: every task's first attempt panics.
+/// Both modes must isolate every task and terminate — in ordered mode
+/// that means six consecutive tombstoned turns.
+#[test]
+fn saturated_fault_rate_still_terminates() {
+    quiet_injected_panics();
+    for ordered in [false, true] {
+        let mut store = Store::new();
+        let work = store.alloc("work", Value::int(0));
+        let tasks: Vec<Task> = (0..6)
+            .map(|_| Task::new(move |tx: &mut TxView| tx.add(work, 1)))
+            .collect();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(3)
+            .ordered(ordered)
+            .panic_policy(PanicPolicy::Isolate)
+            .faults(Arc::new(FaultPlan::seeded(1, 1.0)))
+            .run(store, tasks);
+        assert_eq!(outcome.stats.commits, 0, "ordered={ordered}");
+        assert_eq!(outcome.stats.tasks_failed, 6, "ordered={ordered}");
+        assert_eq!(outcome.store.value(work), Some(&Value::int(0)));
+    }
+}

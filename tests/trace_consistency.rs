@@ -12,9 +12,10 @@
 
 use std::sync::Arc;
 
-use janus::core::{Janus, Store, Task, TxView};
+use janus::core::{Janus, PanicPolicy, Store, Task, TxView};
 use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
-use janus::obs::{EventKind, Recorder, Verdict};
+use janus::fault::FaultPlan;
+use janus::obs::{AbortReason, EventKind, Recorder, Verdict};
 use janus::relational::Value;
 use proptest::prelude::*;
 
@@ -155,5 +156,58 @@ proptest! {
         threads in 1usize..=4,
     ) {
         check_trace(&specs, threads, Arc::new(WriteSetDetector::new()));
+    }
+
+    /// Under fault injection with isolation the abort ledger splits by
+    /// reason, and each side must stay exact: conflict aborts equal
+    /// `retries`, failed aborts equal `tasks_failed` (and the listed
+    /// failures), and every begin is still closed by exactly one
+    /// terminal event.
+    #[test]
+    fn faulted_trace_matches_counters(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(access_strategy(), 0..5),
+            0..8,
+        ),
+        threads in 1usize..=4,
+        fault_seed in 0u64..1024,
+        rate_pct in 0u32..=30,
+    ) {
+        let mut store = Store::new();
+        let locs = [
+            store.alloc("a", Value::int(0)),
+            store.alloc("b", Value::int(0)),
+            store.alloc("c", Value::int(0)),
+        ];
+        let recorder = Recorder::new();
+        let outcome = Janus::new(Arc::new(SequenceDetector::new()))
+            .threads(threads)
+            .panic_policy(PanicPolicy::Isolate)
+            .faults(Arc::new(FaultPlan::seeded(
+                fault_seed,
+                f64::from(rate_pct) / 100.0,
+            )))
+            .recorder(Arc::clone(&recorder))
+            .run(store, mk_tasks(&specs, locs));
+        let trace = recorder.finish();
+        prop_assert!(
+            trace.check_well_formed().is_ok(),
+            "ill-formed trace: {:?}",
+            trace.check_well_formed()
+        );
+        prop_assert_eq!(trace.count("commit"), outcome.stats.commits);
+        prop_assert_eq!(
+            trace.aborts_with_reason(AbortReason::Conflict),
+            outcome.stats.retries
+        );
+        prop_assert_eq!(
+            trace.aborts_with_reason(AbortReason::Failed),
+            outcome.stats.tasks_failed
+        );
+        prop_assert_eq!(outcome.failed.len() as u64, outcome.stats.tasks_failed);
+        prop_assert_eq!(
+            trace.count("begin"),
+            outcome.stats.commits + outcome.stats.retries + outcome.stats.tasks_failed
+        );
     }
 }
