@@ -1,0 +1,101 @@
+//! Microbenchmark: the footprint-fingerprint validation fast path.
+//!
+//! Measures one incremental validation pass (`begin_validation` +
+//! `extend` over a multi-segment [`HistoryWindow`]) with the fingerprint
+//! prefilter on versus off, across two workload poles:
+//!
+//! * **disjoint** — the history segments touch locations the transaction
+//!   never does, so the prefilter dismisses every segment in O(1) and the
+//!   win grows linearly with history length;
+//! * **overlap** — every segment touches the transaction's footprint, so
+//!   the prefilter can skip nothing and its cost must stay in the noise.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_detect::{ConflictDetector, MapState, SequenceDetector, WriteSetDetector};
+use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
+use janus_relational::Value;
+
+/// A balanced add/subtract log over `locs`, one op pair per location.
+fn footprint_log(locs: impl Iterator<Item = u64>, class_stride: u64) -> Vec<Op> {
+    let mut out = Vec::new();
+    for loc in locs {
+        let mut v = Value::int(0);
+        for delta in [1i64, -1] {
+            out.push(
+                Op::execute(
+                    LocId(loc),
+                    ClassId::new(format!("c{}", loc / class_stride)),
+                    OpKind::Scalar(ScalarOp::Add(delta)),
+                    &mut v,
+                )
+                .0,
+            );
+        }
+    }
+    out
+}
+
+/// `overlap == false`: each segment gets four fresh locations far from
+/// the transaction footprint. `overlap == true`: every segment touches
+/// locations 0..4, inside the transaction footprint, so no segment can
+/// be skipped (balanced adds commute, so the sequence detector still
+/// scans the whole window instead of short-circuiting on a conflict).
+fn history(n_segments: usize, overlap: bool) -> Vec<Arc<CommittedLog>> {
+    (0..n_segments as u64)
+        .map(|i| {
+            let locs = if overlap {
+                0..4u64
+            } else {
+                1_000 + i * 4..1_000 + i * 4 + 4
+            };
+            Arc::new(CommittedLog::new(footprint_log(locs, 4)))
+        })
+        .collect()
+}
+
+fn bench_fastpath(c: &mut Criterion) {
+    let entry = MapState::default();
+    let txn = CommittedLog::new(footprint_log(0..8, 4));
+
+    for (workload, overlap) in [("disjoint", false), ("overlap", true)] {
+        let mut group = c.benchmark_group(format!("fastpath_{workload}"));
+        for n_segments in [16usize, 64, 256] {
+            let segments = history(n_segments, overlap);
+            let window = HistoryWindow::new(&segments);
+
+            for (mode, prefilter) in [("prefilter-on", true), ("prefilter-off", false)] {
+                let ws = WriteSetDetector::new().prefilter(prefilter);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("write-set/{mode}"), n_segments),
+                    &n_segments,
+                    |b, _| {
+                        b.iter(|| ws.begin_validation(&entry, &txn).extend(&window));
+                    },
+                );
+
+                let seq = SequenceDetector::new().prefilter(prefilter);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sequence/{mode}"), n_segments),
+                    &n_segments,
+                    |b, _| {
+                        b.iter(|| seq.begin_validation(&entry, &txn).extend(&window));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .plotting_backend(criterion::PlottingBackend::None)
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fastpath
+}
+criterion_main!(benches);

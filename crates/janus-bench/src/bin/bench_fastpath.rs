@@ -1,0 +1,195 @@
+//! Quick fast-path sweep emitting machine-readable `BENCH_fastpath.json`.
+//!
+//! CI runs this on every push and uploads the JSON as an artifact, so the
+//! perf trajectory of the fingerprint prefilter accumulates a baseline
+//! future PRs can diff against. Each config records the detector, the
+//! workload pole (disjoint vs overlapping footprints), whether the
+//! prefilter was enabled, the exact validation work performed (ops
+//! scanned, segments skipped / scanned — deterministic) and the measured
+//! wall-clock per validation pass (environment-dependent, informational).
+//!
+//! Usage: `bench-fastpath [--quick] [OUT.json]` (default `BENCH_fastpath.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use janus_detect::{ConflictDetector, MapState, SequenceDetector, WriteSetDetector};
+use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
+use janus_relational::Value;
+
+fn footprint_log(locs: impl Iterator<Item = u64>) -> Vec<Op> {
+    let mut out = Vec::new();
+    for loc in locs {
+        let mut v = Value::int(0);
+        for delta in [1i64, -1] {
+            out.push(
+                Op::execute(
+                    LocId(loc),
+                    ClassId::new(format!("c{}", loc / 4)),
+                    OpKind::Scalar(ScalarOp::Add(delta)),
+                    &mut v,
+                )
+                .0,
+            );
+        }
+    }
+    out
+}
+
+fn history(n_segments: usize, overlap: bool) -> Vec<Arc<CommittedLog>> {
+    (0..n_segments as u64)
+        .map(|i| {
+            let locs = if overlap {
+                0..4u64
+            } else {
+                1_000 + i * 4..1_000 + i * 4 + 4
+            };
+            Arc::new(CommittedLog::new(footprint_log(locs)))
+        })
+        .collect()
+}
+
+struct Row {
+    detector: &'static str,
+    workload: &'static str,
+    prefilter: bool,
+    segments: usize,
+    ops_scanned: u64,
+    segments_skipped: u64,
+    segments_scanned: u64,
+    nanos_per_pass: f64,
+}
+
+fn measure(
+    detector: &'static str,
+    make: &dyn Fn() -> Box<dyn ConflictDetector>,
+    workload: &'static str,
+    prefilter: bool,
+    n_segments: usize,
+    iters: u32,
+) -> Row {
+    let entry = MapState::default();
+    let txn = CommittedLog::new(footprint_log(0..8));
+    let segments = history(n_segments, workload == "overlap");
+    let window = HistoryWindow::new(&segments);
+    let det = make();
+
+    // One instrumented pass for the deterministic counters.
+    let ops0 = det.stats().ops_scanned();
+    let skip0 = det.stats().segments_skipped();
+    let scan0 = det.stats().segments_scanned();
+    det.begin_validation(&entry, &txn).extend(&window);
+    let ops_scanned = det.stats().ops_scanned() - ops0;
+    let segments_skipped = det.stats().segments_skipped() - skip0;
+    let segments_scanned = det.stats().segments_scanned() - scan0;
+
+    // Warm, then time the validation pass.
+    for _ in 0..iters / 4 {
+        det.begin_validation(&entry, &txn).extend(&window);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        det.begin_validation(&entry, &txn).extend(&window);
+    }
+    let nanos_per_pass = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    Row {
+        detector,
+        workload,
+        prefilter,
+        segments: n_segments,
+        ops_scanned,
+        segments_skipped,
+        segments_scanned,
+        nanos_per_pass,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fastpath.json".to_string());
+
+    let segment_counts: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let iters: u32 = if quick { 200 } else { 1_000 };
+
+    #[allow(clippy::type_complexity)]
+    let detectors: [(&'static str, Box<dyn Fn(bool) -> Box<dyn ConflictDetector>>); 2] = [
+        (
+            "write-set",
+            Box::new(|p| Box::new(WriteSetDetector::new().prefilter(p))),
+        ),
+        (
+            "sequence",
+            Box::new(|p| Box::new(SequenceDetector::new().prefilter(p))),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, make) in &detectors {
+        for workload in ["disjoint", "overlap"] {
+            for &n_segments in segment_counts {
+                for prefilter in [true, false] {
+                    rows.push(measure(
+                        name,
+                        &|| make(prefilter),
+                        workload,
+                        prefilter,
+                        n_segments,
+                        iters,
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fastpath\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"detector\": \"{}\", \"workload\": \"{}\", \"prefilter\": {}, \
+             \"segments\": {}, \"ops_scanned\": {}, \"segments_skipped\": {}, \
+             \"segments_scanned\": {}, \"nanos_per_pass\": {:.1}}}{}\n",
+            r.detector,
+            r.workload,
+            r.prefilter,
+            r.segments,
+            r.ops_scanned,
+            r.segments_skipped,
+            r.segments_scanned,
+            r.nanos_per_pass,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_fastpath.json");
+
+    // Human-readable echo plus a sanity gate: the disjoint workload must
+    // actually exercise the skip path, otherwise the artifact is lying.
+    let mut skipped_disjoint = 0u64;
+    for r in &rows {
+        eprintln!(
+            "{:9} {:8} prefilter={:5} segments={:3}  ops={:5} skipped={:3} scanned={:3}  {:>10.0} ns/pass",
+            r.detector,
+            r.workload,
+            r.prefilter,
+            r.segments,
+            r.ops_scanned,
+            r.segments_skipped,
+            r.segments_scanned,
+            r.nanos_per_pass,
+        );
+        if r.workload == "disjoint" && r.prefilter {
+            skipped_disjoint += r.segments_skipped;
+        }
+    }
+    assert!(
+        skipped_disjoint > 0,
+        "fingerprint prefilter skipped nothing on disjoint footprints"
+    );
+    println!("wrote {out_path} ({} configs)", rows.len());
+}

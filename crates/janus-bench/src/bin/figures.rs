@@ -194,6 +194,10 @@ fn main() {
              {} delta re-validations, {} ops scanned",
             s.commits, s.retries, s.zero_copy_windows, s.delta_revalidations, s.detect_ops_scanned,
         );
+        println!(
+            "fingerprint fast path: {} segments skipped in O(1), {} segments scanned",
+            s.fastpath_segments_skipped, s.fastpath_segments_scanned,
+        );
         println!("(flat-reclone re-copies the whole window at every clock advance; the pipeline scans only deltas)\n");
     }
 

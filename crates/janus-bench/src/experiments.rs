@@ -10,7 +10,7 @@ use janus_detect::{
 use janus_fault::FaultPlan;
 use janus_log::{ClassId, CommittedLog, HistoryWindow, LocId, Op, OpKind, ScalarOp};
 use janus_relational::Value;
-use janus_train::{train, CommutativityCache, TrainConfig};
+use janus_train::{train, CommutativityCache, FrozenCache, TrainConfig};
 use janus_workloads::{all_workloads, training_runs, InputSpec, Workload};
 
 use crate::sim::{sequential_baseline, simulate};
@@ -81,7 +81,7 @@ pub fn speedup_retry_grid(quick: bool) -> Vec<GridPoint> {
         let input = grid_input(w, quick);
         let scenario = w.build(&input);
         let (_, baseline) = sequential_baseline(scenario.store, &scenario.tasks);
-        let cache = Arc::new(trained_cache(w, true));
+        let cache = Arc::new(trained_cache(w, true).freeze());
         for &threads in &THREAD_GRID {
             for (label, detector) in detector_pair(w, &cache) {
                 let scenario = w.build(&input);
@@ -107,10 +107,11 @@ pub fn speedup_retry_grid(quick: bool) -> Vec<GridPoint> {
     out
 }
 
-/// The two detectors of the §7 comparison, sharing one trained cache.
+/// The two detectors of the §7 comparison, sharing one trained cache
+/// (frozen: the measured path is the lock-free production form).
 fn detector_pair(
     workload: &dyn Workload,
-    cache: &Arc<CommutativityCache>,
+    cache: &Arc<FrozenCache>,
 ) -> Vec<(&'static str, Arc<dyn ConflictDetector>)> {
     vec![
         ("write-set", Arc::new(WriteSetDetector::new())),
@@ -162,7 +163,7 @@ pub fn figure11(quick: bool) -> Vec<MissRow> {
         let w = workload.as_ref();
         let mut counts = [(0u64, 0u64); 2];
         for (slot, use_abstraction) in [(0, true), (1, false)] {
-            let cache = trained_cache(w, use_abstraction);
+            let cache = trained_cache(w, use_abstraction).freeze();
             let detector = Arc::new(CachedSequenceDetector::with_relaxations(
                 cache,
                 w.relaxations(),
@@ -401,20 +402,50 @@ pub fn attribution_traces(quick: bool) -> Vec<(String, janus_obs::Trace, RunStat
 /// delta re-validations, zero-copy windows) quantify what the pipeline
 /// actually did during live validation.
 pub fn pipeline_counters(quick: bool) -> RunStats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
     let n_tasks = if quick { 24 } else { 96 };
+    let threads = 4usize;
     let mut store = Store::new();
     let work = store.alloc("work", Value::int(0));
+    // Half the tasks contend on the shared counter; the other half run
+    // on private locations with disjoint footprints — the segments they
+    // commit are exactly what the fingerprint prefilter dismisses in
+    // O(1) during everyone else's validation.
+    let privates: Vec<LocId> = (0..n_tasks)
+        .map(|i| store.alloc(ClassId::new(format!("private{i}")), Value::int(0)))
+        .collect();
+    // A first wave of `threads` transactions holds at a spin barrier
+    // until all of them have begun, so they genuinely overlap and each
+    // validates against its peers' committed segments. Without this, a
+    // machine with fewer cores than workers timeslices each task to
+    // commit within its slice and every validation window is empty —
+    // the counters would measure the scheduler, not the pipeline.
+    let begun = Arc::new(AtomicU64::new(0));
+    let wave = threads.min(n_tasks) as u64;
     let tasks: Vec<Task> = (1..=n_tasks as i64)
         .map(|w| {
+            let mine = privates[(w - 1) as usize];
+            let shared = w % 2 == 0;
+            let begun = Arc::clone(&begun);
             Task::new(move |tx| {
-                tx.add(work, w);
+                if shared {
+                    tx.add(work, w);
+                }
+                tx.add(mine, w);
+                begun.fetch_add(1, Ordering::SeqCst);
+                while begun.load(Ordering::SeqCst) < wave {
+                    std::thread::yield_now();
+                }
                 janus_workloads::local_work(20_000);
-                tx.add(work, -w);
+                if shared {
+                    tx.add(work, -w);
+                }
             })
         })
         .collect();
     let det: Arc<dyn ConflictDetector> = Arc::new(SequenceDetector::new());
-    Janus::new(det).threads(4).run(store, tasks).stats
+    Janus::new(det).threads(threads).run(store, tasks).stats
 }
 
 /// Aggregate headline numbers from a grid (speedups and retry ratios at

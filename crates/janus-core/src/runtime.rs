@@ -182,6 +182,12 @@ pub struct RunStats {
     /// mid-validation, re-detected only the delta window instead of the
     /// full window.
     pub delta_revalidations: u64,
+    /// History segments dismissed by the footprint-fingerprint prefilter
+    /// without decomposition-index inspection (disjoint in O(1)).
+    pub fastpath_segments_skipped: u64,
+    /// History segments whose fingerprints overlapped the transaction's
+    /// and that therefore went through full per-location inspection.
+    pub fastpath_segments_scanned: u64,
     /// History windows served zero-copy (shared pre-decomposed segments;
     /// no operation cloned, no log re-decomposed).
     pub zero_copy_windows: u64,
@@ -225,6 +231,14 @@ impl janus_obs::Snapshot for RunStats {
             ("history_reclaimed".to_string(), self.history_reclaimed),
             ("detect_ops_scanned".to_string(), self.detect_ops_scanned),
             ("delta_revalidations".to_string(), self.delta_revalidations),
+            (
+                "fastpath_segments_skipped".to_string(),
+                self.fastpath_segments_skipped,
+            ),
+            (
+                "fastpath_segments_scanned".to_string(),
+                self.fastpath_segments_scanned,
+            ),
             ("zero_copy_windows".to_string(), self.zero_copy_windows),
             ("faults_injected".to_string(), self.faults_injected),
             ("tasks_failed".to_string(), self.tasks_failed),
@@ -558,6 +572,8 @@ impl Janus {
         let active = ActiveBegins::default();
         let counters = RunCounters::default();
         let ops_scanned_at_start = self.detector.stats().ops_scanned();
+        let segments_skipped_at_start = self.detector.stats().segments_skipped();
+        let segments_scanned_at_start = self.detector.stats().segments_scanned();
         let faults_at_start = self.faults.as_ref().map_or(0, |f| f.stats().injected());
         let poisoned = AtomicBool::new(false);
         let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
@@ -686,6 +702,16 @@ impl Janus {
                     .ops_scanned()
                     .saturating_sub(ops_scanned_at_start),
                 delta_revalidations: counters.delta_revalidations.load(Ordering::Relaxed),
+                fastpath_segments_skipped: self
+                    .detector
+                    .stats()
+                    .segments_skipped()
+                    .saturating_sub(segments_skipped_at_start),
+                fastpath_segments_scanned: self
+                    .detector
+                    .stats()
+                    .segments_scanned()
+                    .saturating_sub(segments_scanned_at_start),
                 zero_copy_windows: counters.zero_copy_windows.load(Ordering::Relaxed),
                 faults_injected: self
                     .faults
@@ -936,6 +962,21 @@ impl Janus {
             // validation extension below and, on success, becomes the
             // history segment other transactions validate against.
             let txn_log = Arc::new(CommittedLog::new(std::mem::take(&mut tx.log)));
+            // REPLAYLOGGEDOPERATIONS, pre-grouped: the per-location index
+            // already lists each location's operations in log order, so
+            // the replay plan is assembled here — outside the commit
+            // lock — and the write-lock body below shrinks to one
+            // clone-apply-writeback pass per touched location.
+            let replay: Vec<(janus_log::LocId, Vec<&janus_log::Op>)> = txn_log
+                .index()
+                .locs
+                .iter()
+                .map(|(loc, dl)| {
+                    let mut ops = Vec::with_capacity(dl.ops.len());
+                    txn_log.resolve(&dl.ops, &mut ops);
+                    (*loc, ops)
+                })
+                .collect();
             let mut session = self.detector.begin_validation_traced(&entry, &txn_log, obs);
             let mut validated_to = begin;
             loop {
@@ -999,8 +1040,12 @@ impl Janus {
                         });
                     }
                     if let Some(c) = ctx.controller {
+                        // The decomposition index holds one class per
+                        // distinct location — clone from there instead of
+                        // once per logged operation.
                         aborted_classes.clear();
-                        aborted_classes.extend(txn_log.ops().iter().map(|op| op.class.clone()));
+                        aborted_classes
+                            .extend(txn_log.index().locs.values().map(|dl| dl.class.clone()));
                         aborted_classes.sort_unstable();
                         aborted_classes.dedup();
                         if let Some(on) = c.record(&aborted_classes, true) {
@@ -1040,24 +1085,20 @@ impl Janus {
                     if ctx.clock.load(Ordering::SeqCst) != now {
                         continue; // history evolved: re-validate the delta
                     }
-                    // REPLAYLOGGEDOPERATIONS: group by location so each
-                    // touched value is cloned out of the persistent store
-                    // once, mutated in place, and written back once.
-                    let mut touched: std::collections::HashMap<
-                        janus_log::LocId,
-                        crate::store::Slot,
-                    > = std::collections::HashMap::new();
-                    for op in txn_log.ops() {
-                        let slot = touched.entry(op.loc).or_insert_with(|| {
-                            g.slots
-                                .get(&op.loc)
-                                .expect("committed op targets an allocated location")
-                                .clone()
-                        });
-                        op.kind.apply(&mut slot.value);
-                    }
-                    for (loc, slot) in touched {
-                        g.slots.insert(loc, slot);
+                    // Replay the pre-grouped plan: each touched value is
+                    // cloned out of the persistent store once, mutated in
+                    // place, and written back once. No allocation and no
+                    // per-op map lookups happen under the write lock.
+                    for (loc, ops) in &replay {
+                        let mut slot = g
+                            .slots
+                            .get(loc)
+                            .expect("committed op targets an allocated location")
+                            .clone();
+                        for op in ops {
+                            op.kind.apply(&mut slot.value);
+                        }
+                        g.slots.insert(*loc, slot);
                     }
                     // The decomposition computed above is shared as-is:
                     // no re-decomposition ever happens for this log.

@@ -43,10 +43,27 @@ impl EntryState for MapState {
     }
 }
 
+/// Number of class-attribution shards. Threads are assigned stripes
+/// round-robin, so on typical worker counts each thread owns its stripe
+/// outright and the hot-path lock is never contended.
+const CLASS_SHARDS: usize = 16;
+
+/// The stripe this thread records class conflicts into. Assigned once
+/// per thread, round-robin — per-thread sharding without a global
+/// registry of threads.
+fn class_shard() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % CLASS_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
 /// Counters describing a detector's activity. All counters are monotone
 /// and thread-safe; they are shared by reference with the runtime's
 /// statistics reporting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DetectorStats {
     /// `DETECTCONFLICTS` invocations (validation sessions opened).
     pub queries: AtomicU64,
@@ -65,10 +82,34 @@ pub struct DetectorStats {
     /// conflict) — the denominator of abort attribution, and the count
     /// recorded `per_cell_check` trace events must match.
     pub cells_checked: AtomicU64,
+    /// History segments admitted past the fingerprint prefilter and
+    /// handed to per-location checking.
+    pub segments_scanned: AtomicU64,
+    /// History segments dismissed in O(1) because their footprint
+    /// fingerprint is disjoint from the transaction's.
+    pub segments_skipped: AtomicU64,
     /// Conflicting cells attributed to the class of their location —
     /// the data behind "which data structure serializes this benchmark"
-    /// discussions (§7.2).
-    by_class: std::sync::Mutex<BTreeMap<ClassId, u64>>,
+    /// discussions (§7.2). Striped per thread: the hot path locks only
+    /// this thread's (practically uncontended) shard; snapshots merge
+    /// all shards.
+    by_class: [std::sync::Mutex<BTreeMap<ClassId, u64>>; CLASS_SHARDS],
+}
+
+impl Default for DetectorStats {
+    fn default() -> Self {
+        DetectorStats {
+            queries: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            ops_scanned: AtomicU64::new(0),
+            cells_checked: AtomicU64::new(0),
+            segments_scanned: AtomicU64::new(0),
+            segments_skipped: AtomicU64::new(0),
+            by_class: std::array::from_fn(|_| std::sync::Mutex::new(BTreeMap::new())),
+        }
+    }
 }
 
 impl DetectorStats {
@@ -97,6 +138,16 @@ impl DetectorStats {
         self.cells_checked.load(Ordering::Relaxed)
     }
 
+    /// Segments admitted past the fingerprint prefilter so far.
+    pub fn segments_scanned(&self) -> u64 {
+        self.segments_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Segments dismissed by the fingerprint prefilter so far.
+    pub fn segments_skipped(&self) -> u64 {
+        self.segments_skipped.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.queries.store(0, Ordering::Relaxed);
@@ -105,28 +156,33 @@ impl DetectorStats {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.ops_scanned.store(0, Ordering::Relaxed);
         self.cells_checked.store(0, Ordering::Relaxed);
-        self.by_class.lock().expect("stats mutex").clear();
+        self.segments_scanned.store(0, Ordering::Relaxed);
+        self.segments_skipped.store(0, Ordering::Relaxed);
+        for shard in &self.by_class {
+            shard.lock().expect("stats mutex").clear();
+        }
     }
 
-    /// Attributes one conflicting cell to a location class.
+    /// Attributes one conflicting cell to a location class. Locks only
+    /// the calling thread's shard.
     pub fn record_class_conflict(&self, class: &ClassId) {
-        *self
-            .by_class
+        *self.by_class[class_shard()]
             .lock()
             .expect("stats mutex")
             .entry(class.clone())
             .or_insert(0) += 1;
     }
 
-    /// Conflicting cells per class, most conflicted first.
+    /// Conflicting cells per class, most conflicted first (all shards
+    /// merged).
     pub fn conflicts_by_class(&self) -> Vec<(ClassId, u64)> {
-        let mut v: Vec<(ClassId, u64)> = self
-            .by_class
-            .lock()
-            .expect("stats mutex")
-            .iter()
-            .map(|(c, n)| (c.clone(), *n))
-            .collect();
+        let mut merged: BTreeMap<ClassId, u64> = BTreeMap::new();
+        for shard in &self.by_class {
+            for (c, n) in shard.lock().expect("stats mutex").iter() {
+                *merged.entry(c.clone()).or_insert(0) += n;
+            }
+        }
+        let mut v: Vec<(ClassId, u64)> = merged.into_iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -146,6 +202,8 @@ impl janus_obs::Snapshot for DetectorStats {
             ("cache_misses".to_string(), cache_misses),
             ("ops_scanned".to_string(), self.ops_scanned()),
             ("cells_checked".to_string(), self.cells_checked()),
+            ("segments_scanned".to_string(), self.segments_scanned()),
+            ("segments_skipped".to_string(), self.segments_skipped()),
         ];
         for (class, n) in self.conflicts_by_class() {
             v.push((format!("by_class.{}", class.label()), n));
@@ -236,6 +294,12 @@ trait CellJudge: Sync {
     /// The detector's counters.
     fn judge_stats(&self) -> &DetectorStats;
 
+    /// Whether sessions may dismiss history segments whose footprint
+    /// fingerprint is disjoint from the transaction's (on by default;
+    /// the equivalence tests and benchmarks turn it off to compare
+    /// against exhaustive scanning).
+    fn prefilter_enabled(&self) -> bool;
+
     /// Whether the cell's subsequences conflict, plus the rule that
     /// decided the verdict (for abort attribution). Class attribution,
     /// counter updates and trace events are handled centrally by the
@@ -261,6 +325,9 @@ struct Session<'a, D: ?Sized> {
     /// concurrently.
     segments: Vec<Arc<CommittedLog>>,
     conflicted: bool,
+    /// Whether to intersect footprint fingerprints before admitting a
+    /// delta segment (cached from the judge at open time).
+    prefilter: bool,
     /// The owning worker's event ring, when lifecycle tracing is on.
     obs: Option<&'a RingHandle>,
 }
@@ -279,6 +346,7 @@ fn open_session<'a, D: CellJudge>(
         txn,
         segments: Vec::new(),
         conflicted: false,
+        prefilter: judge.prefilter_enabled(),
         obs,
     })
 }
@@ -382,18 +450,32 @@ impl<D: CellJudge + ?Sized> ValidationSession for Session<'_, D> {
         if self.conflicted {
             return true;
         }
+        let stats = self.judge.judge_stats();
+        let txn_fp = *self.txn.fingerprint();
         // The dirty set: locations the delta touches *and* the
         // transaction touches. Only their verdicts can change; private
         // locations and unshared keys never meet (§5.3's projection).
         let mut dirty: BTreeSet<LocId> = BTreeSet::new();
         for seg in delta.segments() {
+            // Fingerprint prefilter: a segment whose footprint is
+            // provably disjoint from the transaction's can never
+            // contribute an operation to any cell check (check_loc only
+            // folds segments that index a txn-touched location), so it
+            // is dismissed in O(1) — and not accumulated, keeping later
+            // re-validations over `self.segments` shorter too. False
+            // positives merely fall through to the per-location walk.
+            if self.prefilter && !txn_fp.may_intersect(seg.fingerprint()) {
+                stats.segments_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            stats.segments_scanned.fetch_add(1, Ordering::Relaxed);
             for loc in seg.index().locs.keys() {
                 if self.txn.loc(*loc).is_some() {
                     dirty.insert(*loc);
                 }
             }
+            self.segments.push(Arc::clone(seg));
         }
-        self.segments.extend(delta.segments().iter().cloned());
         for loc in dirty {
             if self.check_loc(loc) {
                 self.conflicted = true;
@@ -463,9 +545,19 @@ fn write_set_cell(txn: &[&Op], committed: &[&Op], relax: Relaxation) -> bool {
 /// sequence-based detector — "the write-set-based algorithm is
 /// implemented as a subset of its sequence-based counterpart, which
 /// cancels out differences due to implementation choices" (§7.1).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WriteSetDetector {
     stats: DetectorStats,
+    prefilter: bool,
+}
+
+impl Default for WriteSetDetector {
+    fn default() -> Self {
+        WriteSetDetector {
+            stats: DetectorStats::new(),
+            prefilter: true,
+        }
+    }
 }
 
 impl WriteSetDetector {
@@ -473,11 +565,22 @@ impl WriteSetDetector {
     pub fn new() -> Self {
         WriteSetDetector::default()
     }
+
+    /// Enables or disables the footprint-fingerprint prefilter (on by
+    /// default).
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
+    }
 }
 
 impl CellJudge for WriteSetDetector {
     fn judge_stats(&self) -> &DetectorStats {
         &self.stats
+    }
+
+    fn prefilter_enabled(&self) -> bool {
+        self.prefilter
     }
 
     fn judge(
@@ -518,10 +621,17 @@ impl ConflictDetector for WriteSetDetector {
 /// Exact, but each query costs a full re-evaluation of both subsequences;
 /// the paper keeps this mode for completeness and uses the cached
 /// detector in production. We benchmark it as ablation D3.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SequenceDetector {
     relax: RelaxationSpec,
     stats: DetectorStats,
+    prefilter: bool,
+}
+
+impl Default for SequenceDetector {
+    fn default() -> Self {
+        SequenceDetector::with_relaxations(RelaxationSpec::default())
+    }
 }
 
 impl SequenceDetector {
@@ -535,13 +645,25 @@ impl SequenceDetector {
         SequenceDetector {
             relax,
             stats: DetectorStats::new(),
+            prefilter: true,
         }
+    }
+
+    /// Enables or disables the footprint-fingerprint prefilter (on by
+    /// default).
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
     }
 }
 
 impl CellJudge for SequenceDetector {
     fn judge_stats(&self) -> &DetectorStats {
         &self.stats
+    }
+
+    fn prefilter_enabled(&self) -> bool {
+        self.prefilter
     }
 
     fn judge(
@@ -625,17 +747,13 @@ pub struct CachedSequenceDetector<O> {
     relax: RelaxationSpec,
     stats: DetectorStats,
     faults: Option<std::sync::Arc<janus_fault::FaultPlan>>,
+    prefilter: bool,
 }
 
 impl<O: SequenceOracle> CachedSequenceDetector<O> {
     /// Creates the detector over a trained oracle.
     pub fn new(oracle: O) -> Self {
-        CachedSequenceDetector {
-            oracle,
-            relax: RelaxationSpec::default(),
-            stats: DetectorStats::new(),
-            faults: None,
-        }
+        CachedSequenceDetector::with_relaxations(oracle, RelaxationSpec::default())
     }
 
     /// Creates the detector with relaxations.
@@ -645,7 +763,15 @@ impl<O: SequenceOracle> CachedSequenceDetector<O> {
             relax,
             stats: DetectorStats::new(),
             faults: None,
+            prefilter: true,
         }
+    }
+
+    /// Enables or disables the footprint-fingerprint prefilter (on by
+    /// default).
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
     }
 
     /// Attaches a fault plan: [`janus_fault::FaultKind::CacheMiss`]
@@ -667,6 +793,10 @@ impl<O: SequenceOracle> CachedSequenceDetector<O> {
 impl<O: SequenceOracle> CellJudge for CachedSequenceDetector<O> {
     fn judge_stats(&self) -> &DetectorStats {
         &self.stats
+    }
+
+    fn prefilter_enabled(&self) -> bool {
+        self.prefilter
     }
 
     fn judge(
@@ -907,6 +1037,55 @@ mod tests {
             scanned,
             "foreign delta must not trigger any scan"
         );
+    }
+
+    #[test]
+    fn prefilter_skips_disjoint_segments_without_changing_verdicts() {
+        let mut s = MapState::default();
+        for loc in 0..20 {
+            s.0.insert(LocId(loc), Value::int(0));
+        }
+        let txn = CommittedLog::new(mk_ops(0, "mine", vec![read(), add(1)], &mut s));
+        let segs: Vec<Arc<CommittedLog>> = (1..16)
+            .map(|loc| {
+                Arc::new(CommittedLog::new(mk_ops(
+                    loc,
+                    &format!("c{loc}"),
+                    vec![write(1)],
+                    &mut s,
+                )))
+            })
+            .collect();
+        let filtered = SequenceDetector::new();
+        let unfiltered = SequenceDetector::new().prefilter(false);
+        for det in [&filtered, &unfiltered] {
+            let mut session = det.begin_validation(&s, &txn);
+            assert!(!session.extend(&HistoryWindow::new(&segs)));
+        }
+        // The filtered detector dismissed every foreign segment in O(1);
+        // the unfiltered one admitted them all and found the disjointness
+        // the slow way. Identical verdicts either way.
+        assert_eq!(
+            filtered.stats().segments_scanned() + filtered.stats().segments_skipped(),
+            segs.len() as u64
+        );
+        assert!(
+            filtered.stats().segments_skipped() > 0,
+            "foreign singleton segments must be fingerprint-skipped"
+        );
+        assert_eq!(unfiltered.stats().segments_skipped(), 0);
+        assert_eq!(unfiltered.stats().segments_scanned(), segs.len() as u64);
+        assert_eq!(filtered.stats().ops_scanned(), 0, "no cell overlapped");
+        // A genuinely overlapping segment still gets through and
+        // conflicts.
+        let hot = [Arc::new(CommittedLog::new(mk_ops(
+            0,
+            "mine",
+            vec![write(9)],
+            &mut s,
+        )))];
+        let mut session = filtered.begin_validation(&s, &txn);
+        assert!(session.extend(&HistoryWindow::new(&hot)));
     }
 
     /// A trivial oracle: answers "no conflict" for classes named

@@ -16,6 +16,98 @@ use janus_relational::{CellSet, Key};
 
 use crate::{ClassId, LocId, Op};
 
+/// A 128-bit Bloom-style summary of a log's footprint: one filter over
+/// the touched [`LocId`]s and one over their [`ClassId`]s, each setting
+/// two bits per member. Two logs whose location filters are disjoint —
+/// or whose class filters are disjoint — provably share no location, so
+/// a validation session can dismiss the pair in O(1) without walking
+/// either per-location index.
+///
+/// The filter is one-sided: bit collisions can make disjoint footprints
+/// *look* overlapping (the segment is then scanned for nothing), but an
+/// overlap can never look disjoint, because inserted members always set
+/// their bits. With two bits per member the false-intersection
+/// probability for footprints of `n` and `m` members is at most
+/// `min(1, 2n/128) · min(1, 2m/128)` per filter, and both filters must
+/// collide for a segment to be scanned needlessly. A saturated filter
+/// (every bit set, ~64+ distinct members) intersects everything and so
+/// degrades to scan-everything — never to skip-everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fingerprint {
+    locs: u128,
+    classes: u128,
+}
+
+/// The 64-bit finalizer of splitmix64: a cheap, well-mixed hash for
+/// word-sized keys.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string; stable across runs (class labels must hash
+/// identically in the trainer and the production runtime).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Two bit positions (k = 2) derived from one 64-bit hash.
+fn bloom_bits(h: u64) -> u128 {
+    (1u128 << (h & 127)) | (1u128 << ((h >> 32) & 127))
+}
+
+impl Fingerprint {
+    /// The empty fingerprint (no footprint: disjoint from everything).
+    pub fn empty() -> Self {
+        Fingerprint::default()
+    }
+
+    /// The saturated fingerprint: every bit set, so it *may intersect*
+    /// any non-empty fingerprint. The degenerate worst case of a huge
+    /// footprint — a prefilter holding one behaves exactly like no
+    /// prefilter at all.
+    pub fn saturated() -> Self {
+        Fingerprint {
+            locs: u128::MAX,
+            classes: u128::MAX,
+        }
+    }
+
+    /// Inserts one location (and its class) into the footprint.
+    pub fn insert(&mut self, loc: LocId, class: &ClassId) {
+        self.locs |= bloom_bits(splitmix64(loc.0));
+        self.classes |= bloom_bits(fnv1a(class.label().as_bytes()));
+    }
+
+    /// Whether the two footprints may share a location. `false` is
+    /// definitive (the footprints are disjoint — both on locations and,
+    /// independently, on classes); `true` may be a false positive.
+    pub fn may_intersect(&self, other: &Fingerprint) -> bool {
+        // Each location carries exactly one class, so a shared location
+        // implies both a loc-filter hit and a class-filter hit; either
+        // filter alone may therefore veto the pair.
+        (self.locs & other.locs) != 0 && (self.classes & other.classes) != 0
+    }
+
+    /// Whether no member was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.locs == 0 && self.classes == 0
+    }
+
+    /// Whether both filters have every bit set (see
+    /// [`Fingerprint::saturated`]).
+    pub fn is_saturated(&self) -> bool {
+        self.locs == u128::MAX && self.classes == u128::MAX
+    }
+}
+
 /// The decomposition of one committed log restricted to one location,
 /// stored as indices into the owning [`CommittedLog`]'s operation vector
 /// (indices, not references, so the structure is self-contained and
@@ -76,13 +168,29 @@ impl DecomposedLog {
 pub struct CommittedLog {
     ops: Vec<Op>,
     index: DecomposedLog,
+    fingerprint: Fingerprint,
 }
 
 impl CommittedLog {
-    /// Wraps a log, decomposing it once.
+    /// Wraps a log, decomposing it once. The footprint fingerprint is
+    /// derived from the finished index — one insert per distinct
+    /// location, not per operation.
     pub fn new(ops: Vec<Op>) -> Self {
         let index = DecomposedLog::build(&ops);
-        CommittedLog { ops, index }
+        let mut fingerprint = Fingerprint::empty();
+        for (loc, dl) in &index.locs {
+            fingerprint.insert(*loc, &dl.class);
+        }
+        CommittedLog {
+            ops,
+            index,
+            fingerprint,
+        }
+    }
+
+    /// The log's footprint fingerprint, computed once at construction.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
     }
 
     /// The operations, in log order.
@@ -254,5 +362,56 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.len(), 0);
         assert!(log.index().locs.is_empty());
+        assert!(log.fingerprint().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_reflects_footprint_overlap() {
+        let mut a = Value::int(0);
+        let mut b = Value::int(0);
+        let on_one = CommittedLog::new(vec![scalar_op(1, ScalarOp::Add(1), &mut a)]);
+        let on_two = CommittedLog::new(vec![scalar_op(2, ScalarOp::Add(1), &mut b)]);
+        let on_both = CommittedLog::new(vec![
+            scalar_op(1, ScalarOp::Add(1), &mut a),
+            scalar_op(2, ScalarOp::Add(1), &mut b),
+        ]);
+        // A shared location always intersects (no false negatives).
+        assert!(on_one.fingerprint().may_intersect(on_both.fingerprint()));
+        assert!(on_two.fingerprint().may_intersect(on_both.fingerprint()));
+        assert!(on_one.fingerprint().may_intersect(on_one.fingerprint()));
+        // These two particular singletons happen to be bit-disjoint.
+        assert!(!on_one.fingerprint().may_intersect(on_two.fingerprint()));
+    }
+
+    #[test]
+    fn fingerprint_insert_is_monotone_and_sound() {
+        // Whatever else is inserted around it, a shared member keeps the
+        // pair intersecting — the Bloom filter never un-sets a bit.
+        let mut fp_a = Fingerprint::empty();
+        let mut fp_b = Fingerprint::empty();
+        let shared = ClassId::new("shared");
+        fp_a.insert(LocId(77), &shared);
+        fp_b.insert(LocId(77), &shared);
+        for i in 0..300u64 {
+            fp_a.insert(LocId(i * 2 + 1000), &ClassId::new(format!("a{i}")));
+            fp_b.insert(LocId(i * 2 + 5001), &ClassId::new(format!("b{i}")));
+            assert!(fp_a.may_intersect(&fp_b), "insert #{i} broke soundness");
+        }
+    }
+
+    #[test]
+    fn saturated_fingerprint_intersects_everything() {
+        let sat = Fingerprint::saturated();
+        assert!(sat.is_saturated());
+        let mut v = Value::int(0);
+        let log = CommittedLog::new(vec![scalar_op(9, ScalarOp::Add(1), &mut v)]);
+        // Saturation = scan-everything: any non-empty footprint passes.
+        assert!(sat.may_intersect(log.fingerprint()));
+        assert!(log.fingerprint().may_intersect(&sat));
+        assert!(sat.may_intersect(&sat));
+        // ... except the empty footprint, which cannot conflict with
+        // anything and is always skippable.
+        assert!(!sat.may_intersect(&Fingerprint::empty()));
+        assert!(!Fingerprint::empty().may_intersect(&sat));
     }
 }

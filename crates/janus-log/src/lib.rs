@@ -34,7 +34,7 @@ mod decompose;
 mod loc;
 mod op;
 
-pub use committed::{CommittedLog, DecomposedLoc, DecomposedLog, HistoryWindow};
+pub use committed::{CommittedLog, DecomposedLoc, DecomposedLog, Fingerprint, HistoryWindow};
 pub use decompose::{decompose, CellKey, LocHistory};
 pub use loc::{ClassId, LocId};
 pub use op::{replay, Op, OpKind, OpResult, ScalarOp};

@@ -251,6 +251,11 @@ pub struct Nfa {
     /// `epsilon[q]` = ε-successors of state `q`.
     epsilon: Vec<Vec<usize>>,
     accept: usize,
+    /// Precomputed ε-closures as bitmasks when the NFA has ≤ 128 states
+    /// (every pattern the trainer mines in practice): simulation then
+    /// runs on plain word operations with zero per-match allocation.
+    /// Larger NFAs fall back to the `Vec<bool>` state sets.
+    closure_masks: Option<Vec<u128>>,
 }
 
 impl Nfa {
@@ -293,10 +298,63 @@ impl Nfa {
             consuming: Vec::new(),
             epsilon: Vec::new(),
             accept: 0,
+            closure_masks: None,
         };
         let entry = nfa.new_state();
         nfa.accept = nfa.compile_seq(&pattern.0, entry);
+        nfa.closure_masks = nfa.compute_closure_masks();
         nfa
+    }
+
+    /// `masks[q]` = the ε-closure of `{q}` as a bitmask, by fixpoint
+    /// iteration (compile-time cost only). `None` when the NFA is too
+    /// large for 128-bit state sets.
+    fn compute_closure_masks(&self) -> Option<Vec<u128>> {
+        let n = self.consuming.len();
+        if n > 128 {
+            return None;
+        }
+        let mut masks: Vec<u128> = (0..n).map(|q| 1u128 << q).collect();
+        loop {
+            let mut changed = false;
+            for q in 0..n {
+                let mut m = masks[q];
+                for &t in &self.epsilon[q] {
+                    m |= masks[t];
+                }
+                if m != masks[q] {
+                    masks[q] = m;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(masks);
+            }
+        }
+    }
+
+    /// Bitmask simulation: the state set is a `u128`, ε-closure is a
+    /// table lookup, and nothing is allocated.
+    fn matches_compact(&self, masks: &[u128], s: &[AbstractOp]) -> bool {
+        let mut current: u128 = masks[0];
+        for &op in s {
+            let mut next: u128 = 0;
+            let mut live = current;
+            while live != 0 {
+                let q = live.trailing_zeros() as usize;
+                live &= live - 1;
+                if let Some((t_op, t)) = self.consuming[q] {
+                    if t_op == op {
+                        next |= masks[t];
+                    }
+                }
+            }
+            if next == 0 {
+                return false;
+            }
+            current = next;
+        }
+        current & (1u128 << self.accept) != 0
     }
 
     fn closure(&self, set: &mut [bool]) {
@@ -313,6 +371,9 @@ impl Nfa {
 
     /// Whether `s` is in the pattern's language.
     pub fn matches(&self, s: &[AbstractOp]) -> bool {
+        if let Some(masks) = &self.closure_masks {
+            return self.matches_compact(masks, s);
+        }
         let n = self.consuming.len();
         let mut current = vec![false; n];
         current[0] = true;
@@ -491,6 +552,23 @@ mod tests {
         assert!(!matches_pattern(&p, &[Add, Write]));
         assert!(!matches_pattern(&p, &[Add, Add]));
         assert!(!matches_pattern(&p, &[]));
+    }
+
+    #[test]
+    fn compact_and_fallback_simulations_agree() {
+        // Small pattern: the ≤128-state bitmask path.
+        let small = Pattern(vec![Element::Plus(vec![Element::Atom(AbstractOp::Add)])]);
+        let nfa = Nfa::compile(&small);
+        assert!(nfa.matches(&[AbstractOp::Add, AbstractOp::Add]));
+        assert!(!nfa.matches(&[AbstractOp::Read]));
+        assert!(!nfa.matches(&[]));
+        // A >128-state pattern exercises the Vec<bool> fallback on the
+        // same language questions.
+        let big = Pattern(vec![Element::Atom(AbstractOp::Add); 200]);
+        let big_nfa = Nfa::compile(&big);
+        assert!(big_nfa.matches(&[AbstractOp::Add; 200]));
+        assert!(!big_nfa.matches(&[AbstractOp::Add; 199]));
+        assert!(!big_nfa.matches(&[AbstractOp::Add; 201]));
     }
 
     #[test]

@@ -42,14 +42,14 @@ pub struct CacheKey {
 }
 
 #[derive(Debug, Clone)]
-struct Entry {
-    pat_a: Pattern,
-    pat_b: Pattern,
+pub(crate) struct Entry {
+    pub(crate) pat_a: Pattern,
+    pub(crate) pat_b: Pattern,
     /// Precompiled matchers: queries run the NFA directly, so per-query
     /// matching is linear with no compilation cost.
-    nfa_a: Nfa,
-    nfa_b: Nfa,
-    condition: Condition,
+    pub(crate) nfa_a: Nfa,
+    pub(crate) nfa_b: Nfa,
+    pub(crate) condition: Condition,
 }
 
 /// Statistics of cache usage. Following §7.1, *unique* queries are
@@ -238,6 +238,11 @@ impl CommutativityCache {
         })
     }
 
+    /// Decomposes the cache for [`crate::FrozenCache`] construction.
+    pub(crate) fn into_parts(self) -> (BTreeMap<CacheKey, Vec<Entry>>, bool) {
+        (self.buckets, self.use_abstraction)
+    }
+
     fn find(&self, key: &CacheKey, qa: &[AbstractOp], qb: &[AbstractOp]) -> Option<Condition> {
         let entries = self.buckets.get(key)?;
         entries
@@ -264,7 +269,12 @@ impl<H: std::hash::Hasher> std::fmt::Write for HashWriter<H> {
 
 /// The 64-bit signature of one abstract query: class, shape, and the two
 /// rendered operation streams in symmetric (order-independent) order.
-fn signature(class: &ClassId, shape: CellShape, qa: &[AbstractOp], qb: &[AbstractOp]) -> u64 {
+pub(crate) fn signature(
+    class: &ClassId,
+    shape: CellShape,
+    qa: &[AbstractOp],
+    qb: &[AbstractOp],
+) -> u64 {
     use std::collections::hash_map::DefaultHasher;
     use std::fmt::Write;
     use std::hash::Hasher;

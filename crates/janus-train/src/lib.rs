@@ -33,6 +33,7 @@ mod cache;
 mod condition;
 mod depgraph;
 mod effect;
+mod frozen;
 mod mine;
 mod online;
 mod persistfmt;
@@ -45,6 +46,7 @@ pub use cache::{CacheKey, CacheStats, CellShape, CommutativityCache, TrainReport
 pub use condition::{evaluate_condition, Condition};
 pub use depgraph::{DependenceGraph, OpNode};
 pub use effect::{compose, summarize, CellContent, Determined, Summary};
+pub use frozen::{FrozenCache, FrozenCacheStats, INLINE_OPS};
 pub use mine::{mine_pairs, train, CandidatePair, TrainConfig, TrainingRun};
 pub use online::OnlineLearningCache;
 pub use persistfmt::{parse_pattern, ParseCacheError};

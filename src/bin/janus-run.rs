@@ -50,7 +50,7 @@ use janus::fault::FaultPlan;
 use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snapshot};
 use janus::sat::global_solver_stats;
 use janus::sched::{Affinity, Backoff, DegradeConfig, SchedulePolicy, TrainedFootprints};
-use janus::train::{train, CommutativityCache, OnlineLearningCache, TrainConfig};
+use janus::train::{train, CommutativityCache, FrozenCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
 fn usage() -> ExitCode {
@@ -261,7 +261,7 @@ fn cmd_run(args: &Args) -> ExitCode {
 
     let detector_name = args.value("detector").unwrap_or("sequence");
     let relax = w.relaxations();
-    let mut cache_for_metrics: Option<Arc<CommutativityCache>> = None;
+    let mut cache_for_metrics: Option<Arc<FrozenCache>> = None;
     let detector: Arc<dyn ConflictDetector> = match detector_name {
         "write-set" => Arc::new(WriteSetDetector::new()),
         "sequence" => Arc::new(SequenceDetector::with_relaxations(relax)),
@@ -277,8 +277,11 @@ fn cmd_run(args: &Args) -> ExitCode {
             let path = cache_path(args, name);
             match load_cache(&path) {
                 Ok(cache) => {
-                    eprintln!("loaded {} cache entries from {path}", cache.len());
-                    let cache = Arc::new(cache);
+                    // Freeze at the load/production boundary: queries
+                    // from the worker threads run against the immutable
+                    // hash-indexed form, lock-free.
+                    let cache = Arc::new(cache.freeze());
+                    eprintln!("loaded {} cache entries from {path} (frozen)", cache.len());
                     cache_for_metrics = Some(Arc::clone(&cache));
                     let mut d = CachedSequenceDetector::with_relaxations(cache, relax);
                     if let Some(plan) = &fault_plan {
@@ -463,6 +466,10 @@ fn cmd_run(args: &Args) -> ExitCode {
         detector.stats().cells_checked(),
         outcome.stats.zero_copy_windows,
         outcome.stats.delta_revalidations,
+    );
+    println!(
+        "fast path: {} segments skipped by fingerprint  {} segments scanned",
+        outcome.stats.fastpath_segments_skipped, outcome.stats.fastpath_segments_scanned,
     );
     if schedule_name != "fifo" || outcome.sched.degrade_windows > 0 {
         println!(
