@@ -188,7 +188,7 @@ fn main() {
                 &rows
             )
         );
-        let s = pipeline_counters(quick);
+        let (s, shards) = pipeline_counters(quick);
         println!(
             "live run @ 4 threads: {} commits, {} retries, {} windows served zero-copy, \
              {} delta re-validations, {} ops scanned",
@@ -197,6 +197,27 @@ fn main() {
         println!(
             "fingerprint fast path: {} segments skipped in O(1), {} segments scanned",
             s.fastpath_segments_skipped, s.fastpath_segments_scanned,
+        );
+        let busy: Vec<String> = shards
+            .0
+            .iter()
+            .filter(|sh| sh.commits > 0 || sh.pruned > 0)
+            .map(|sh| {
+                format!(
+                    "s{}: {} commits, {} pruned, lock-wait p99<={}ns",
+                    sh.shard,
+                    sh.commits,
+                    sh.pruned,
+                    sh.lock_wait_ns.percentile(99.0)
+                )
+            })
+            .collect();
+        println!(
+            "sharded store: {} of {} shards active ({}); merged lock-wait {}",
+            busy.len(),
+            shards.0.len(),
+            busy.join("; "),
+            shards.lock_wait_ns().render(),
         );
         println!("(flat-reclone re-copies the whole window at every clock advance; the pipeline scans only deltas)\n");
     }

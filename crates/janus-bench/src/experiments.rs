@@ -401,7 +401,7 @@ pub fn attribution_traces(quick: bool) -> Vec<(String, janus_obs::Trace, RunStat
 /// returns its [`RunStats`], whose detection-cost counters (ops scanned,
 /// delta re-validations, zero-copy windows) quantify what the pipeline
 /// actually did during live validation.
-pub fn pipeline_counters(quick: bool) -> RunStats {
+pub fn pipeline_counters(quick: bool) -> (RunStats, janus_core::ShardReport) {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     let n_tasks = if quick { 24 } else { 96 };
@@ -445,7 +445,8 @@ pub fn pipeline_counters(quick: bool) -> RunStats {
         })
         .collect();
     let det: Arc<dyn ConflictDetector> = Arc::new(SequenceDetector::new());
-    Janus::new(det).threads(threads).run(store, tasks).stats
+    let outcome = Janus::new(det).threads(threads).run(store, tasks);
+    (outcome.stats, outcome.shard_stats)
 }
 
 /// Aggregate headline numbers from a grid (speedups and retry ratios at

@@ -56,9 +56,11 @@
 #![warn(missing_docs)]
 
 mod runtime;
+mod shard;
 mod store;
 mod txview;
 
 pub use runtime::{Janus, Outcome, PanicPolicy, RunStats, Task, TaskFailure};
+pub use shard::{ShardReport, ShardStatsSnapshot};
 pub use store::{SnapshotState, Store};
 pub use txview::TxView;

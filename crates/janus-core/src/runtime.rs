@@ -7,14 +7,17 @@ use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
 use janus_fault::{FaultKind, FaultPlan};
-use janus_log::{ClassId, CommittedLog, HistoryWindow};
+use janus_log::{ClassId, CommittedLog, HistoryWindow, SHARD_SPACE};
 use janus_obs::{AbortReason, EventKind, Recorder, RingHandle};
 use janus_sched::{
     backoff, DegradeConfig, DegradeController, Fifo, Parker, SchedStats, SchedulePolicy, TaskSource,
 };
 use janus_train::{train, CommutativityCache, TrainConfig, TrainReport, TrainingRun};
-use parking_lot::RwLock;
 
+use crate::shard::{
+    merge_slots, partition_slots, ActiveBegins, Oracle, SeqEntry, Shard, ShardReport,
+    DEFAULT_SHARDS,
+};
 use crate::store::{SnapshotState, Store};
 use crate::txview::TxView;
 
@@ -113,7 +116,10 @@ struct LiveGuard<'a>(&'a AtomicU64);
 
 impl Drop for LiveGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        // AcqRel: the release half publishes everything the exiting
+        // worker did (its final phase word, counter updates) to the
+        // watchdog's Acquire load of the live count.
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -121,8 +127,13 @@ impl Drop for LiveGuard<'_> {
 /// each attempt see the same view without Figure 7's parameter list
 /// growing past readability.
 struct RunCtx<'a> {
-    clock: &'a AtomicU64,
-    shared: &'a RwLock<Shared>,
+    /// The commit-sequence oracle: one fetch-add ticket counter.
+    oracle: &'a Oracle,
+    /// The ordered-mode commit turn (1-based task id whose commit is
+    /// next). Untouched in unordered runs.
+    turn: &'a AtomicU64,
+    /// The class-hash-routed store shards, each behind its own lock.
+    shards: &'a [Shard],
     active: &'a ActiveBegins,
     counters: &'a RunCounters,
     source: &'a dyn TaskSource,
@@ -266,80 +277,9 @@ pub struct Outcome {
     pub failed: Vec<TaskFailure>,
     /// Diagnostic dumps emitted by the commit-clock watchdog, in order.
     pub watchdog_dumps: Vec<String>,
-}
-
-/// The shared mutable state guarded by the protocol's read-write lock.
-struct Shared {
-    slots: janus_persist::PersistentMap<janus_log::LocId, crate::store::Slot>,
-    /// `history[v - 1 - pruned]` = the log committed by the transaction
-    /// that moved the clock from `v` to `v + 1`, pre-decomposed once at
-    /// commit time. The prefix below every active transaction's begin
-    /// time is garbage — no future conflict query can reach it — and is
-    /// reclaimed when `gc_history` is on (the log-reclamation improvement
-    /// §7.2 leaves to engineering).
-    history: Vec<Arc<CommittedLog>>,
-    /// Number of history entries reclaimed so far.
-    pruned: u64,
-}
-
-impl Shared {
-    /// Translates a clock value into an index into the retained history,
-    /// panicking clearly if the value has fallen below the GC horizon
-    /// (which would previously underflow silently in release builds).
-    fn index_of(&self, clock: u64) -> usize {
-        let i = clock
-            .checked_sub(1)
-            .and_then(|c| c.checked_sub(self.pruned))
-            .unwrap_or_else(|| {
-                panic!(
-                    "clock {clock} is below the GC horizon (pruned {})",
-                    self.pruned
-                )
-            });
-        usize::try_from(i).expect("history index fits in usize")
-    }
-
-    /// The committed segments in the half-open clock window `[begin, now)`
-    /// — `Arc` clones of pre-decomposed logs; no operation is copied.
-    fn window(&self, begin: u64, now: u64) -> Vec<Arc<CommittedLog>> {
-        debug_assert!(
-            begin >= 1 && begin <= now,
-            "malformed window [{begin}, {now})"
-        );
-        let lo = self.index_of(begin);
-        let hi = self.index_of(now);
-        assert!(
-            lo <= hi && hi <= self.history.len(),
-            "window [{begin}, {now}) escapes the retained history \
-             (pruned {}, retained {})",
-            self.pruned,
-            self.history.len()
-        );
-        self.history[lo..hi].to_vec()
-    }
-
-    /// Drops every history entry below the GC horizon (the oldest active
-    /// transaction's begin time). Returns the number of entries dropped.
-    fn reclaim(&mut self, horizon: u64) -> u64 {
-        let floor = horizon
-            .checked_sub(1)
-            .expect("GC horizon below the initial clock value");
-        let drop_count = usize::try_from(floor.saturating_sub(self.pruned))
-            .expect("reclaim count fits in usize");
-        debug_assert!(
-            drop_count <= self.history.len(),
-            "GC horizon {horizon} ahead of the retained history \
-             (pruned {}, retained {})",
-            self.pruned,
-            self.history.len()
-        );
-        let drop_count = drop_count.min(self.history.len());
-        if drop_count > 0 {
-            self.history.drain(..drop_count);
-            self.pruned += drop_count as u64;
-        }
-        drop_count as u64
-    }
+    /// Per-shard commit-path statistics: commits, write-lock wait,
+    /// history retention and reclamation, one entry per store shard.
+    pub shard_stats: ShardReport,
 }
 
 /// Monotone counters shared by the worker threads of one run.
@@ -355,38 +295,10 @@ struct RunCounters {
     tasks_failed: AtomicU64,
     escalations: AtomicU64,
     watchdog_fires: AtomicU64,
-    /// Commit turns released with an empty history entry for failed
-    /// ordered tasks. The clock mirrors `commits + tombstones`.
+    /// Commit turns of failed ordered tasks, released by consuming one
+    /// oracle ticket without publishing any history entry. The oracle
+    /// mirrors `commits + tombstones`.
     tombstones: AtomicU64,
-}
-
-/// The multiset of in-flight transactions' begin times. Registration
-/// happens while the protocol's *read* lock is held, so the GC (which
-/// runs under the *write* lock) always sees every transaction whose
-/// window could reach the history it is about to drop.
-#[derive(Default)]
-struct ActiveBegins(parking_lot::Mutex<std::collections::BTreeMap<u64, usize>>);
-
-impl ActiveBegins {
-    fn register(&self, begin: u64) {
-        *self.0.lock().entry(begin).or_insert(0) += 1;
-    }
-
-    fn unregister(&self, begin: u64) {
-        let mut map = self.0.lock();
-        match map.get_mut(&begin) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                map.remove(&begin);
-            }
-            None => unreachable!("unregistering an unknown begin"),
-        }
-    }
-
-    /// The GC horizon: pruning strictly below it is safe.
-    fn horizon(&self, clock_now: u64) -> u64 {
-        self.0.lock().keys().next().copied().unwrap_or(clock_now)
-    }
 }
 
 /// The JANUS runtime: a conflict detector plus execution policy. Mirrors
@@ -395,6 +307,7 @@ impl ActiveBegins {
 pub struct Janus {
     detector: Arc<dyn ConflictDetector>,
     threads: usize,
+    shards: usize,
     ordered: bool,
     eager_privatization: bool,
     gc_history: bool,
@@ -416,6 +329,7 @@ impl Janus {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            shards: DEFAULT_SHARDS,
             ordered: false,
             eager_privatization: false,
             gc_history: true,
@@ -532,6 +446,20 @@ impl Janus {
         self
     }
 
+    /// Sets the number of store shards (default 8, max
+    /// [`janus_log::SHARD_SPACE`]). Locations are routed to shards by
+    /// their class hash; commits lock only the shards they touch, so
+    /// disjoint-class workloads commit without contending. One shard
+    /// reproduces the seed's single-lock store.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(
+            shards >= 1 && shards as u64 <= SHARD_SPACE,
+            "shard count must be in 1..={SHARD_SPACE}"
+        );
+        self.shards = shards;
+        self
+    }
+
     /// Commits tasks in submission order (`runInOrder`): task `i` may
     /// commit only after tasks `1..i` have committed.
     pub fn ordered(mut self, ordered: bool) -> Self {
@@ -563,12 +491,9 @@ impl Janus {
     /// panics under `Poison`.
     pub fn run(&self, store: Store, tasks: Vec<Task>) -> Outcome {
         let started = Instant::now();
-        let clock = AtomicU64::new(1);
-        let shared = RwLock::new(Shared {
-            slots: store.slots.clone(),
-            history: Vec::new(),
-            pruned: 0,
-        });
+        let shards = partition_slots(&store.slots, self.shards);
+        let oracle = Oracle::new();
+        let turn = AtomicU64::new(1);
         let active = ActiveBegins::default();
         let counters = RunCounters::default();
         let ops_scanned_at_start = self.detector.stats().ops_scanned();
@@ -598,8 +523,9 @@ impl Janus {
             self.degrade.clone().map(DegradeController::new)
         };
         let ctx = RunCtx {
-            clock: &clock,
-            shared: &shared,
+            oracle: &oracle,
+            turn: &turn,
+            shards: &shards,
             active: &active,
             counters: &counters,
             source: source.as_ref(),
@@ -625,7 +551,9 @@ impl Janus {
                         .as_ref()
                         .map(|r| r.register(format!("worker-{w}")));
                     loop {
-                        if ctx.poisoned.load(Ordering::SeqCst) {
+                        // Acquire pairs with the Release poison store so
+                        // a bailing worker sees why it is bailing.
+                        if ctx.poisoned.load(Ordering::Acquire) {
                             break;
                         }
                         ctx.phases.set(w, phase::IDLE, 0);
@@ -637,7 +565,9 @@ impl Janus {
                             self.run_task(&tasks[i], (i + 1) as u64, w, ctx, obs.as_ref())
                         }));
                         if let Err(payload) = result {
-                            ctx.poisoned.store(true, Ordering::SeqCst);
+                            // Release publishes the failure to every
+                            // worker's and waiter's Acquire load.
+                            ctx.poisoned.store(true, Ordering::Release);
                             // Close the panicking attempt's lifecycle so
                             // abort attribution does not lose it; the
                             // distinct reason keeps it out of contention
@@ -665,25 +595,25 @@ impl Janus {
         if let Some(payload) = panic_payload.into_inner() {
             std::panic::resume_unwind(payload);
         }
-        let shared = shared.into_inner();
-        // Commits come from the dedicated counter; the commit clock
-        // mirrors commits + tombstones (released turns of failed ordered
-        // tasks) but is an implementation detail of windowing, not a
-        // statistic. Poisoned runs stop the clock mid-flight, so the
-        // identity only holds for runs that drained normally.
+        // Commits come from the dedicated counter; the oracle mirrors
+        // commits + tombstones (released turns of failed ordered tasks)
+        // but is an implementation detail of sequencing, not a
+        // statistic. Poisoned runs stop drawing tickets mid-flight, so
+        // the identity only holds for runs that drained normally.
         let commits = counters.commits.load(Ordering::Relaxed);
-        if !poisoned.load(Ordering::SeqCst) {
+        if !poisoned.load(Ordering::Acquire) {
             debug_assert_eq!(
                 commits + counters.tombstones.load(Ordering::Relaxed),
-                clock.load(Ordering::SeqCst) - 1
+                oracle.now() - 1
             );
         }
         let mut sched = source.stats();
         if let Some(c) = &controller {
             c.merge_into(&mut sched);
         }
+        let (slots, shard_stats) = merge_slots(shards);
         let mut final_store = store;
-        final_store.slots = shared.slots;
+        final_store.slots = slots;
         let mut failed = failed.into_inner();
         failed.sort_by_key(|f| f.task);
         Outcome {
@@ -695,7 +625,7 @@ impl Janus {
                 commits,
                 retries: counters.retries.load(Ordering::Relaxed),
                 wall: started.elapsed(),
-                history_reclaimed: shared.pruned,
+                history_reclaimed: shard_stats.total_reclaimed(),
                 detect_ops_scanned: self
                     .detector
                     .stats()
@@ -721,6 +651,7 @@ impl Janus {
                 retry_budget_escalations: counters.escalations.load(Ordering::Relaxed),
                 watchdog_fires: counters.watchdog_fires.load(Ordering::Relaxed),
             },
+            shard_stats,
         }
     }
 
@@ -745,7 +676,9 @@ impl Janus {
         let mut last = self.progress_vector(ctx);
         let mut stalled = Duration::ZERO;
         let mut fired = false;
-        while live.load(Ordering::SeqCst) > 0 {
+        // Acquire pairs with the LiveGuard's AcqRel decrement: once the
+        // count hits zero, every worker's final state is visible here.
+        while live.load(Ordering::Acquire) > 0 {
             std::thread::sleep(tick);
             let cur = self.progress_vector(ctx);
             if cur != last {
@@ -772,14 +705,18 @@ impl Janus {
                     )) as Box<dyn std::any::Any + Send>
                 });
             }
-            ctx.poisoned.store(true, Ordering::SeqCst);
+            // Release publishes the poison to waiters' Acquire loads.
+            ctx.poisoned.store(true, Ordering::Release);
         }
     }
 
     /// Everything whose movement counts as progress to the watchdog.
-    fn progress_vector(&self, ctx: &RunCtx<'_>) -> [u64; 6] {
+    fn progress_vector(&self, ctx: &RunCtx<'_>) -> [u64; 7] {
         [
-            ctx.clock.load(Ordering::SeqCst),
+            ctx.oracle.now(),
+            // Relaxed: diagnostic sampling only — any observed movement
+            // counts as progress, staleness just delays one tick.
+            ctx.turn.load(Ordering::Relaxed),
             ctx.counters.commits.load(Ordering::Relaxed),
             ctx.counters.retries.load(Ordering::Relaxed),
             ctx.counters.tasks_failed.load(Ordering::Relaxed),
@@ -797,8 +734,8 @@ impl Janus {
         let _ = writeln!(
             out,
             "janus watchdog: no commit progress for {stalled:?} \
-             (clock {}, {} commits, {} retries, {} failed)",
-            ctx.clock.load(Ordering::SeqCst),
+             (commit seq {}, {} commits, {} retries, {} failed)",
+            ctx.oracle.now(),
             ctx.counters.commits.load(Ordering::Relaxed),
             ctx.counters.retries.load(Ordering::Relaxed),
             ctx.counters.tasks_failed.load(Ordering::Relaxed),
@@ -875,16 +812,29 @@ impl Janus {
                 Some(c) if attempt > 0 && !escalated => c.serial_guard(&aborted_classes),
                 _ => None,
             };
-            // CREATETRANSACTION (read lock): snapshot the clock and the
-            // shared state consistently, and register the begin time for
-            // history GC while the read lock excludes concurrent pruning.
-            let (begin, snapshot) = {
-                let g = ctx.shared.read();
-                let begin = ctx.clock.load(Ordering::SeqCst);
-                if self.gc_history {
-                    ctx.active.register(begin);
-                }
-                let snapshot = if self.eager_privatization {
+            // CREATETRANSACTION: draw the begin timestamp from the
+            // oracle, pin the GC watermark, then snapshot shard by
+            // shard. The order is load → register → snapshot: once the
+            // begin is registered the watermark can no longer pass it,
+            // so every entry a window position of this transaction
+            // could reference survives pruning (the GC-safety note in
+            // `shard.rs`). The per-shard snapshots are taken one read
+            // lock at a time — a torn cut across shards is sound
+            // because validation is per-location and each location
+            // lives in exactly one shard (its snapshot value and its
+            // window entries come from one consistent cut).
+            let n = ctx.shards.len();
+            let begin = ctx.oracle.now();
+            if self.gc_history {
+                ctx.active.register(begin);
+            }
+            let mut begin_pos: Vec<u64> = Vec::with_capacity(n);
+            let mut maps: Vec<janus_persist::PersistentMap<janus_log::LocId, crate::store::Slot>> =
+                Vec::with_capacity(n);
+            for shard in ctx.shards {
+                let g = shard.data.read();
+                begin_pos.push(g.head());
+                maps.push(if self.eager_privatization {
                     // Deep copy: every slot (and its value) is cloned.
                     g.slots
                         .iter()
@@ -892,9 +842,10 @@ impl Janus {
                         .collect()
                 } else {
                     g.slots.clone() // O(1) persistent snapshot
-                };
-                (begin, snapshot)
-            };
+                });
+            }
+            let maps: Arc<[janus_persist::PersistentMap<janus_log::LocId, crate::store::Slot>]> =
+                maps.into();
             if let Some(o) = obs {
                 o.set_clock(begin);
                 o.record(EventKind::Begin { task: tid });
@@ -904,7 +855,7 @@ impl Janus {
             // task and — under `Isolate` — absorbed without taking the
             // run down. An injected panic takes the identical path a
             // genuine one would.
-            let mut tx = TxView::new(snapshot.clone());
+            let mut tx = TxView::new_sharded(Arc::clone(&maps));
             ctx.phases.set(worker, phase::RUNNING, tid);
             let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(plan) = &self.faults {
@@ -935,8 +886,11 @@ impl Janus {
                 // `yield_now` loop: long waits (deep pipelines, slow
                 // predecessors) cede the core.
                 let mut parker = Parker::new();
-                while ctx.clock.load(Ordering::SeqCst) != tid {
-                    if ctx.poisoned.load(Ordering::SeqCst) {
+                // Acquire pairs with the committer's Release turn
+                // advance: holding the turn implies every predecessor's
+                // shard publishes are visible to this validation.
+                while ctx.turn.load(Ordering::Acquire) != tid {
+                    if ctx.poisoned.load(Ordering::Acquire) {
                         // A predecessor panicked and will never commit;
                         // spinning would hang forever. The distinct
                         // abort reason keeps these bailouts out of
@@ -956,52 +910,94 @@ impl Janus {
                 }
             }
 
-            let entry = SnapshotState(snapshot);
+            let entry = SnapshotState::sharded(maps);
             // Decompose the transaction's own log exactly once per
             // attempt; the same pre-decomposed log drives every
             // validation extension below and, on success, becomes the
             // history segment other transactions validate against.
             let txn_log = Arc::new(CommittedLog::new(std::mem::take(&mut tx.log)));
-            // REPLAYLOGGEDOPERATIONS, pre-grouped: the per-location index
-            // already lists each location's operations in log order, so
-            // the replay plan is assembled here — outside the commit
-            // lock — and the write-lock body below shrinks to one
-            // clone-apply-writeback pass per touched location.
-            let replay: Vec<(janus_log::LocId, Vec<&janus_log::Op>)> = txn_log
-                .index()
-                .locs
+            // The shards this transaction touched, ascending — the
+            // canonical lock order of the commit path below.
+            let mut touched: Vec<usize> = txn_log.index().locs.keys().map(|l| l.shard(n)).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            // What each touched shard's history will receive: the whole
+            // pre-decomposed log when one shard holds the entire
+            // footprint (the common case under class affinity), else a
+            // per-shard split — publishing the full log to several
+            // shards would make multi-shard validators see each
+            // operation once per shard.
+            let publish: Vec<Arc<CommittedLog>> = if touched.len() <= 1 {
+                touched.iter().map(|_| Arc::clone(&txn_log)).collect()
+            } else {
+                touched
+                    .iter()
+                    .map(|&s| {
+                        let ops: Vec<janus_log::Op> = txn_log
+                            .ops()
+                            .iter()
+                            .filter(|op| op.loc.shard(n) == s)
+                            .cloned()
+                            .collect();
+                        Arc::new(CommittedLog::new(ops))
+                    })
+                    .collect()
+            };
+            // REPLAYLOGGEDOPERATIONS, pre-grouped per shard: each
+            // publish log's per-location index already lists that
+            // shard's operations in log order, so the replay plan is
+            // assembled here — outside the commit locks — and the
+            // write-lock body below shrinks to one clone-apply-writeback
+            // pass per touched location.
+            let replay: Vec<Vec<(janus_log::LocId, Vec<&janus_log::Op>)>> = publish
                 .iter()
-                .map(|(loc, dl)| {
-                    let mut ops = Vec::with_capacity(dl.ops.len());
-                    txn_log.resolve(&dl.ops, &mut ops);
-                    (*loc, ops)
+                .map(|log| {
+                    log.index()
+                        .locs
+                        .iter()
+                        .map(|(loc, dl)| {
+                            let mut ops = Vec::with_capacity(dl.ops.len());
+                            log.resolve(&dl.ops, &mut ops);
+                            (*loc, ops)
+                        })
+                        .collect()
                 })
                 .collect();
             let mut session = self.detector.begin_validation_traced(&entry, &txn_log, obs);
-            let mut validated_to = begin;
+            // Per touched shard: the absolute history position this
+            // attempt has validated up to (positional, not
+            // ticket-indexed — pruned prefixes and skipped turns leave
+            // no holes).
+            let mut validated: Vec<u64> = touched.iter().map(|&s| begin_pos[s]).collect();
+            let mut served_nonempty = false;
             loop {
                 ctx.phases.set(worker, phase::VALIDATING, tid);
-                let now = ctx.clock.load(Ordering::SeqCst);
                 if let Some(o) = obs {
-                    o.set_clock(now);
+                    o.set_clock(ctx.oracle.now());
                 }
-                // GETCOMMITTEDHISTORY(validated_to, now) — the read lock
-                // only clones `Arc`s to the committed segments; detection
-                // runs with no lock held and no operation copied. On the
-                // first pass `validated_to == begin`; after a lost commit
-                // race only the delta `[validated_to, now)` is fetched
-                // and re-validated.
-                let delta: Vec<Arc<CommittedLog>> = if now > validated_to {
-                    let g = ctx.shared.read();
-                    g.window(validated_to, now)
-                } else {
-                    Vec::new()
-                };
+                // GETCOMMITTEDHISTORY, per touched shard — each read
+                // lock only clones `Arc`s to that shard's new committed
+                // segments; detection runs with no lock held and no
+                // operation copied. On the first pass the window opens
+                // at the begin positions; after a lost commit race only
+                // each shard's delta is fetched and re-validated.
+                // Cross-shard concatenation order is irrelevant: the
+                // detector checks per-location subsequences and every
+                // location lives in exactly one shard.
+                let mut delta: Vec<Arc<CommittedLog>> = Vec::new();
+                for (k, &s) in touched.iter().enumerate() {
+                    let g = ctx.shards[s].data.read();
+                    let head = g.head();
+                    if head > validated[k] {
+                        g.collect_from(validated[k], &mut delta);
+                        validated[k] = head;
+                    }
+                }
                 if !delta.is_empty() {
                     ctx.counters
                         .zero_copy_windows
                         .fetch_add(1, Ordering::Relaxed);
-                    if validated_to > begin {
+                    if served_nonempty {
                         ctx.counters
                             .delta_revalidations
                             .fetch_add(1, Ordering::Relaxed);
@@ -1015,6 +1011,7 @@ impl Janus {
                             window_segments: delta.len() as u64,
                         });
                     }
+                    served_nonempty = true;
                 }
                 let mut conflict = session.extend(&HistoryWindow::new(&delta));
                 // A forced conflict flips a clean verdict so the full
@@ -1027,7 +1024,6 @@ impl Janus {
                         }
                     }
                 }
-                validated_to = now;
                 if conflict {
                     ctx.counters.retries.fetch_add(1, Ordering::Relaxed);
                     if self.gc_history {
@@ -1078,40 +1074,74 @@ impl Janus {
                         std::thread::sleep(Duration::from_micros(plan.stall_micros(tid, attempt)));
                     }
                 }
-                // COMMIT (write lock).
+                // COMMIT: write-lock exactly the touched shards, in
+                // ascending shard order (the global lock-ordering
+                // invariant that makes per-shard commits deadlock-free).
                 {
                     ctx.phases.set(worker, phase::COMMITTING, tid);
-                    let mut g = ctx.shared.write();
-                    if ctx.clock.load(Ordering::SeqCst) != now {
-                        continue; // history evolved: re-validate the delta
+                    let mut guards = Vec::with_capacity(touched.len());
+                    for &s in &touched {
+                        let t0 = Instant::now();
+                        guards.push(ctx.shards[s].data.write());
+                        ctx.shards[s].stats.lock_wait(t0.elapsed());
                     }
-                    // Replay the pre-grouped plan: each touched value is
-                    // cloned out of the persistent store once, mutated in
-                    // place, and written back once. No allocation and no
-                    // per-op map lookups happen under the write lock.
-                    for (loc, ops) in &replay {
-                        let mut slot = g
-                            .slots
-                            .get(loc)
-                            .expect("committed op targets an allocated location")
-                            .clone();
-                        for op in ops {
-                            op.kind.apply(&mut slot.value);
+                    // Per-shard head check, replacing the old global
+                    // `clock == now` test: if any touched shard's
+                    // history moved past what this attempt validated,
+                    // re-validate just the delta.
+                    if guards.iter().zip(&validated).any(|(g, &v)| g.head() != v) {
+                        continue; // a shard evolved: re-validate the delta
+                    }
+                    // Draw the commit ticket while all touched shard
+                    // locks are held: two committers sharing a shard
+                    // are fully ordered by that shard's lock, so every
+                    // shard's history stays seq-monotone and pruning
+                    // below the watermark drops exactly a prefix.
+                    let seq = ctx.oracle.ticket();
+                    for (k, g) in guards.iter_mut().enumerate() {
+                        // Replay the pre-grouped plan: each touched
+                        // value is cloned out of the persistent store
+                        // once, mutated in place, and written back once.
+                        // No per-op map lookups happen under the locks.
+                        for (loc, ops) in &replay[k] {
+                            let mut slot = g
+                                .slots
+                                .get(loc)
+                                .expect("committed op targets an allocated location")
+                                .clone();
+                            for op in ops {
+                                op.kind.apply(&mut slot.value);
+                            }
+                            g.slots.insert(*loc, slot);
                         }
-                        g.slots.insert(*loc, slot);
+                        // The decomposition computed above is shared
+                        // as-is: no re-decomposition for this log.
+                        g.history.push_back(SeqEntry {
+                            seq,
+                            log: Arc::clone(&publish[k]),
+                        });
+                        ctx.shards[touched[k]].stats.commit();
                     }
-                    // The decomposition computed above is shared as-is:
-                    // no re-decomposition ever happens for this log.
-                    g.history.push(Arc::clone(&txn_log));
-                    let now_clock = ctx.clock.fetch_add(1, Ordering::SeqCst) + 1;
                     ctx.counters.commits.fetch_add(1, Ordering::Relaxed);
                     if let Some(o) = obs {
-                        o.set_clock(now_clock);
+                        o.set_clock(seq + 1);
                         o.record(EventKind::Commit { task: tid });
                     }
                     if self.gc_history {
                         ctx.active.unregister(begin);
-                        let reclaimed = g.reclaim(ctx.active.horizon(now_clock));
+                        // Epoch reclamation: prune the held shards
+                        // below the minimum active begin ticket (capped
+                        // by the oracle when no transaction is in
+                        // flight). The watermark read is lock-free.
+                        let floor = ctx.active.watermark().min(ctx.oracle.now());
+                        let mut reclaimed = 0;
+                        for (k, g) in guards.iter_mut().enumerate() {
+                            let dropped = g.prune(floor);
+                            if dropped > 0 {
+                                ctx.shards[touched[k]].stats.reclaimed(dropped);
+                            }
+                            reclaimed += dropped;
+                        }
                         if reclaimed > 0 {
                             if let Some(o) = obs {
                                 o.record(EventKind::GcReclaim { reclaimed });
@@ -1119,8 +1149,15 @@ impl Janus {
                         }
                     }
                 }
-                // Scheduler bookkeeping happens after the write lock is
-                // released: none of it is on the commit critical path.
+                if self.ordered {
+                    // Release pairs with successors' Acquire turn loads:
+                    // taking the turn implies seeing this commit's shard
+                    // publishes.
+                    ctx.turn.store(tid + 1, Ordering::Release);
+                }
+                // Scheduler bookkeeping happens after the shard locks
+                // are released: none of it is on the commit critical
+                // path.
                 ctx.source.on_commit(worker, (tid - 1) as usize);
                 if let Some(c) = ctx.controller {
                     if let Some(on) = c.record(&[], false) {
@@ -1166,46 +1203,33 @@ impl Janus {
             attempts: attempt + 1,
         });
         if self.ordered {
-            self.release_turn_with_tombstone(tid, worker, ctx, obs);
+            self.release_turn_with_tombstone(tid, worker, ctx);
         }
     }
 
     /// In ordered runs a failed task still owns a commit turn: every
-    /// successor waits for `clock == tid + 1`. Waiting for this task's
-    /// own turn and then advancing the clock past it releases them. The
-    /// advance must be mirrored by a history entry — [`Shared::window`]
-    /// indexes history by clock value — so the released turn pushes an
-    /// empty committed log (a tombstone): successors validate against it
-    /// and find nothing to conflict with.
-    fn release_turn_with_tombstone(
-        &self,
-        tid: u64,
-        worker: usize,
-        ctx: &RunCtx<'_>,
-        obs: Option<&RingHandle>,
-    ) {
+    /// successor waits for `turn == tid + 1`. Waiting for this task's
+    /// own turn and then advancing past it releases them. The released
+    /// turn consumes one oracle ticket — keeping the
+    /// `commits + tombstones = seq - 1` identity — but publishes no
+    /// history entry: shard windows are positional, so a skipped turn
+    /// leaves no hole for successors to validate against (the old
+    /// clock-indexed history needed an empty tombstone log here).
+    fn release_turn_with_tombstone(&self, tid: u64, worker: usize, ctx: &RunCtx<'_>) {
         ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
         let mut parker = Parker::new();
-        while ctx.clock.load(Ordering::SeqCst) != tid {
-            if ctx.poisoned.load(Ordering::SeqCst) {
+        // Acquire/Release on the turn as in the commit path.
+        while ctx.turn.load(Ordering::Acquire) != tid {
+            if ctx.poisoned.load(Ordering::Acquire) {
                 // The run is already failing wholesale; successors bail
-                // on the poison flag, not the clock.
+                // on the poison flag, not the turn.
                 return;
             }
             parker.pause();
         }
-        let mut g = ctx.shared.write();
-        g.history.push(Arc::new(CommittedLog::new(Vec::new())));
-        let now_clock = ctx.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let _ = ctx.oracle.ticket();
         ctx.counters.tombstones.fetch_add(1, Ordering::Relaxed);
-        if self.gc_history {
-            let reclaimed = g.reclaim(ctx.active.horizon(now_clock));
-            if reclaimed > 0 {
-                if let Some(o) = obs {
-                    o.record(EventKind::GcReclaim { reclaimed });
-                }
-            }
-        }
+        ctx.turn.store(tid + 1, Ordering::Release);
     }
 
     /// Executes the tasks sequentially (single-threaded,

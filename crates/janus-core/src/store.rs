@@ -1,7 +1,9 @@
 //! The shared store: location allocation and versioned state.
 
+use std::sync::Arc;
+
 use janus_detect::{EntryState, MapState};
-use janus_log::{ClassId, LocId};
+use janus_log::{ClassId, LocId, SHARD_BITS};
 use janus_persist::PersistentMap;
 use janus_relational::Value;
 
@@ -32,13 +34,19 @@ impl Store {
     /// Allocates a fresh shared location of the given class with an
     /// initial value. The class is the generalization key under which
     /// training knowledge about this location is filed.
+    ///
+    /// The id folds the class's shard hint into its low
+    /// [`SHARD_BITS`] bits, so the sharded runtime routes the location
+    /// to its class's shard from the id alone; the high bits are the
+    /// dense allocation counter.
     pub fn alloc(&mut self, class: impl Into<ClassId>, initial: Value) -> LocId {
-        let loc = LocId(self.next);
+        let class = class.into();
+        let loc = LocId((self.next << SHARD_BITS) | class.shard_hint());
         self.next += 1;
         self.slots.insert(
             loc,
             Slot {
-                class: class.into(),
+                class,
                 value: initial,
             },
         );
@@ -78,7 +86,7 @@ impl Store {
     /// The current state as an [`janus_detect::EntryState`] snapshot
     /// (O(1)).
     pub fn snapshot_state(&self) -> SnapshotState {
-        SnapshotState(self.slots.clone())
+        SnapshotState(SnapshotSlots::Single(self.slots.clone()))
     }
 
     /// Replays a committed operation log onto the store
@@ -115,12 +123,36 @@ impl Store {
     }
 }
 
+/// The slots a transaction snapshot is routed over: either one map (the
+/// sequential executor, manual transactions, the simulator) or the
+/// sharded runtime's per-shard maps, routed by [`LocId::shard`]. Cloning
+/// is O(1) either way — one persistent-map root clone or one `Arc` bump.
+#[derive(Debug, Clone)]
+pub(crate) enum SnapshotSlots {
+    Single(PersistentMap<LocId, Slot>),
+    Sharded(Arc<[PersistentMap<LocId, Slot>]>),
+}
+
+impl SnapshotSlots {
+    pub(crate) fn get(&self, loc: &LocId) -> Option<&Slot> {
+        match self {
+            SnapshotSlots::Single(m) => m.get(loc),
+            SnapshotSlots::Sharded(maps) => maps[loc.shard(maps.len())].get(loc),
+        }
+    }
+}
+
 /// An O(1) snapshot of a store, usable as the entry state for conflict
 /// detection (`t.SharedSnapshot` of Figure 7).
 #[derive(Debug, Clone)]
-pub struct SnapshotState(pub(crate) PersistentMap<LocId, Slot>);
+pub struct SnapshotState(pub(crate) SnapshotSlots);
 
 impl SnapshotState {
+    /// A snapshot over the sharded store's per-shard maps.
+    pub(crate) fn sharded(maps: Arc<[PersistentMap<LocId, Slot>]>) -> Self {
+        SnapshotState(SnapshotSlots::Sharded(maps))
+    }
+
     /// The snapshot's value for a location.
     pub fn value(&self, loc: LocId) -> Option<&Value> {
         self.0.get(&loc).map(|s| &s.value)
@@ -149,10 +181,27 @@ mod tests {
     }
 
     #[test]
+    fn alloc_encodes_the_class_shard_hint() {
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(1));
+        let a2 = s.alloc("x", Value::int(2));
+        let b = s.alloc("y", Value::int(3));
+        assert_eq!(a.shard_hint(), ClassId::new("x").shard_hint());
+        assert_eq!(b.shard_hint(), ClassId::new("y").shard_hint());
+        // Same class, distinct allocations: same hint, distinct ids.
+        assert_eq!(a.shard_hint(), a2.shard_hint());
+        assert_ne!(a, a2);
+        // For any shard count, class mates share a shard.
+        for n in [1, 2, 8, 64] {
+            assert_eq!(a.shard(n), a2.shard(n));
+        }
+    }
+
+    #[test]
     fn snapshot_is_isolated() {
         let mut s = Store::new();
         let a = s.alloc("x", Value::int(1));
-        let snap = SnapshotState(s.slots.clone());
+        let snap = SnapshotState(SnapshotSlots::Single(s.slots.clone()));
         // Mutate through a fresh slot insert.
         s.slots.insert(
             a,

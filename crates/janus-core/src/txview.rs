@@ -1,10 +1,12 @@
 //! The transaction-local view of the shared state.
 
+use std::sync::Arc;
+
 use janus_log::{Op, OpKind, OpResult, ScalarOp};
 use janus_persist::PersistentMap;
 use janus_relational::{RelOp, Scalar, Value};
 
-use crate::store::Slot;
+use crate::store::{Slot, SnapshotSlots};
 use janus_log::LocId;
 
 /// A transaction's window onto the shared state: the privatized copy it
@@ -16,8 +18,9 @@ use janus_log::LocId;
 /// injects (the substitution is documented in DESIGN.md).
 #[derive(Debug)]
 pub struct TxView {
-    /// The snapshot taken at transaction begin (never mutated).
-    snapshot: PersistentMap<LocId, Slot>,
+    /// The snapshot taken at transaction begin (never mutated): one map
+    /// for sequential paths, the per-shard maps for the sharded runtime.
+    snapshot: SnapshotSlots,
     /// Privatized slots, copied from the snapshot on first touch and then
     /// mutated in place — a write buffer over the O(1) snapshot.
     overlay: std::collections::HashMap<LocId, Slot>,
@@ -27,7 +30,16 @@ pub struct TxView {
 impl TxView {
     pub(crate) fn new(snapshot: PersistentMap<LocId, Slot>) -> Self {
         TxView {
-            snapshot,
+            snapshot: SnapshotSlots::Single(snapshot),
+            overlay: std::collections::HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// A view over the sharded runtime's per-shard snapshot maps.
+    pub(crate) fn new_sharded(maps: Arc<[PersistentMap<LocId, Slot>]>) -> Self {
+        TxView {
+            snapshot: SnapshotSlots::Sharded(maps),
             overlay: std::collections::HashMap::new(),
             log: Vec::new(),
         }
@@ -51,9 +63,13 @@ impl TxView {
     }
 
     /// Folds the privatized slots back into a full state map (used by the
-    /// sequential executor between tasks).
+    /// sequential executor between tasks, which always runs over a
+    /// single-map snapshot — the sharded runtime replays logs at commit
+    /// instead of folding views).
     pub(crate) fn into_state(self) -> PersistentMap<LocId, Slot> {
-        let mut slots = self.snapshot;
+        let SnapshotSlots::Single(mut slots) = self.snapshot else {
+            unreachable!("into_state is only driven by single-map executors")
+        };
         for (loc, slot) in self.overlay {
             slots.insert(loc, slot);
         }

@@ -48,8 +48,10 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// FNV-1a over a byte string; stable across runs (class labels must hash
-/// identically in the trainer and the production runtime).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// identically in the trainer and the production runtime). Shared with
+/// the class shard-hint routing in `loc.rs`, which needs the same
+/// stability guarantee.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -36,5 +36,5 @@ mod op;
 
 pub use committed::{CommittedLog, DecomposedLoc, DecomposedLog, Fingerprint, HistoryWindow};
 pub use decompose::{decompose, CellKey, LocHistory};
-pub use loc::{ClassId, LocId};
+pub use loc::{ClassId, LocId, SHARD_BITS, SHARD_SPACE};
 pub use op::{replay, Op, OpKind, OpResult, ScalarOp};

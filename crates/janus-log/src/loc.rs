@@ -3,10 +3,39 @@
 use std::fmt;
 use std::sync::Arc;
 
+/// Bits of every [`LocId`] reserved for its *shard hint* — the
+/// class-hash residue the store's allocator folds into the id so the
+/// sharded runtime can route any location to its shard from the id
+/// alone, without a class lookup.
+pub const SHARD_BITS: u32 = 6;
+
+/// Number of distinct shard hints (`2^SHARD_BITS`) — the upper bound on
+/// the runtime's shard count.
+pub const SHARD_SPACE: u64 = 1 << SHARD_BITS;
+
 /// The runtime identity of one shared location (a scalar variable or one
-/// ADT instance). Allocated densely by the runtime's store.
+/// ADT instance). The store's allocator assigns ids whose low
+/// [`SHARD_BITS`] carry the location's class-hash shard hint; the
+/// remaining bits are a dense allocation counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocId(pub u64);
+
+impl LocId {
+    /// The id's shard hint: its class-hash residue in `0..SHARD_SPACE`.
+    /// Ids constructed directly (tests, external drivers) simply use
+    /// their low bits — every `u64` is a valid id.
+    pub fn shard_hint(&self) -> u64 {
+        self.0 & (SHARD_SPACE - 1)
+    }
+
+    /// The shard this location belongs to in a store of `shards` shards
+    /// (`shards` must be in `1..=SHARD_SPACE`). Locations of one class
+    /// share a hint, so they always share a shard.
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards >= 1 && shards as u64 <= SHARD_SPACE);
+        (self.shard_hint() % shards as u64) as usize
+    }
+}
 
 impl fmt::Display for LocId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -34,6 +63,15 @@ impl ClassId {
     /// The class label.
     pub fn label(&self) -> &str {
         &self.0
+    }
+
+    /// The class's shard hint in `0..SHARD_SPACE`: a stable FNV-1a hash
+    /// residue of the label (the same label hashes identically in the
+    /// trainer and the production runtime, so shard routing is stable
+    /// across runs). The store's allocator folds this into every
+    /// [`LocId`] it hands out for the class.
+    pub fn shard_hint(&self) -> u64 {
+        crate::committed::fnv1a(self.0.as_bytes()) & (SHARD_SPACE - 1)
     }
 }
 
@@ -67,5 +105,41 @@ mod tests {
     fn loc_ordering() {
         assert!(LocId(1) < LocId(2));
         assert_eq!(format!("{}", LocId(3)), "loc3");
+    }
+
+    #[test]
+    fn shard_hint_is_the_low_bits() {
+        assert_eq!(LocId(0).shard_hint(), 0);
+        assert_eq!(LocId(63).shard_hint(), 63);
+        assert_eq!(LocId(64).shard_hint(), 0);
+        assert_eq!(LocId((5 << SHARD_BITS) | 7).shard_hint(), 7);
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_bounded() {
+        for hint in 0..SHARD_SPACE {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let s = LocId(hint).shard(shards);
+                assert!(s < shards, "hint {hint} routed to {s} of {shards}");
+            }
+            // One shard degenerates to the unsharded store.
+            assert_eq!(LocId(hint).shard(1), 0);
+        }
+    }
+
+    #[test]
+    fn class_shard_hint_is_stable_and_bounded() {
+        let a = ClassId::new("monitor.itemsWeight");
+        assert_eq!(
+            a.shard_hint(),
+            ClassId::new("monitor.itemsWeight").shard_hint()
+        );
+        assert!(a.shard_hint() < SHARD_SPACE);
+        // Not a proof of spread, but the hash must not be degenerate: a
+        // handful of distinct labels should not all collide on one hint.
+        let hints: std::collections::BTreeSet<u64> = (0..16)
+            .map(|i| ClassId::new(format!("class{i}")).shard_hint())
+            .collect();
+        assert!(hints.len() > 4, "class hash collapsed: {hints:?}");
     }
 }

@@ -66,6 +66,29 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Rebuilds a histogram from externally accumulated log2 buckets
+    /// (e.g. a bank of atomics updated concurrently and drained once at
+    /// run exit). The count is derived from the buckets.
+    pub fn from_log2_buckets(buckets: [u64; 65], sum: u64, max: u64) -> Self {
+        Histogram {
+            buckets,
+            count: buckets.iter().sum(),
+            sum,
+            max,
+        }
+    }
+
+    /// Folds another histogram's samples into this one. Log2 buckets
+    /// merge losslessly: bucket-wise addition.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -160,6 +183,15 @@ impl MetricsRegistry {
     /// A histogram, if any sample was recorded under the name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Folds a pre-aggregated histogram into the named one (how the
+    /// sharded runtime's per-shard lock-wait banks reach the registry).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
     }
 
     /// Absorbs a subsystem snapshot: every counter lands under

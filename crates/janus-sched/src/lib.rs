@@ -49,7 +49,9 @@ mod degrade;
 mod policy;
 mod stats;
 
-pub use affinity::{Affinity, ExactFootprints, FootprintPredictor, TrainedFootprints};
+pub use affinity::{
+    Affinity, ExactFootprints, FootprintPredictor, ShardFootprints, TrainedFootprints,
+};
 pub use backoff::{Backoff, BackoffHint, Parker};
 pub use degrade::{DegradeConfig, DegradeController, SerialGuard};
 pub use policy::{Fifo, SchedulePolicy, TaskSource};

@@ -172,9 +172,11 @@ mod tests {
         let graph = Graph::generate(&mut input.rng(), 30, 6);
         let (final_store, _) = Janus::run_sequential(scenario.store, &scenario.tasks);
         // Saturation of v is at most min(deg(v), 4 colors). The
-        // saturation map is the workload's first allocation: loc 0.
+        // saturation map is the workload's first allocation (counter 0),
+        // so its id is exactly the class's shard hint.
+        let sat_loc = janus_log::LocId(ClassId::new("saturation").shard_hint());
         let entries: Vec<(Scalar, Scalar)> = final_store
-            .value(janus_log::LocId(0))
+            .value(sat_loc)
             .and_then(janus_relational::Value::as_rel)
             .expect("saturation relation")
             .iter()

@@ -4,7 +4,7 @@
 //! janus-run list
 //! janus-run train <workload> [--no-abstraction] [--cache <file>]
 //! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
-//!                            [--threads N] [--scale N] [--seed N]
+//!                            [--threads N] [--shards N] [--scale N] [--seed N]
 //!                            [--cache <file>] [--eager] [--no-gc]
 //!                            [--schedule fifo|backoff|affinity]
 //!                            [--degrade-threshold R] [--degrade-window N]
@@ -24,6 +24,12 @@
 //! Chrome-trace JSON loadable in `chrome://tracing` (one track per worker
 //! thread); `--metrics` prints the unified metrics registry and the abort
 //! attribution report.
+//!
+//! `--shards N` sets the sharded store's shard count (1..=64; default 8).
+//! Disjoint-footprint tasks commit through different shard locks, so
+//! raising the count relieves commit-path contention; per-shard commit,
+//! history and lock-wait statistics land in the metrics registry under
+//! `shard.*`.
 //!
 //! `--schedule` picks the retry/dispatch policy: `fifo` (the default;
 //! immediate retry), `backoff` (deterministic randomized exponential
@@ -55,7 +61,7 @@ use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--shards N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +71,7 @@ fn usage() -> ExitCode {
 const VALUE_FLAGS: &[&str] = &[
     "detector",
     "threads",
+    "shards",
     "scale",
     "seed",
     "cache",
@@ -233,6 +240,17 @@ fn cmd_run(args: &Args) -> ExitCode {
             return usage();
         }
     };
+    let shards = match args.numeric::<usize>("shards", 8) {
+        Ok(n) if (1..=64).contains(&n) => n,
+        Ok(n) => {
+            eprintln!("error: flag --shards: expected a count in 1..=64, got {n}");
+            return usage();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let input = InputSpec::new(scale, default_input.degree, seed);
 
     // The fault plan is parsed before the detector so cache-miss
@@ -380,6 +398,7 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let mut janus = Janus::new(Arc::clone(&detector))
         .threads(threads)
+        .shards(shards)
         .ordered(w.ordered())
         .eager_privatization(args.flag("eager"))
         .gc_history(!args.flag("no-gc"))
@@ -516,6 +535,8 @@ fn cmd_run(args: &Args) -> ExitCode {
             let mut metrics = MetricsRegistry::new();
             metrics.absorb(&outcome.stats);
             metrics.absorb(&outcome.sched);
+            metrics.absorb(&outcome.shard_stats);
+            metrics.merge_histogram("shard.lock_wait_ns", &outcome.shard_stats.lock_wait_ns());
             metrics.absorb(detector.stats() as &dyn Snapshot);
             if let Some(cache) = &cache_for_metrics {
                 metrics.absorb(cache.stats());
