@@ -1,0 +1,280 @@
+//! Sustained-throughput serve benchmark emitting `BENCH_serve.json`.
+//!
+//! Emulates a block-execution *service*: a stream of small client
+//! blocks (one transaction per worker thread), each transaction doing
+//! an I/O-shaped think-time sleep followed by a Zipfian-hot transfer
+//! between accounts. The stream runs twice over identical inputs —
+//! once with a strict batch barrier (block N+1 starts only after block
+//! N fully finished) and once through the depth-2 pipeline (block
+//! N+1's execution overlaps block N's validation and commit, commits
+//! fenced by the cross-batch footprint gate).
+//!
+//! Because the think time dominates and the pipeline hides it under
+//! the predecessor's commit phase, pipelined throughput approaches 2x
+//! the barrier's even when every block touches the same hot accounts —
+//! the gate parks only the *commit*, never the overlapped execution.
+//! The timeline is real (threads really sleep and really commit); this
+//! measures service latency hiding, not CPU parallelism, so it holds
+//! on a single-core container.
+//!
+//! The binary gates itself: pipelined throughput must be >= 1.3x
+//! barrier, every transaction must commit exactly once (none lost to
+//! shedding or duplicated by retries), and transfers must conserve the
+//! total balance.
+//!
+//! Usage: `bench-serve [--quick] [OUT.json]` (default `BENCH_serve.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use janus_block::{BlockExecutor, BlockStatus, PipelineMode};
+use janus_core::{Janus, Store, Task};
+use janus_detect::SequenceDetector;
+use janus_log::LocId;
+use janus_relational::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ACCOUNTS: usize = 64;
+const THREADS: usize = 4;
+const ZIPF_S: f64 = 1.2;
+
+/// Cumulative Zipf(s) distribution over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (1..=n)
+        .map(|r| {
+            acc += 1.0 / (r as f64).powf(s);
+            acc
+        })
+        .collect();
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn sample_zipf(rng: &mut SmallRng, cdf: &[f64]) -> usize {
+    let u = (rng.gen_range(0u64..u64::MAX) as f64) / (u64::MAX as f64);
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// The block stream: `blocks` blocks of `per_block` transfer
+/// transactions each. Deterministic in `seed`, so both modes replay
+/// the identical stream.
+fn build_blocks(
+    seed: u64,
+    blocks: usize,
+    per_block: usize,
+    accounts: &[LocId],
+    think: Duration,
+) -> Vec<Vec<Task>> {
+    let cdf = zipf_cdf(accounts.len(), ZIPF_S);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|_| {
+            (0..per_block)
+                .map(|_| {
+                    let src = accounts[sample_zipf(&mut rng, &cdf)];
+                    let dst = accounts[rng.gen_range(0..accounts.len())];
+                    let amt = rng.gen_range(1i64..10);
+                    Task::new(move |tx| {
+                        // The service-shaped part: an external call
+                        // (fraud check, disk append) per transaction.
+                        std::thread::sleep(think);
+                        tx.add(src, -amt);
+                        tx.add(dst, amt);
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct ModeResult {
+    mode: &'static str,
+    wall: Duration,
+    txns_committed: u64,
+    blocks_failed: u64,
+    gate_waits: u64,
+    overlap_permille: u64,
+    p50_us: u64,
+    p99_us: u64,
+    /// (block seq, seconds since stream start at retirement, cumulative
+    /// commits) — the txn/s-over-time curve.
+    rows: Vec<(u64, f64, u64)>,
+}
+
+impl ModeResult {
+    fn txns_per_s(&self) -> f64 {
+        self.txns_committed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+fn run_mode(mode: PipelineMode, blocks: Vec<Vec<Task>>) -> ModeResult {
+    let mut store = Store::new();
+    let accounts: Vec<LocId> = (0..ACCOUNTS)
+        .map(|i| store.alloc(format!("acct{i}").as_str(), Value::int(0)))
+        .collect();
+    // Rebind the tasks onto this store's fresh locations: the stream
+    // builder allocated against a prototype store, and LocIds are only
+    // meaningful per store. (Allocation order is identical, so ids
+    // coincide; the assert keeps that honest.)
+    assert_eq!(accounts.len(), ACCOUNTS);
+
+    let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(THREADS);
+    let mut exec = BlockExecutor::new(janus, store, mode);
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    let mut cum = 0u64;
+    let mut failed = 0u64;
+    let note = |outcomes: Vec<janus_block::BlockOutcome>,
+                rows: &mut Vec<(u64, f64, u64)>,
+                cum: &mut u64,
+                failed: &mut u64| {
+        for o in outcomes {
+            if o.status == BlockStatus::Failed {
+                *failed += 1;
+            }
+            *cum += o.commits();
+            rows.push((o.seq, t0.elapsed().as_secs_f64(), *cum));
+        }
+    };
+    for block in blocks {
+        let submitted = exec.submit(block);
+        note(submitted.retired, &mut rows, &mut cum, &mut failed);
+    }
+    note(exec.drain(), &mut rows, &mut cum, &mut failed);
+    let wall = t0.elapsed();
+
+    let report = exec.stats().report(exec.stream_wall_micros());
+    let latency = exec.stats().latency_histogram();
+    let (store, _, tail) = exec.finish();
+    assert!(tail.is_empty());
+    // Conservation: transfers are zero-sum, so the books must balance.
+    let total: i64 = accounts
+        .iter()
+        .map(|&a| store.value(a).and_then(Value::as_int).unwrap_or(0))
+        .sum();
+    assert_eq!(total, 0, "transfer stream must conserve the total balance");
+
+    ModeResult {
+        mode: match mode {
+            PipelineMode::Barrier => "barrier",
+            PipelineMode::Pipelined => "pipelined",
+        },
+        wall,
+        txns_committed: report.txns_committed,
+        blocks_failed: failed,
+        gate_waits: report.gate_waits,
+        overlap_permille: report.overlap_permille,
+        p50_us: latency.percentile(50.0),
+        p99_us: latency.percentile(99.0),
+        rows,
+    }
+}
+
+fn mode_json(r: &ModeResult) -> String {
+    let mut rows = String::new();
+    for (i, (seq, elapsed, cum)) in r.rows.iter().enumerate() {
+        rows.push_str(&format!(
+            "      {{\"block\": {seq}, \"elapsed_s\": {elapsed:.4}, \"cum_commits\": {cum}, \
+             \"txns_per_s_so_far\": {:.1}}}{}\n",
+            if *elapsed > 0.0 {
+                *cum as f64 / elapsed
+            } else {
+                0.0
+            },
+            if i + 1 == r.rows.len() { "" } else { "," },
+        ));
+    }
+    format!(
+        "{{\n    \"wall_s\": {:.4},\n    \"txns_committed\": {},\n    \"txns_per_s\": {:.1},\n    \
+         \"blocks_failed\": {},\n    \"gate_waits\": {},\n    \"overlap_permille\": {},\n    \
+         \"batch_latency_us_p50\": {},\n    \"batch_latency_us_p99\": {},\n    \"rows\": [\n{rows}    ]\n  }}",
+        r.wall.as_secs_f64(),
+        r.txns_committed,
+        r.txns_per_s(),
+        r.blocks_failed,
+        r.gate_waits,
+        r.overlap_permille,
+        r.p50_us,
+        r.p99_us,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let blocks_n = if quick { 16 } else { 48 };
+    let per_block = THREADS; // one txn per worker: service-sized blocks
+    let think = Duration::from_micros(if quick { 800 } else { 1200 });
+    let seed = 20120611; // PLDI 2012
+
+    // Identical streams for both modes: rebuild from the same seed
+    // against identically-allocated stores.
+    let proto: Vec<LocId> = {
+        let mut s = Store::new();
+        (0..ACCOUNTS)
+            .map(|i| s.alloc(format!("acct{i}").as_str(), Value::int(0)))
+            .collect()
+    };
+    let expected = (blocks_n * per_block) as u64;
+
+    let barrier = run_mode(
+        PipelineMode::Barrier,
+        build_blocks(seed, blocks_n, per_block, &proto, think),
+    );
+    let pipelined = run_mode(
+        PipelineMode::Pipelined,
+        build_blocks(seed, blocks_n, per_block, &proto, think),
+    );
+
+    for r in [&barrier, &pipelined] {
+        assert_eq!(r.blocks_failed, 0, "{}: no block may fail", r.mode);
+        assert_eq!(
+            r.txns_committed, expected,
+            "{}: every transaction commits exactly once",
+            r.mode
+        );
+        eprintln!(
+            "{:>9}: wall={:7.2?}  {:>7.1} txn/s  p50={}us p99={}us  gate_waits={}  \
+             overlap={}permille",
+            r.mode,
+            r.wall,
+            r.txns_per_s(),
+            r.p50_us,
+            r.p99_us,
+            r.gate_waits,
+            r.overlap_permille,
+        );
+    }
+    let speedup = pipelined.txns_per_s() / barrier.txns_per_s();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"timeline\": \"real\",\n  \
+         \"workload\": \"zipfian transfer service (s={ZIPF_S}, think={}us)\",\n  \
+         \"threads\": {THREADS},\n  \"accounts\": {ACCOUNTS},\n  \"blocks\": {blocks_n},\n  \
+         \"txns_per_block\": {per_block},\n  \"speedup_pipelined_vs_barrier\": {speedup:.3},\n  \
+         \"barrier\": {},\n  \"pipelined\": {}\n}}\n",
+        think.as_micros(),
+        mode_json(&barrier),
+        mode_json(&pipelined),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("pipelined vs barrier: {speedup:.2}x");
+    println!("wrote {out_path}");
+
+    // Gate: the pipeline must buy a sustained-throughput win on the
+    // serve workload (acceptance floor 1.3x; expected ~1.8x).
+    assert!(
+        speedup >= 1.3,
+        "pipelined/barrier throughput ratio below gate: {speedup:.2}"
+    );
+}

@@ -10,8 +10,8 @@
 
 use janus_bench::contention::{contention_sweep, ContentionPoint};
 use janus_bench::experiments::{
-    attribution_traces, commit_pipeline, conflict_classes, figure11, headline, pipeline_counters,
-    speedup_retry_grid, table5, table6, GridPoint, THREAD_GRID,
+    attribution_traces, block_pipeline, commit_pipeline, conflict_classes, figure11, headline,
+    pipeline_counters, speedup_retry_grid, table5, table6, GridPoint, THREAD_GRID,
 };
 use janus_bench::report::{bar, f2, pct, render_table};
 use janus_obs::text_report;
@@ -220,6 +220,44 @@ fn main() {
             shards.lock_wait_ns().render(),
         );
         println!("(flat-reclone re-copies the whole window at every clock advance; the pipeline scans only deltas)\n");
+
+        eprintln!("running the block-pipeline comparison (quick={quick})...");
+        println!("== Block pipeline: barrier vs depth-2 pipelined stream (real timeline) ==");
+        let points = block_pipeline(quick);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.mode.to_string(),
+                    format!("{:.1}ms", p.wall_secs * 1e3),
+                    format!("{:.0}", p.txns_per_s()),
+                    p.report.gate_waits.to_string(),
+                    p.report.overlapped_commits.to_string(),
+                    format!("{}", p.report.overlap_permille),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "mode",
+                    "wall",
+                    "txn/s",
+                    "gate waits",
+                    "overlapped commits",
+                    "overlap (permille)"
+                ],
+                &rows
+            )
+        );
+        if let [barrier, pipelined] = points.as_slice() {
+            println!(
+                "block-pipeline headline: {}x sustained throughput from overlapping execution \
+                 with the predecessor's commit\n",
+                f2(pipelined.txns_per_s() / barrier.txns_per_s()),
+            );
+        }
     }
 
     if all || has("--attribution") {

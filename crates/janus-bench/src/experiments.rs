@@ -449,6 +449,79 @@ pub fn pipeline_counters(quick: bool) -> (RunStats, janus_core::ShardReport) {
     (outcome.stats, outcome.shard_stats)
 }
 
+/// One mode of the block-pipeline comparison: the `batch.*` report plus
+/// the measured stream wall clock.
+pub struct BlockPoint {
+    /// `"barrier"` or `"pipelined"`.
+    pub mode: &'static str,
+    /// Stream wall clock, seconds.
+    pub wall_secs: f64,
+    /// The pipeline's `batch.*` counters.
+    pub report: janus_block::BatchReport,
+}
+
+impl BlockPoint {
+    /// Committed transactions per second over the stream.
+    pub fn txns_per_s(&self) -> f64 {
+        self.report.txns_committed as f64 / self.wall_secs
+    }
+}
+
+/// Streams service-sized blocks (one transaction per worker, each with
+/// an I/O-shaped think time) through the [`janus_block::BlockExecutor`]
+/// with and without pipelining. The barrier mode fully drains each
+/// block before the next starts; the pipelined mode overlaps block N+1
+/// with block N's validation and commit.
+pub fn block_pipeline(quick: bool) -> Vec<BlockPoint> {
+    use janus_block::{BlockExecutor, PipelineMode};
+
+    let threads = 4usize;
+    let blocks = if quick { 12 } else { 32 };
+    let think = std::time::Duration::from_micros(if quick { 600 } else { 1000 });
+    [PipelineMode::Barrier, PipelineMode::Pipelined]
+        .into_iter()
+        .map(|mode| {
+            let mut store = Store::new();
+            let hot = store.alloc("hot", Value::int(0));
+            let janus = Janus::new(Arc::new(SequenceDetector::new()) as Arc<dyn ConflictDetector>)
+                .threads(threads);
+            let mut exec = BlockExecutor::new(janus, store, mode);
+            let t0 = Instant::now();
+            for b in 0..blocks as i64 {
+                let tasks: Vec<Task> = (0..threads as i64)
+                    .map(|t| {
+                        Task::new(move |tx| {
+                            std::thread::sleep(think);
+                            tx.add(hot, b * 10 + t);
+                        })
+                    })
+                    .collect();
+                exec.submit(tasks);
+            }
+            exec.drain();
+            let wall = t0.elapsed();
+            let point = BlockPoint {
+                mode: match mode {
+                    PipelineMode::Barrier => "barrier",
+                    PipelineMode::Pipelined => "pipelined",
+                },
+                wall_secs: wall.as_secs_f64(),
+                report: exec.stats().report(exec.stream_wall_micros()),
+            };
+            let (store, _, _) = exec.finish();
+            let expected: i64 = (0..blocks as i64)
+                .flat_map(|b| (0..threads as i64).map(move |t| b * 10 + t))
+                .sum();
+            assert_eq!(
+                store.value(hot).and_then(Value::as_int),
+                Some(expected),
+                "block stream must commit every transaction exactly once"
+            );
+            point
+        })
+        .collect()
+}
+
 /// Aggregate headline numbers from a grid (speedups and retry ratios at
 /// the given thread count).
 pub fn headline(grid: &[GridPoint], threads: usize) -> Headline {

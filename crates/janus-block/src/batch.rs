@@ -1,0 +1,244 @@
+//! Cross-batch ordering: trackers and the commit gate linking a batch
+//! to its predecessor.
+//!
+//! Batch boundaries are *not* global barriers. A transaction in batch
+//! N+1 may commit while batch N is still running, provided its
+//! footprint is disjoint (by [`Fingerprint`] prefilter) from everything
+//! batch N has executed so far **and** batch N has no unexecuted
+//! transactions left that could still touch anything. Conservative on
+//! both sides: a Bloom false positive or a not-yet-executed predecessor
+//! only delays a commit, never admits a conflicting one.
+//! Serializability itself never rests on the gate — the hindsight
+//! validator checks every commit against the shared store history
+//! regardless — the gate only pins the *equivalent serial order* to
+//! "all of batch N before any conflicting part of batch N+1".
+//!
+//! In [ordered mode](OrderedLink) the gate degenerates to a full commit
+//! barrier (predecessor fully done), which preserves exact cross-batch
+//! submission order; execution still overlaps.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use janus_core::CommitGate;
+use janus_log::Fingerprint;
+use parking_lot::Mutex;
+
+/// Shared record of one batch's progress, owned by the block executor
+/// and observed (through a gate) by the *next* batch.
+pub struct BatchTracker {
+    /// How many transactions this batch was dispatched with.
+    expected: usize,
+    /// Union of the footprints of every attempt executed so far. Only
+    /// grows, so a disjointness verdict taken against it can go stale
+    /// in the conservative direction only if re-checked; a single
+    /// check is valid only together with `all_executed` (nothing new
+    /// can appear) — the gate enforces that pairing.
+    executed_union: Mutex<Fingerprint>,
+    /// Distinct transaction ids that have executed (or terminally
+    /// failed) at least once. Re-executions after an abort re-insert
+    /// the same id, keeping the count exact.
+    executed_tids: Mutex<BTreeSet<u64>>,
+    /// Set once the batch's `run_batch` has fully returned (commits
+    /// durable, workers parked) — including the poisoned/failed case,
+    /// so a failed predecessor can never wedge its successor.
+    done: AtomicBool,
+    /// Commits the successor let through early (before `done`).
+    overlapped_commits: AtomicU64,
+}
+
+impl BatchTracker {
+    /// A tracker for a batch of `expected` transactions.
+    pub fn new(expected: usize) -> Arc<Self> {
+        Arc::new(BatchTracker {
+            expected,
+            executed_union: Mutex::new(Fingerprint::empty()),
+            executed_tids: Mutex::new(BTreeSet::new()),
+            done: AtomicBool::new(false),
+            overlapped_commits: AtomicU64::new(0),
+        })
+    }
+
+    fn note(&self, tid: u64, fingerprint: &Fingerprint) {
+        // Union first, then the tid: a successor that observes the id
+        // as executed must also observe (at least) that footprint.
+        self.executed_union.lock().union(fingerprint);
+        self.executed_tids.lock().insert(tid);
+    }
+
+    fn all_executed(&self) -> bool {
+        self.executed_tids.lock().len() >= self.expected
+    }
+
+    /// Mark the batch finished. Called by the block executor after
+    /// `run_batch` returns or unwinds — unconditionally, so successors
+    /// never wait on a corpse.
+    pub fn complete(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether the batch has fully finished (committed or failed).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Successor commits that overlapped this batch's execution.
+    pub fn overlapped_commits(&self) -> u64 {
+        self.overlapped_commits.load(Ordering::Relaxed)
+    }
+}
+
+/// The [`CommitGate`] a pipelined batch runs under: linked to its
+/// predecessor's tracker, feeding its own.
+///
+/// `may_commit` opens for a transaction when the predecessor batch is
+/// done, or when every predecessor transaction has executed at least
+/// once and the committer's footprint is disjoint (by fingerprint)
+/// from the union of everything the predecessor executed. The second
+/// arm is what buys pipeline overlap: read-disjoint batches commit
+/// concurrently while the predecessor is still validating.
+pub struct PipelinedLink {
+    prev: Arc<BatchTracker>,
+    own: Arc<BatchTracker>,
+}
+
+impl PipelinedLink {
+    /// Links a batch (`own`) to its predecessor's tracker.
+    pub fn new(prev: Arc<BatchTracker>, own: Arc<BatchTracker>) -> Self {
+        PipelinedLink { prev, own }
+    }
+}
+
+impl CommitGate for PipelinedLink {
+    fn note_executed(&self, tid: u64, fingerprint: &Fingerprint) {
+        self.own.note(tid, fingerprint);
+    }
+
+    fn note_failed(&self, tid: u64) {
+        // A terminally failed transaction writes nothing, so only the
+        // tid matters: successors must not wait for it to "execute".
+        self.own.note(tid, &Fingerprint::empty());
+    }
+
+    fn may_commit(&self, _tid: u64, fingerprint: &Fingerprint) -> bool {
+        if self.prev.is_done() {
+            return true;
+        }
+        // All predecessor transactions have produced a footprint, and
+        // ours overlaps none of them: committing now is equivalent to
+        // committing after the predecessor, so let it through.
+        let open = self.prev.all_executed()
+            && !fingerprint.may_intersect(&self.prev.executed_union.lock());
+        if open {
+            self.prev.overlapped_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        open
+    }
+}
+
+/// The ordered-mode gate: a full commit barrier on the predecessor.
+/// Execution of the successor still overlaps; only its commits wait,
+/// which preserves exact cross-batch submission order (batch N's turn
+/// sequence completes before batch N+1's begins).
+pub struct OrderedLink {
+    prev: Arc<BatchTracker>,
+    own: Arc<BatchTracker>,
+}
+
+impl OrderedLink {
+    /// Links a batch (`own`) to its predecessor's tracker.
+    pub fn new(prev: Arc<BatchTracker>, own: Arc<BatchTracker>) -> Self {
+        OrderedLink { prev, own }
+    }
+}
+
+impl CommitGate for OrderedLink {
+    fn note_executed(&self, tid: u64, fingerprint: &Fingerprint) {
+        self.own.note(tid, fingerprint);
+    }
+
+    fn note_failed(&self, tid: u64) {
+        self.own.note(tid, &Fingerprint::empty());
+    }
+
+    fn may_commit(&self, _tid: u64, _fingerprint: &Fingerprint) -> bool {
+        self.prev.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_log::{ClassId, LocId};
+
+    fn fp(loc: u64) -> Fingerprint {
+        let mut f = Fingerprint::empty();
+        f.insert(LocId(loc), &ClassId::new("acct"));
+        f
+    }
+
+    #[test]
+    fn pipelined_gate_opens_for_disjoint_footprints_once_prev_executed() {
+        let prev = BatchTracker::new(2);
+        let own = BatchTracker::new(1);
+        let gate = PipelinedLink::new(Arc::clone(&prev), Arc::clone(&own));
+
+        let mine = fp(77);
+        // Predecessor not fully executed: closed even when disjoint.
+        prev.note(1, &fp(1));
+        assert!(!gate.may_commit(10, &mine));
+        // Second predecessor transaction executes with a disjoint
+        // footprint: gate opens without waiting for prev to commit.
+        prev.note(2, &fp(2));
+        assert!(gate.may_commit(10, &mine));
+        assert_eq!(prev.overlapped_commits(), 1);
+        // An overlapping footprint stays gated until prev is done.
+        assert!(!gate.may_commit(11, &fp(1)));
+        prev.complete();
+        assert!(gate.may_commit(11, &fp(1)));
+    }
+
+    #[test]
+    fn reexecuted_tids_do_not_double_count() {
+        let prev = BatchTracker::new(2);
+        let own = BatchTracker::new(1);
+        let gate = PipelinedLink::new(Arc::clone(&prev), own);
+        prev.note(1, &fp(1));
+        prev.note(1, &fp(3)); // re-execution after an abort: same tid
+        assert!(
+            !gate.may_commit(10, &fp(77)),
+            "one distinct tid of two expected must keep the gate shut"
+        );
+    }
+
+    #[test]
+    fn ordered_gate_is_a_full_barrier() {
+        let prev = BatchTracker::new(1);
+        let own = BatchTracker::new(1);
+        let gate = OrderedLink::new(Arc::clone(&prev), own);
+        prev.note(1, &fp(1));
+        assert!(
+            !gate.may_commit(10, &fp(77)),
+            "ordered mode ignores disjointness"
+        );
+        prev.complete();
+        assert!(gate.may_commit(10, &fp(77)));
+    }
+
+    #[test]
+    fn failed_predecessor_transactions_unblock_disjoint_successors() {
+        let prev = BatchTracker::new(2);
+        let own = BatchTracker::new(1);
+        let gate = PipelinedLink::new(Arc::clone(&prev), own);
+        prev.note(1, &fp(1));
+        // Transaction 2 failed terminally (isolated): it contributes no
+        // footprint but counts as executed.
+        gate_note_failed_on(&prev, 2);
+        assert!(gate.may_commit(10, &fp(77)));
+    }
+
+    fn gate_note_failed_on(tracker: &BatchTracker, tid: u64) {
+        tracker.note(tid, &Fingerprint::empty());
+    }
+}

@@ -1,0 +1,499 @@
+//! The block executor: batches in, [`BlockOutcome`]s out, with up to
+//! two batches in flight.
+//!
+//! Each submitted block runs as one `run_batch` on a shared
+//! [`Session`], dispatched through the warm [`WorkerPool`] by a
+//! *conductor* thread. In [`PipelineMode::Pipelined`], block N+1's
+//! speculative execution overlaps block N's validation and commit; a
+//! [`CommitGate`](janus_core::CommitGate) linking the two trackers
+//! keeps the equivalent serial order at "all of N before any
+//! conflicting part of N+1" (or exact submission order under
+//! `Janus::ordered`). In [`PipelineMode::Barrier`] blocks run strictly
+//! one at a time — the comparison baseline.
+//!
+//! Failure is block-scoped: a poison panic or watchdog fire inside a
+//! block is caught at the conductor and surfaces as
+//! [`BlockStatus::Failed`]; the session, the pool and every other
+//! block stay live.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use janus_core::{BatchOutcome, CommitGate, Janus, Session, Store, Task};
+
+use crate::batch::{BatchTracker, OrderedLink, PipelinedLink};
+use crate::pool::WorkerPool;
+use crate::stats::BlockStats;
+
+/// How block boundaries are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// A block starts only after its predecessor fully finished.
+    Barrier,
+    /// Up to two blocks in flight; commits are fenced by the
+    /// footprint gate (or a full commit barrier under ordered runs).
+    Pipelined,
+}
+
+impl PipelineMode {
+    fn depth(self) -> usize {
+        match self {
+            PipelineMode::Barrier => 1,
+            PipelineMode::Pipelined => 2,
+        }
+    }
+}
+
+/// Terminal state of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// The block drained: every transaction committed or was isolated.
+    Committed,
+    /// The block was lost to a poison panic or a watchdog fire.
+    /// Transactions that had already committed keep their effects.
+    Failed,
+}
+
+/// The result of one block.
+#[derive(Debug)]
+pub struct BlockOutcome {
+    /// 1-based block sequence number, in submission order.
+    pub seq: u64,
+    /// Transactions the block was submitted with.
+    pub tasks: usize,
+    /// Whether the block drained or was lost.
+    pub status: BlockStatus,
+    /// The failure reason, for [`BlockStatus::Failed`].
+    pub error: Option<String>,
+    /// The underlying batch statistics. `None` only when the batch
+    /// unwound before producing them (poison panic).
+    pub batch: Option<BatchOutcome>,
+    /// Wall time from dispatch to completion.
+    pub latency: Duration,
+}
+
+impl BlockOutcome {
+    /// Transactions this block committed (0 when unknown after a
+    /// poison unwind).
+    pub fn commits(&self) -> u64 {
+        self.batch.as_ref().map_or(0, |b| b.stats.commits)
+    }
+}
+
+/// Result of [`BlockExecutor::submit`]: the sequence number assigned to
+/// the new block, plus any older block retired to make room.
+#[derive(Debug)]
+pub struct Submitted {
+    /// Sequence number of the just-submitted block.
+    pub seq: u64,
+    /// Blocks that completed while making room (in submission order).
+    pub retired: Vec<BlockOutcome>,
+}
+
+struct Inflight {
+    handle: JoinHandle<BlockOutcome>,
+}
+
+/// A long-lived executor: one [`Session`], one warm [`WorkerPool`],
+/// blocks streamed through [`BlockExecutor::submit`] /
+/// [`BlockExecutor::execute_blocks`].
+pub struct BlockExecutor {
+    janus: Janus,
+    session: Arc<Session>,
+    pool: Arc<WorkerPool>,
+    mode: PipelineMode,
+    stats: Arc<BlockStats>,
+    seq: u64,
+    prev: Option<Arc<BatchTracker>>,
+    /// Every tracker ever linked, for overlap accounting.
+    trackers: Vec<Arc<BatchTracker>>,
+    inflight: VecDeque<Inflight>,
+    /// First submit, for the stream-wall half of the overlap ratio.
+    first_submit: Option<Instant>,
+    /// Stream wall accumulated up to the last drain.
+    wall: Duration,
+}
+
+impl BlockExecutor {
+    /// An executor over `store`, with a pool sized for the runtime's
+    /// thread count at the mode's pipeline depth.
+    pub fn new(janus: Janus, store: Store, mode: PipelineMode) -> Self {
+        let lanes = mode.depth() * (janus.thread_count() + 1);
+        let session = Arc::new(janus.open_session(store));
+        BlockExecutor {
+            session,
+            pool: Arc::new(WorkerPool::new(lanes)),
+            mode,
+            stats: Arc::new(BlockStats::default()),
+            seq: 0,
+            prev: None,
+            trackers: Vec::new(),
+            inflight: VecDeque::new(),
+            first_submit: None,
+            wall: Duration::ZERO,
+            janus,
+        }
+    }
+
+    /// The pipeline mode in use.
+    pub fn mode(&self) -> PipelineMode {
+        self.mode
+    }
+
+    /// The shared pipeline statistics.
+    pub fn stats(&self) -> &Arc<BlockStats> {
+        &self.stats
+    }
+
+    /// The warm pool (for its thread-reuse counters).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// A read snapshot of the session's current store. Taken without
+    /// quiescing in-flight blocks: each shard is cut at a consistent
+    /// committed prefix.
+    pub fn store_snapshot(&self) -> Store {
+        self.session.store()
+    }
+
+    /// Committed transactions so far, per the session's commit clock.
+    pub fn commit_seq(&self) -> u64 {
+        self.session.commit_seq()
+    }
+
+    /// Blocks currently executing.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Total commits the gate released while a predecessor still ran.
+    pub fn overlapped_commits(&self) -> u64 {
+        self.trackers.iter().map(|t| t.overlapped_commits()).sum()
+    }
+
+    /// Submits one block. Blocks (joining the oldest in-flight batch)
+    /// when the pipeline is at depth — that join is the executor's
+    /// intrinsic backpressure.
+    pub fn submit(&mut self, tasks: Vec<Task>) -> Submitted {
+        self.first_submit.get_or_insert_with(Instant::now);
+        self.seq += 1;
+        let seq = self.seq;
+        let mut retired = Vec::new();
+        while self.inflight.len() >= self.mode.depth() {
+            retired.push(self.retire_oldest());
+        }
+
+        let tracker = BatchTracker::new(tasks.len());
+        let gate: Option<Arc<dyn CommitGate>> = match (self.mode, self.prev.take()) {
+            (PipelineMode::Pipelined, Some(prev)) if !prev.is_done() => {
+                Some(if self.janus.is_ordered() {
+                    Arc::new(OrderedLink::new(prev, Arc::clone(&tracker)))
+                } else {
+                    Arc::new(PipelinedLink::new(prev, Arc::clone(&tracker)))
+                })
+            }
+            // Barrier mode, first block, or a predecessor that already
+            // finished: nothing to fence against.
+            _ => None,
+        };
+        self.prev = Some(Arc::clone(&tracker));
+        self.trackers.push(Arc::clone(&tracker));
+
+        self.stats.blocks_submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.block_size.lock().observe(tasks.len() as u64);
+
+        let janus = self.janus.clone();
+        let session = Arc::clone(&self.session);
+        let pool = Arc::clone(&self.pool);
+        let stats = Arc::clone(&self.stats);
+        let handle = std::thread::Builder::new()
+            .name(format!("janus-block-{seq}"))
+            .spawn(move || conduct(seq, janus, session, pool, tasks, gate, tracker, stats))
+            .expect("spawn block conductor");
+        self.inflight.push_back(Inflight { handle });
+        Submitted { seq, retired }
+    }
+
+    /// Joins every in-flight block, returning their outcomes in
+    /// submission order.
+    pub fn drain(&mut self) -> Vec<BlockOutcome> {
+        let mut out = Vec::with_capacity(self.inflight.len());
+        while !self.inflight.is_empty() {
+            out.push(self.retire_oldest());
+        }
+        if let Some(t0) = self.first_submit.take() {
+            self.wall += t0.elapsed();
+        }
+        out
+    }
+
+    /// Runs one block to completion.
+    pub fn execute_block(&mut self, tasks: Vec<Task>) -> BlockOutcome {
+        let submitted = self.submit(tasks);
+        let seq = submitted.seq;
+        let mut all = submitted.retired;
+        all.extend(self.drain());
+        // `drain` retires in submission order; ours is the newest.
+        let outcome = all.pop().expect("submitted block must retire");
+        debug_assert_eq!(outcome.seq, seq);
+        outcome
+    }
+
+    /// Runs a stream of blocks through the pipeline and returns every
+    /// outcome in submission order.
+    pub fn execute_blocks(&mut self, blocks: Vec<Vec<Task>>) -> Vec<BlockOutcome> {
+        let mut out = Vec::with_capacity(blocks.len());
+        for tasks in blocks {
+            out.extend(self.submit(tasks).retired);
+        }
+        out.extend(self.drain());
+        out
+    }
+
+    /// Stream wall time accumulated so far (first submit to last
+    /// drain), in microseconds — the denominator of the overlap ratio.
+    pub fn stream_wall_micros(&self) -> u64 {
+        let live = self.first_submit.map_or(Duration::ZERO, |t0| t0.elapsed());
+        (self.wall + live).as_micros() as u64
+    }
+
+    /// Drains the pipeline and closes the session, returning the final
+    /// store and the per-shard commit-path report. Any outcomes still
+    /// in flight are returned too.
+    pub fn finish(mut self) -> (Store, janus_core::ShardReport, Vec<BlockOutcome>) {
+        let tail = self.drain();
+        self.stats
+            .overlapped_commits
+            .store(self.overlapped_commits(), Ordering::Relaxed);
+        let session = Arc::try_unwrap(self.session)
+            .unwrap_or_else(|_| unreachable!("drained pipeline holds the only session handle"));
+        let (store, report) = session.finish();
+        (store, report, tail)
+    }
+
+    fn retire_oldest(&mut self) -> BlockOutcome {
+        let block = self.inflight.pop_front().expect("non-empty pipeline");
+        // Conductors catch batch unwinds themselves; a join error would
+        // mean the conductor harness itself panicked.
+        let outcome = block.handle.join().expect("conductor never panics");
+        self.stats
+            .overlapped_commits
+            .store(self.overlapped_commits(), Ordering::Relaxed);
+        outcome
+    }
+}
+
+/// One conductor run: drive a batch through the pool, complete the
+/// tracker unconditionally, fold the result into the shared stats.
+#[allow(clippy::too_many_arguments)]
+fn conduct(
+    seq: u64,
+    janus: Janus,
+    session: Arc<Session>,
+    pool: Arc<WorkerPool>,
+    tasks: Vec<Task>,
+    gate: Option<Arc<dyn CommitGate>>,
+    tracker: Arc<BatchTracker>,
+    stats: Arc<BlockStats>,
+) -> BlockOutcome {
+    let n = tasks.len();
+    let started = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        janus.run_batch(&session, tasks, &*pool, gate)
+    }));
+    // Complete before anything else: a successor block may be parked on
+    // this tracker, and it must never wait on a failed predecessor.
+    tracker.complete();
+    let latency = started.elapsed();
+    stats
+        .busy_micros
+        .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    stats.latency_us.lock().observe(latency.as_micros() as u64);
+
+    let (status, error, batch) = match result {
+        Ok(batch) if !batch.poisoned => (BlockStatus::Committed, None, Some(batch)),
+        Ok(batch) => {
+            let why = batch
+                .watchdog_dumps
+                .first()
+                .map_or("batch poisoned", |_| "watchdog declared the batch hung");
+            (BlockStatus::Failed, Some(why.to_string()), Some(batch))
+        }
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            (BlockStatus::Failed, Some(msg), None)
+        }
+    };
+    match status {
+        BlockStatus::Committed => {
+            stats.blocks_committed.fetch_add(1, Ordering::Relaxed);
+        }
+        BlockStatus::Failed => {
+            stats.blocks_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(b) = &batch {
+        stats
+            .txns_committed
+            .fetch_add(b.stats.commits, Ordering::Relaxed);
+        stats
+            .txns_retried
+            .fetch_add(b.stats.retries, Ordering::Relaxed);
+        stats
+            .txns_failed
+            .fetch_add(b.failed.len() as u64, Ordering::Relaxed);
+        stats
+            .gate_waits
+            .fetch_add(b.stats.commit_gate_waits, Ordering::Relaxed);
+    }
+    BlockOutcome {
+        seq,
+        tasks: n,
+        status,
+        error,
+        batch,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_core::PanicPolicy;
+    use janus_detect::SequenceDetector;
+    use janus_relational::Value;
+
+    fn janus(threads: usize) -> Janus {
+        Janus::new(Arc::new(SequenceDetector::new())).threads(threads)
+    }
+
+    fn counter_tasks(loc: janus_log::LocId, n: usize, delta: i64) -> Vec<Task> {
+        (0..n)
+            .map(|_| Task::new(move |tx| tx.add(loc, delta)))
+            .collect()
+    }
+
+    #[test]
+    fn blocks_accumulate_on_one_session() {
+        let mut store = Store::new();
+        let acct = store.alloc("acct", Value::int(0));
+        let mut exec = BlockExecutor::new(janus(2), store, PipelineMode::Pipelined);
+        let outcomes = exec.execute_blocks(vec![
+            counter_tasks(acct, 4, 1),
+            counter_tasks(acct, 4, 1),
+            counter_tasks(acct, 4, 1),
+        ]);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(
+            outcomes.iter().map(|o| o.seq).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        assert!(outcomes.iter().all(|o| o.status == BlockStatus::Committed));
+        assert_eq!(outcomes.iter().map(BlockOutcome::commits).sum::<u64>(), 12);
+        let (store, report, tail) = exec.finish();
+        assert!(tail.is_empty());
+        assert_eq!(store.value(acct), Some(&Value::int(12)));
+        // One-location tasks touch exactly one shard per commit.
+        assert_eq!(report.0.iter().map(|s| s.commits).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn barrier_mode_runs_blocks_strictly_in_turn() {
+        let mut store = Store::new();
+        let acct = store.alloc("acct", Value::int(0));
+        let mut exec = BlockExecutor::new(janus(2), store, PipelineMode::Barrier);
+        for _ in 0..3 {
+            let o = exec.execute_block(counter_tasks(acct, 3, 1));
+            assert_eq!(o.status, BlockStatus::Committed);
+            assert!(exec.inflight() == 0);
+        }
+        assert_eq!(exec.overlapped_commits(), 0, "no gate, no overlap");
+        let (store, _, _) = exec.finish();
+        assert_eq!(store.value(acct), Some(&Value::int(9)));
+    }
+
+    #[test]
+    fn disjoint_blocks_overlap_under_pipelining() {
+        // Two blocks over disjoint accounts: the second's commits can
+        // all pass the gate while the first still runs.
+        let mut store = Store::new();
+        let a = store.alloc("a", Value::int(0));
+        let b = store.alloc("b", Value::int(0));
+        let mut exec = BlockExecutor::new(janus(2), store, PipelineMode::Pipelined);
+        let outcomes = exec.execute_blocks(vec![counter_tasks(a, 6, 1), counter_tasks(b, 6, 1)]);
+        assert!(outcomes.iter().all(|o| o.status == BlockStatus::Committed));
+        let (store, _, _) = exec.finish();
+        assert_eq!(store.value(a), Some(&Value::int(6)));
+        assert_eq!(store.value(b), Some(&Value::int(6)));
+    }
+
+    #[test]
+    fn poisoned_block_fails_alone_and_the_pipeline_survives() {
+        // Satellite #1 regression: a Poison-policy panic inside block 2
+        // must surface as BlockStatus::Failed for that block only; the
+        // session, pool and subsequent blocks stay live.
+        let mut store = Store::new();
+        let acct = store.alloc("acct", Value::int(0));
+        let mut exec = BlockExecutor::new(
+            janus(2).panic_policy(PanicPolicy::Poison),
+            store,
+            PipelineMode::Pipelined,
+        );
+        let good_before = exec.execute_block(counter_tasks(acct, 3, 1));
+        assert_eq!(good_before.status, BlockStatus::Committed);
+
+        let bad: Vec<Task> = (0..3)
+            .map(|i| {
+                Task::new(move |tx| {
+                    if i == 1 {
+                        panic!("mid-batch failure");
+                    }
+                    tx.add(acct, 1);
+                })
+            })
+            .collect();
+        let failed = exec.execute_block(bad);
+        assert_eq!(failed.status, BlockStatus::Failed);
+        assert_eq!(failed.error.as_deref(), Some("mid-batch failure"));
+
+        let good_after = exec.execute_block(counter_tasks(acct, 3, 1));
+        assert_eq!(good_after.status, BlockStatus::Committed);
+        assert_eq!(good_after.commits(), 3);
+
+        let report = exec.stats().report(exec.stream_wall_micros());
+        assert_eq!(report.blocks_committed, 2);
+        assert_eq!(report.blocks_failed, 1);
+        let (store, _, _) = exec.finish();
+        // 3 before, 3 after, plus whatever the poisoned block committed
+        // before dying (0..=2 of its tasks).
+        let v = match store.value(acct) {
+            Some(v) => v.as_int().expect("int"),
+            None => panic!("acct present"),
+        };
+        assert!((6..=8).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn pipelined_stream_reuses_pool_threads() {
+        let mut store = Store::new();
+        let acct = store.alloc("acct", Value::int(0));
+        let mut exec = BlockExecutor::new(janus(2), store, PipelineMode::Pipelined);
+        let blocks: Vec<Vec<Task>> = (0..6).map(|_| counter_tasks(acct, 4, 1)).collect();
+        let outcomes = exec.execute_blocks(blocks);
+        assert_eq!(outcomes.len(), 6);
+        let pool = exec.pool().stats();
+        assert_eq!(pool.dispatches, 6, "one pool dispatch per block");
+        assert_eq!(pool.lanes, 6, "2 * (threads + 1) warm lanes");
+        assert_eq!(pool.jobs_run, 12, "worker jobs only; no watchdog armed");
+    }
+}

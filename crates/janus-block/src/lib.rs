@@ -1,0 +1,38 @@
+//! Block execution as a service: a pipelined block executor over a
+//! long-lived JANUS [`Session`](janus_core::Session).
+//!
+//! The paper runs one task list to completion (`DOPARALLEL`). This
+//! crate runs an unbounded *stream* of blocks — batches of transactions
+//! arriving over time — against one persistent store:
+//!
+//! * a warm [`WorkerPool`] keeps worker threads alive across blocks and
+//!   dispatches each `run_batch` through per-lane injection slots;
+//! * [`BlockExecutor`] keeps up to two blocks in flight: block N+1
+//!   executes speculatively while block N validates and commits, with
+//!   a footprint-fingerprint [commit gate](crate::PipelinedLink)
+//!   making the block boundary a commit barrier *only for conflicting
+//!   footprints* (ordered runs degrade to a strict cross-block
+//!   barrier, preserving exact submission order);
+//! * [`AdmissionQueue`] bounds the number of queued blocks and sheds
+//!   load explicitly instead of queueing without limit;
+//! * failure is block-scoped: a poison panic or watchdog fire fails
+//!   only its block ([`BlockStatus::Failed`]); the session, the pool
+//!   and every other block keep running.
+//!
+//! The `janus-serve` binary wires these into a line-protocol service;
+//! `bench_serve` measures sustained throughput pipelined vs. barrier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod batch;
+mod executor;
+mod pool;
+mod stats;
+
+pub use admission::{Admission, AdmissionQueue};
+pub use batch::{BatchTracker, OrderedLink, PipelinedLink};
+pub use executor::{BlockExecutor, BlockOutcome, BlockStatus, PipelineMode, Submitted};
+pub use pool::{PoolStats, WorkerPool};
+pub use stats::{BatchReport, BlockStats, ServeReport, ServeStats};

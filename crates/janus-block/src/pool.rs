@@ -1,0 +1,308 @@
+//! The persistent worker pool: warm threads reused across batches.
+//!
+//! One pool thread per *lane*. A batch reserves one lane per worker job
+//! (all-or-nothing, so two pipelined batches can never deadlock on a
+//! half-reservation), each lane runs exactly one job to completion
+//! through its own injection slot, then returns itself to the free
+//! list. The lane's thread never exits between batches — the
+//! thread-reuse half of the ROADMAP's work-stealing refactor — and the
+//! free list is a LIFO stack, so a steady barrier-mode caller gets the
+//! same (cache-warm) lanes back batch after batch, while a pipelined
+//! caller alternates between two lane sets.
+//!
+//! Uses `std::sync` primitives throughout: the pool needs a `Condvar`,
+//! which the in-repo `parking_lot` shim does not provide.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use janus_core::{Job, JobExecutor};
+
+/// Shared pool state: one injection slot per lane plus the free-lane
+/// stack.
+struct PoolShared {
+    lanes: Vec<Lane>,
+    /// Indices of lanes with no job in flight. LIFO: the most recently
+    /// freed (warmest) lanes are handed out first.
+    free: Mutex<Vec<usize>>,
+    free_cv: Condvar,
+    shutdown: AtomicBool,
+    jobs_run: AtomicU64,
+    dispatches: AtomicU64,
+}
+
+/// One lane's injection slot: the single job the lane's thread should
+/// run next.
+struct Lane {
+    inbox: Mutex<Option<Job>>,
+    cv: Condvar,
+}
+
+/// A persistent pool of worker threads implementing
+/// [`JobExecutor`], so [`Janus::run_batch`](janus_core::Janus::run_batch)
+/// dispatches onto warm threads instead of spawning fresh ones.
+///
+/// Dropping the pool shuts the threads down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `lanes` persistent threads. A pipelined block
+    /// executor over `t`-thread batches needs `2 * (t + 1)` lanes (two
+    /// batches in flight, one watchdog lane each); [`WorkerPool::for_pipeline`]
+    /// computes that.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1, "a pool needs at least one lane");
+        let shared = Arc::new(PoolShared {
+            lanes: (0..lanes)
+                .map(|_| Lane {
+                    inbox: Mutex::new(None),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            free: Mutex::new((0..lanes).rev().collect()),
+            free_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs_run: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+        });
+        let threads = (0..lanes)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("janus-lane-{i}"))
+                    .spawn(move || lane_loop(i, &shared))
+                    .expect("spawn pool lane")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// A pool sized for a two-deep pipeline of `threads`-worker batches:
+    /// `2 * (threads + 1)` lanes (each in-flight batch takes one lane
+    /// per worker plus one for an armed watchdog).
+    pub fn for_pipeline(threads: usize) -> Self {
+        WorkerPool::new(2 * (threads + 1))
+    }
+
+    /// Number of lanes (persistent threads).
+    pub fn lanes(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Jobs completed and `run_jobs` calls served so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            lanes: self.shared.lanes.len() as u64,
+            jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
+            dispatches: self.shared.dispatches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Persistent threads in the pool.
+    pub lanes: u64,
+    /// Jobs completed across the pool's lifetime.
+    pub jobs_run: u64,
+    /// `run_jobs` calls (batch dispatches) served.
+    pub dispatches: u64,
+}
+
+fn lane_loop(idx: usize, shared: &PoolShared) {
+    loop {
+        let job = {
+            let lane = &shared.lanes[idx];
+            let mut inbox = lane.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = inbox.take() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inbox = lane.cv.wait(inbox).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Jobs handed to the pool are pre-wrapped by `run_jobs`: they
+        // catch their own unwinds, so a panicking batch job can never
+        // kill a pool thread.
+        job();
+        // The lane frees itself only after its job completed, so a
+        // reservation always gets idle threads.
+        let mut free = shared.free.lock().unwrap_or_else(|e| e.into_inner());
+        free.push(idx);
+        drop(free);
+        shared.free_cv.notify_all();
+    }
+}
+
+impl JobExecutor for WorkerPool {
+    fn run_jobs(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let n = jobs.len();
+        assert!(
+            n <= self.shared.lanes.len(),
+            "batch needs {n} lanes but the pool has {}",
+            self.shared.lanes.len()
+        );
+        self.shared.dispatches.fetch_add(1, Ordering::Relaxed);
+        // All-or-nothing reservation: take every lane this batch needs
+        // in one critical section, or wait. Partial reservations could
+        // deadlock two concurrent batches against each other.
+        let reserved: Vec<usize> = {
+            let mut free = self.shared.free.lock().unwrap_or_else(|e| e.into_inner());
+            while free.len() < n {
+                free = self
+                    .shared
+                    .free_cv
+                    .wait(free)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            let cut = free.len() - n;
+            free.split_off(cut)
+        };
+        // Completion latch: remaining jobs + the first panic payload.
+        type Latch = (
+            Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+            Condvar,
+        );
+        let latch: Arc<Latch> = Arc::new((Mutex::new((n, None)), Condvar::new()));
+        for (&lane_idx, job) in reserved.iter().zip(jobs) {
+            let latch = Arc::clone(&latch);
+            let shared = Arc::clone(&self.shared);
+            let wrapped: Job = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                // Count before releasing the latch so `stats()` read
+                // after `run_jobs` returns is never stale.
+                shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                let (lock, cv) = &*latch;
+                let mut state = lock.lock().unwrap_or_else(|e| e.into_inner());
+                state.0 -= 1;
+                if let Err(payload) = result {
+                    state.1.get_or_insert(payload);
+                }
+                drop(state);
+                cv.notify_all();
+            });
+            let lane = &self.shared.lanes[lane_idx];
+            *lane.inbox.lock().unwrap_or_else(|e| e.into_inner()) = Some(wrapped);
+            lane.cv.notify_one();
+        }
+        let (lock, cv) = &*latch;
+        let mut state = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while state.0 > 0 {
+            state = cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = state.1.take() {
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for lane in &self.shared.lanes {
+            // Take the inbox lock so no lane misses the flag between
+            // its check and its wait.
+            let _g = lane.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            lane.cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.shared.lanes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
+
+    fn thread_ids(pool: &WorkerPool, jobs: usize) -> HashSet<ThreadId> {
+        let ids = Arc::new(Mutex::new(HashSet::new()));
+        let batch: Vec<Job> = (0..jobs)
+            .map(|_| {
+                let ids = Arc::clone(&ids);
+                Box::new(move || {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                }) as Job
+            })
+            .collect();
+        pool.run_jobs(batch);
+        let set = ids.lock().unwrap().clone();
+        set
+    }
+
+    #[test]
+    fn pool_reuses_the_same_threads_across_batches() {
+        let pool = WorkerPool::new(4);
+        let first = thread_ids(&pool, 4);
+        let second = thread_ids(&pool, 4);
+        assert_eq!(first.len(), 4, "each job on its own lane");
+        assert_eq!(first, second, "warm lanes are reused, not respawned");
+        assert_eq!(pool.stats().jobs_run, 8);
+        assert_eq!(pool.stats().dispatches, 2);
+    }
+
+    #[test]
+    fn concurrent_dispatches_share_the_pool_without_deadlock() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (pool, counter) = (Arc::clone(&pool), Arc::clone(&counter));
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let jobs: Vec<Job> = (0..2)
+                            .map(|_| {
+                                let counter = Arc::clone(&counter);
+                                Box::new(move || {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }) as Job
+                            })
+                            .collect();
+                        pool.run_jobs(jobs);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 8 * 2);
+    }
+
+    #[test]
+    fn panicking_job_reraises_without_killing_the_lane() {
+        let pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_jobs(vec![Box::new(|| panic!("pool job boom")) as Job]);
+        }))
+        .expect_err("payload re-raised");
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"pool job boom"));
+        // The lane survived and serves the next batch.
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        pool.run_jobs(vec![Box::new(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        }) as Job]);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.stats().jobs_run, 2);
+    }
+}

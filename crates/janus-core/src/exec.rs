@@ -1,0 +1,89 @@
+//! Where a run's worker jobs execute: the [`JobExecutor`] seam between
+//! the batch runtime and its threads.
+//!
+//! [`Janus::run`](crate::Janus::run) historically spawned one fresh
+//! thread per worker inside a `std::thread::scope` and tore them down at
+//! run exit. The block-executor service (`janus-block`) reuses warm
+//! threads across batches instead; this trait is the seam both share.
+//! Jobs are `'static` closures over `Arc`-owned batch state, so an
+//! executor may run them on threads that outlive the call.
+
+/// One worker's whole contribution to a batch, boxed for dispatch.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Runs a batch's worker jobs to completion.
+///
+/// The contract `run_jobs` must uphold:
+///
+/// * every job runs exactly once, each on its own thread (jobs block on
+///   each other — ordered turns, commit gates — so multiplexing two
+///   jobs onto one thread can deadlock);
+/// * the call returns only after every job has returned or unwound;
+/// * if any job unwinds, the first captured payload is re-raised from
+///   `run_jobs` after the remaining jobs finish (mirroring
+///   `std::thread::scope`).
+pub trait JobExecutor: Send + Sync {
+    /// Runs every job concurrently and blocks until all are done.
+    fn run_jobs(&self, jobs: Vec<Job>);
+}
+
+/// The default executor: one fresh `std::thread` per job, joined before
+/// returning — the seed's spawn-per-run behavior behind the seam.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpawnExecutor;
+
+impl JobExecutor for SpawnExecutor {
+    fn run_jobs(&self, jobs: Vec<Job>) {
+        let handles: Vec<_> = jobs.into_iter().map(std::thread::spawn).collect();
+        let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn spawn_executor_runs_every_job_once() {
+        let n = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                Box::new(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        SpawnExecutor.run_jobs(jobs);
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn spawn_executor_reraises_the_first_panic_after_draining() {
+        let n = Arc::new(AtomicU64::new(0));
+        let mut jobs: Vec<Job> = Vec::new();
+        jobs.push(Box::new(|| panic!("job boom")));
+        for _ in 0..3 {
+            let n = Arc::clone(&n);
+            jobs.push(Box::new(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SpawnExecutor.run_jobs(jobs)
+        }))
+        .expect_err("panic re-raised");
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"job boom"));
+        assert_eq!(n.load(Ordering::Relaxed), 3, "other jobs still ran");
+    }
+}

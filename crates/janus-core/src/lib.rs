@@ -55,12 +55,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
 mod runtime;
 mod shard;
 mod store;
 mod txview;
 
-pub use runtime::{Janus, Outcome, PanicPolicy, RunStats, Task, TaskFailure};
+pub use exec::{Job, JobExecutor, SpawnExecutor};
+pub use runtime::{
+    BatchOutcome, CommitGate, Janus, Outcome, PanicPolicy, RunStats, Session, Task, TaskFailure,
+};
 pub use shard::{ShardReport, ShardStatsSnapshot};
 pub use store::{SnapshotState, Store};
 pub use txview::TxView;

@@ -7,16 +7,17 @@ use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
 use janus_fault::{FaultKind, FaultPlan};
-use janus_log::{ClassId, CommittedLog, HistoryWindow, SHARD_SPACE};
+use janus_log::{ClassId, CommittedLog, Fingerprint, HistoryWindow, SHARD_SPACE};
 use janus_obs::{AbortReason, EventKind, Recorder, RingHandle};
 use janus_sched::{
     backoff, DegradeConfig, DegradeController, Fifo, Parker, SchedStats, SchedulePolicy, TaskSource,
 };
 use janus_train::{train, CommutativityCache, TrainConfig, TrainReport, TrainingRun};
 
+use crate::exec::{Job, JobExecutor, SpawnExecutor};
 use crate::shard::{
-    merge_slots, partition_slots, ActiveBegins, Oracle, SeqEntry, Shard, ShardReport,
-    DEFAULT_SHARDS,
+    merge_slots, partition_slots, report, snapshot_slots, ActiveBegins, Oracle, SeqEntry, Shard,
+    ShardReport, DEFAULT_SHARDS,
 };
 use crate::store::{SnapshotState, Store};
 use crate::txview::TxView;
@@ -123,27 +124,176 @@ impl Drop for LiveGuard<'_> {
     }
 }
 
-/// One run's shared state, bundled so every worker, the watchdog, and
-/// each attempt see the same view without Figure 7's parameter list
-/// growing past readability.
-struct RunCtx<'a> {
-    /// The commit-sequence oracle: one fetch-add ticket counter.
-    oracle: &'a Oracle,
-    /// The ordered-mode commit turn (1-based task id whose commit is
-    /// next). Untouched in unordered runs.
-    turn: &'a AtomicU64,
+/// A cross-batch commit barrier, consulted by committers right before
+/// they take the shard locks. `janus-block` implements it over
+/// footprint fingerprints so batch N+1 commits freely once its
+/// transaction is provably disjoint from everything batch N ran, and
+/// waits only when the footprints may intersect.
+///
+/// All three methods are called concurrently from worker threads. A
+/// gate must be monotone: once `may_commit` returns `true` for a
+/// fingerprint it must keep returning `true` (committers poll it).
+pub trait CommitGate: Send + Sync {
+    /// Records one executed attempt of task `tid` and the fingerprint
+    /// of the log it produced (called once per attempt, before
+    /// validation — retries can only widen the recorded footprint).
+    fn note_executed(&self, tid: u64, fingerprint: &Fingerprint);
+
+    /// Records that task `tid` will never produce a committed log
+    /// (isolated after a body panic).
+    fn note_failed(&self, tid: u64);
+
+    /// May a validated transaction with this fingerprint commit now?
+    fn may_commit(&self, tid: u64, fingerprint: &Fingerprint) -> bool;
+}
+
+/// The state that outlives one batch: the commit-sequence oracle, the
+/// in-flight begin multiset (the GC watermark), and the sharded store.
+/// Everything per-batch lives in `BatchCtx` instead.
+struct SessionCore {
+    /// The commit-sequence oracle: one fetch-add ticket counter,
+    /// monotone across every batch of the session.
+    oracle: Oracle,
+    /// In-flight begin tickets across *all* concurrent batches — the
+    /// epoch watermark that fences cross-batch history reclamation.
+    active: ActiveBegins,
     /// The class-hash-routed store shards, each behind its own lock.
-    shards: &'a [Shard],
-    active: &'a ActiveBegins,
-    counters: &'a RunCounters,
-    source: &'a dyn TaskSource,
-    controller: Option<&'a DegradeController>,
-    poisoned: &'a AtomicBool,
-    phases: &'a WorkerPhases,
-    failed: &'a parking_lot::Mutex<Vec<TaskFailure>>,
+    shards: Vec<Shard>,
+}
+
+impl SessionCore {
+    fn total_reclaimed(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.reclaimed_total()).sum()
+    }
+}
+
+/// A long-lived execution session over one store: batches submitted
+/// through [`Janus::run_batch`] share the session's oracle, watermark
+/// and shards, so a later batch validates against — and is reclaimed
+/// with — everything earlier batches committed. Created by
+/// [`Janus::open_session`]; [`Janus::run`] is the one-batch special
+/// case.
+pub struct Session {
+    core: Arc<SessionCore>,
+    /// The store the session was opened over, minus its slots (which
+    /// live in the shards until [`Session::finish`]).
+    base: Store,
+    /// The next unassigned global task id (1-based, dense across
+    /// batches so fault-plan subjects and ordered turns stay unique).
+    next_tid: AtomicU64,
+}
+
+impl Session {
+    /// A point-in-time copy of the store, without closing the session
+    /// (read-locks one shard at a time; concurrent batches keep
+    /// committing).
+    pub fn store(&self) -> Store {
+        let mut store = self.base.clone();
+        store.slots = snapshot_slots(&self.core.shards);
+        store
+    }
+
+    /// Per-shard commit-path statistics since the session opened.
+    pub fn shard_report(&self) -> ShardReport {
+        report(&self.core.shards)
+    }
+
+    /// Commit tickets issued so far (commits + tombstones across all
+    /// batches).
+    pub fn commit_seq(&self) -> u64 {
+        self.core.oracle.now() - 1
+    }
+
+    /// Reserves `n` dense global task ids, returning the first.
+    pub fn reserve_tids(&self, n: u64) -> u64 {
+        self.next_tid.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Closes the session: tears the shards down into the final store
+    /// and the cumulative shard report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is still running on the session.
+    pub fn finish(self) -> (Store, ShardReport) {
+        let core = Arc::try_unwrap(self.core)
+            .ok()
+            .expect("no batch may be running when a session finishes");
+        let (slots, shard_stats) = merge_slots(core.shards);
+        let mut store = self.base;
+        store.slots = slots;
+        (store, shard_stats)
+    }
+}
+
+/// One batch's shared state, bundled so every worker, the watchdog, and
+/// each attempt see the same view without Figure 7's parameter list
+/// growing past readability. `Arc`-owned so worker jobs are `'static`
+/// and can run on pooled threads that outlive the batch call.
+struct BatchCtx {
+    core: Arc<SessionCore>,
+    tasks: Vec<Task>,
+    /// Global id of `tasks[0]`; task `i` runs as `first_tid + i`.
+    first_tid: u64,
+    /// The ordered-mode commit turn (global task id whose commit is
+    /// next, starting at `first_tid`). Untouched in unordered batches.
+    turn: AtomicU64,
+    counters: RunCounters,
+    source: Box<dyn TaskSource>,
+    controller: Option<DegradeController>,
+    /// Batch-scoped: a poisoned batch stops its own workers and waiters
+    /// without touching sibling batches on the same session.
+    poisoned: AtomicBool,
+    phases: WorkerPhases,
+    failed: parking_lot::Mutex<Vec<TaskFailure>>,
     /// Escalated retries without a degradation controller serialize on
-    /// this run-level token instead.
-    escalation: &'a parking_lot::Mutex<()>,
+    /// this batch-level token instead.
+    escalation: parking_lot::Mutex<()>,
+    panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    dumps: parking_lot::Mutex<Vec<String>>,
+    /// Workers still running (the watchdog's exit condition).
+    live: AtomicU64,
+    /// The cross-batch commit barrier, when this batch runs inside a
+    /// block pipeline.
+    gate: Option<Arc<dyn CommitGate>>,
+}
+
+impl BatchCtx {
+    fn oracle(&self) -> &Oracle {
+        &self.core.oracle
+    }
+
+    fn active(&self) -> &ActiveBegins {
+        &self.core.active
+    }
+
+    fn shards(&self) -> &[Shard] {
+        &self.core.shards
+    }
+}
+
+/// The result of one batch on a session: statistics only — the store
+/// stays in the session until [`Session::finish`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Execution statistics of this batch.
+    pub stats: RunStats,
+    /// Scheduling statistics of this batch.
+    pub sched: SchedStats,
+    /// Tasks isolated after a body panic under [`PanicPolicy::Isolate`],
+    /// sorted by global task id.
+    pub failed: Vec<TaskFailure>,
+    /// Diagnostic dumps emitted by the commit-clock watchdog, in order.
+    pub watchdog_dumps: Vec<String>,
+    /// Global id of the batch's first task.
+    pub first_tid: u64,
+    /// Whether the batch was poisoned without an unwinding payload
+    /// (a watchdog fire under [`PanicPolicy::Isolate`]): some tasks may
+    /// not have run. Always `false` when the batch drained normally.
+    pub poisoned: bool,
+    /// Ordered-mode commit turns released with a tombstone (failed
+    /// tasks). `commits + tombstones` tickets were drawn by this batch.
+    pub tombstones: u64,
 }
 
 /// One unit of work: a program plus its initial data values (`o ↦ ν`),
@@ -213,6 +363,10 @@ pub struct RunStats {
     /// Times the commit-clock watchdog observed no progress for a full
     /// interval and emitted a diagnostic dump.
     pub watchdog_fires: u64,
+    /// Validated transactions that had to park at the cross-batch
+    /// commit gate (footprint overlapped the predecessor batch) before
+    /// committing. Zero outside block pipelines.
+    pub commit_gate_waits: u64,
 }
 
 impl RunStats {
@@ -258,6 +412,7 @@ impl janus_obs::Snapshot for RunStats {
                 self.retry_budget_escalations,
             ),
             ("watchdog_fires".to_string(), self.watchdog_fires),
+            ("commit_gate_waits".to_string(), self.commit_gate_waits),
         ]
     }
 }
@@ -295,6 +450,7 @@ struct RunCounters {
     tasks_failed: AtomicU64,
     escalations: AtomicU64,
     watchdog_fires: AtomicU64,
+    gate_waits: AtomicU64,
     /// Commit turns of failed ordered tasks, released by consuming one
     /// oracle ticket without publishing any history entry. The oracle
     /// mirrors `commits + tombstones`.
@@ -304,6 +460,10 @@ struct RunCounters {
 /// The JANUS runtime: a conflict detector plus execution policy. Mirrors
 /// the `run`, `runInOrder` and `runOutOfOrder` entry points of the
 /// prototype's Java API via the [`Janus::ordered`] switch.
+///
+/// Cheap to clone: configuration is a handful of `Arc`s and scalars, so
+/// batch worker jobs can each carry their own copy onto pooled threads.
+#[derive(Clone)]
 pub struct Janus {
     detector: Arc<dyn ConflictDetector>,
     threads: usize,
@@ -472,6 +632,18 @@ impl Janus {
         &self.detector
     }
 
+    /// The configured worker-thread count. A batch dispatches this many
+    /// worker jobs (plus one watchdog job when armed), which is what an
+    /// external [`JobExecutor`](crate::JobExecutor) must accommodate.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether commits are ordered (`runInOrder`).
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
     /// `DOPARALLEL`: runs every task to successful commit and returns the
     /// final state.
     ///
@@ -490,142 +662,137 @@ impl Janus {
     /// watchdog ([`Janus::watchdog`]) that declares the run hung still
     /// panics under `Poison`.
     pub fn run(&self, store: Store, tasks: Vec<Task>) -> Outcome {
-        let started = Instant::now();
-        let shards = partition_slots(&store.slots, self.shards);
-        let oracle = Oracle::new();
-        let turn = AtomicU64::new(1);
-        let active = ActiveBegins::default();
-        let counters = RunCounters::default();
-        let ops_scanned_at_start = self.detector.stats().ops_scanned();
-        let segments_skipped_at_start = self.detector.stats().segments_skipped();
-        let segments_scanned_at_start = self.detector.stats().segments_scanned();
-        let faults_at_start = self.faults.as_ref().map_or(0, |f| f.stats().injected());
-        let poisoned = AtomicBool::new(false);
-        let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
-            parking_lot::Mutex::new(None);
-        let failed: parking_lot::Mutex<Vec<TaskFailure>> = parking_lot::Mutex::new(Vec::new());
-        let dumps: parking_lot::Mutex<Vec<String>> = parking_lot::Mutex::new(Vec::new());
-        // The run-level escalation token, used when no degradation
-        // controller (whose token is shared instead) is configured.
-        let escalation = parking_lot::Mutex::new(());
-        let workers = self.threads.min(tasks.len().max(1));
-        let phases = WorkerPhases::new(workers);
-        let live = AtomicU64::new(workers as u64);
-        // One dispatch state per run: the policy is reusable config, the
-        // source is this run's shared queue/counter state.
-        let source = self.schedule.bind(tasks.len(), workers);
-        // Degradation is unordered-only: a serialized retry waiting for
-        // its commit turn while holding the token would deadlock any
-        // predecessor whose own retry needs the token.
-        let controller = if self.ordered {
-            None
-        } else {
-            self.degrade.clone().map(DegradeController::new)
-        };
-        let ctx = RunCtx {
-            oracle: &oracle,
-            turn: &turn,
-            shards: &shards,
-            active: &active,
-            counters: &counters,
-            source: source.as_ref(),
-            controller: controller.as_ref(),
-            poisoned: &poisoned,
-            phases: &phases,
-            failed: &failed,
-            escalation: &escalation,
-        };
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let (tasks, ctx) = (&tasks, &ctx);
-                let (panic_payload, live) = (&panic_payload, &live);
-                scope.spawn(move || {
-                    // The decrement rides a drop guard so the watchdog
-                    // can never wait on a worker that already unwound.
-                    let _live = LiveGuard(live);
-                    // One event ring per worker, registered up front so
-                    // the per-task path never touches the recorder.
-                    let obs = self
-                        .recorder
-                        .as_ref()
-                        .map(|r| r.register(format!("worker-{w}")));
-                    loop {
-                        // Acquire pairs with the Release poison store so
-                        // a bailing worker sees why it is bailing.
-                        if ctx.poisoned.load(Ordering::Acquire) {
-                            break;
-                        }
-                        ctx.phases.set(w, phase::IDLE, 0);
-                        let i = match ctx.source.next_task(w) {
-                            Some(i) => i,
-                            None => break,
-                        };
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_task(&tasks[i], (i + 1) as u64, w, ctx, obs.as_ref())
-                        }));
-                        if let Err(payload) = result {
-                            // Release publishes the failure to every
-                            // worker's and waiter's Acquire load.
-                            ctx.poisoned.store(true, Ordering::Release);
-                            // Close the panicking attempt's lifecycle so
-                            // abort attribution does not lose it; the
-                            // distinct reason keeps it out of contention
-                            // statistics.
-                            if let Some(o) = obs.as_ref() {
-                                o.record(EventKind::Abort {
-                                    task: (i + 1) as u64,
-                                    reason: AbortReason::Poisoned,
-                                });
-                            }
-                            panic_payload.lock().get_or_insert(payload);
-                            break;
-                        }
-                    }
-                    ctx.phases.set(w, phase::DONE, 0);
-                });
-            }
-            if let Some(interval) = self.watchdog {
-                let (ctx, dumps) = (&ctx, &dumps);
-                let (panic_payload, live) = (&panic_payload, &live);
-                scope.spawn(move || self.watchdog_loop(interval, ctx, dumps, panic_payload, live));
-            }
-        });
-
-        if let Some(payload) = panic_payload.into_inner() {
-            std::panic::resume_unwind(payload);
-        }
+        let session = self.open_session(store);
+        let batch = self.run_batch(&session, tasks, &SpawnExecutor, None);
         // Commits come from the dedicated counter; the oracle mirrors
         // commits + tombstones (released turns of failed ordered tasks)
         // but is an implementation detail of sequencing, not a
         // statistic. Poisoned runs stop drawing tickets mid-flight, so
         // the identity only holds for runs that drained normally.
-        let commits = counters.commits.load(Ordering::Relaxed);
-        if !poisoned.load(Ordering::Acquire) {
-            debug_assert_eq!(
-                commits + counters.tombstones.load(Ordering::Relaxed),
-                oracle.now() - 1
-            );
+        if !batch.poisoned {
+            debug_assert_eq!(batch.stats.commits + batch.tombstones, session.commit_seq());
         }
-        let mut sched = source.stats();
-        if let Some(c) = &controller {
-            c.merge_into(&mut sched);
-        }
-        let (slots, shard_stats) = merge_slots(shards);
-        let mut final_store = store;
-        final_store.slots = slots;
-        let mut failed = failed.into_inner();
-        failed.sort_by_key(|f| f.task);
+        let (final_store, shard_stats) = session.finish();
         Outcome {
             store: final_store,
+            sched: batch.sched,
+            failed: batch.failed,
+            watchdog_dumps: batch.watchdog_dumps,
+            stats: batch.stats,
+            shard_stats,
+        }
+    }
+
+    /// Opens a long-lived [`Session`] over a store: the oracle, the GC
+    /// watermark and the sharded slots persist across every
+    /// [`Janus::run_batch`] submitted to it, so later batches validate
+    /// against earlier batches' commits.
+    pub fn open_session(&self, store: Store) -> Session {
+        let shards = partition_slots(&store.slots, self.shards);
+        let mut base = store;
+        base.slots = Default::default();
+        Session {
+            core: Arc::new(SessionCore {
+                oracle: Oracle::new(),
+                active: ActiveBegins::default(),
+                shards,
+            }),
+            base,
+            next_tid: AtomicU64::new(1),
+        }
+    }
+
+    /// Runs one batch of tasks on a session, dispatching its worker
+    /// jobs through `executor` (fresh threads for [`SpawnExecutor`], a
+    /// warm pool for `janus-block`) and consulting `gate` — when given —
+    /// before every commit.
+    ///
+    /// Batches on one session may run concurrently: the block pipeline
+    /// overlaps batch N+1's speculative execution with batch N's
+    /// validation and commit, and the shared oracle/watermark keep
+    /// cross-batch snapshots and GC sound. Poisoning is batch-scoped: a
+    /// panic under [`PanicPolicy::Poison`] propagates from this call
+    /// without stopping sibling batches.
+    pub fn run_batch(
+        &self,
+        session: &Session,
+        tasks: Vec<Task>,
+        executor: &dyn JobExecutor,
+        gate: Option<Arc<dyn CommitGate>>,
+    ) -> BatchOutcome {
+        let started = Instant::now();
+        let first_tid = session.reserve_tids(tasks.len() as u64);
+        let ops_scanned_at_start = self.detector.stats().ops_scanned();
+        let segments_skipped_at_start = self.detector.stats().segments_skipped();
+        let segments_scanned_at_start = self.detector.stats().segments_scanned();
+        let faults_at_start = self.faults.as_ref().map_or(0, |f| f.stats().injected());
+        let reclaimed_at_start = session.core.total_reclaimed();
+        let workers = self.threads.min(tasks.len().max(1));
+        let ctx = Arc::new(BatchCtx {
+            core: Arc::clone(&session.core),
+            first_tid,
+            turn: AtomicU64::new(first_tid),
+            counters: RunCounters::default(),
+            // One dispatch state per batch: the policy is reusable
+            // config, the source is this batch's shared queue state.
+            source: self.schedule.bind(tasks.len(), workers),
+            // Degradation is unordered-only: a serialized retry waiting
+            // for its commit turn while holding the token would deadlock
+            // any predecessor whose own retry needs the token.
+            controller: if self.ordered {
+                None
+            } else {
+                self.degrade.clone().map(DegradeController::new)
+            },
+            poisoned: AtomicBool::new(false),
+            phases: WorkerPhases::new(workers),
+            failed: parking_lot::Mutex::new(Vec::new()),
+            escalation: parking_lot::Mutex::new(()),
+            panic_payload: parking_lot::Mutex::new(None),
+            dumps: parking_lot::Mutex::new(Vec::new()),
+            live: AtomicU64::new(workers as u64),
+            gate,
+            tasks,
+        });
+        let cfg = Arc::new(self.clone());
+        let mut jobs: Vec<Job> = Vec::with_capacity(workers + 1);
+        for w in 0..workers {
+            let (cfg, ctx) = (Arc::clone(&cfg), Arc::clone(&ctx));
+            jobs.push(Box::new(move || cfg.worker_loop(w, &ctx)));
+        }
+        if let Some(interval) = self.watchdog {
+            let (cfg, ctx) = (Arc::clone(&cfg), Arc::clone(&ctx));
+            jobs.push(Box::new(move || cfg.watchdog_loop(interval, &ctx)));
+        }
+        executor.run_jobs(jobs);
+
+        if let Some(payload) = ctx.panic_payload.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        let counters = &ctx.counters;
+        let commits = counters.commits.load(Ordering::Relaxed);
+        let mut sched = ctx.source.stats();
+        if let Some(c) = &ctx.controller {
+            c.merge_into(&mut sched);
+        }
+        let mut failed = std::mem::take(&mut *ctx.failed.lock());
+        failed.sort_by_key(|f| f.task);
+        let watchdog_dumps = std::mem::take(&mut *ctx.dumps.lock());
+        BatchOutcome {
             sched,
             failed,
-            watchdog_dumps: dumps.into_inner(),
+            watchdog_dumps,
+            first_tid,
+            poisoned: ctx.poisoned.load(Ordering::Acquire),
+            tombstones: counters.tombstones.load(Ordering::Relaxed),
             stats: RunStats {
                 commits,
                 retries: counters.retries.load(Ordering::Relaxed),
                 wall: started.elapsed(),
-                history_reclaimed: shard_stats.total_reclaimed(),
+                history_reclaimed: session
+                    .core
+                    .total_reclaimed()
+                    .saturating_sub(reclaimed_at_start),
                 detect_ops_scanned: self
                     .detector
                     .stats()
@@ -650,9 +817,59 @@ impl Janus {
                 tasks_failed: counters.tasks_failed.load(Ordering::Relaxed),
                 retry_budget_escalations: counters.escalations.load(Ordering::Relaxed),
                 watchdog_fires: counters.watchdog_fires.load(Ordering::Relaxed),
+                commit_gate_waits: counters.gate_waits.load(Ordering::Relaxed),
             },
-            shard_stats,
         }
+    }
+
+    /// One worker's batch loop: pull a task index from the source, run
+    /// it to commit (or isolation), bail out when the batch is
+    /// poisoned. Under [`PanicPolicy::Poison`] the first escaping
+    /// payload is parked in the batch context and re-raised from
+    /// [`Janus::run_batch`].
+    fn worker_loop(&self, w: usize, ctx: &BatchCtx) {
+        // The decrement rides a drop guard so the watchdog can never
+        // wait on a worker that already unwound.
+        let _live = LiveGuard(&ctx.live);
+        // One event ring per worker, registered up front so the
+        // per-task path never touches the recorder.
+        let obs = self
+            .recorder
+            .as_ref()
+            .map(|r| r.register(format!("worker-{w}")));
+        loop {
+            // Acquire pairs with the Release poison store so a bailing
+            // worker sees why it is bailing.
+            if ctx.poisoned.load(Ordering::Acquire) {
+                break;
+            }
+            ctx.phases.set(w, phase::IDLE, 0);
+            let i = match ctx.source.next_task(w) {
+                Some(i) => i,
+                None => break,
+            };
+            let tid = ctx.first_tid + i as u64;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_task(&ctx.tasks[i], tid, w, ctx, obs.as_ref())
+            }));
+            if let Err(payload) = result {
+                // Release publishes the failure to every worker's and
+                // waiter's Acquire load.
+                ctx.poisoned.store(true, Ordering::Release);
+                // Close the panicking attempt's lifecycle so abort
+                // attribution does not lose it; the distinct reason
+                // keeps it out of contention statistics.
+                if let Some(o) = obs.as_ref() {
+                    o.record(EventKind::Abort {
+                        task: tid,
+                        reason: AbortReason::Poisoned,
+                    });
+                }
+                ctx.panic_payload.lock().get_or_insert(payload);
+                break;
+            }
+        }
+        ctx.phases.set(w, phase::DONE, 0);
     }
 
     /// The commit-clock watchdog: ticks at a tenth of the interval,
@@ -664,21 +881,14 @@ impl Janus {
     /// poisons the run so waiters drain instead of spinning forever
     /// (under [`PanicPolicy::Poison`] the hang also propagates as a
     /// panic from [`Janus::run`]).
-    fn watchdog_loop(
-        &self,
-        interval: Duration,
-        ctx: &RunCtx<'_>,
-        dumps: &parking_lot::Mutex<Vec<String>>,
-        panic_payload: &parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
-        live: &AtomicU64,
-    ) {
+    fn watchdog_loop(&self, interval: Duration, ctx: &BatchCtx) {
         let tick = (interval / 10).max(Duration::from_millis(1));
         let mut last = self.progress_vector(ctx);
         let mut stalled = Duration::ZERO;
         let mut fired = false;
         // Acquire pairs with the LiveGuard's AcqRel decrement: once the
         // count hits zero, every worker's final state is visible here.
-        while live.load(Ordering::Acquire) > 0 {
+        while ctx.live.load(Ordering::Acquire) > 0 {
             std::thread::sleep(tick);
             let cur = self.progress_vector(ctx);
             if cur != last {
@@ -697,9 +907,9 @@ impl Janus {
             ctx.counters.watchdog_fires.fetch_add(1, Ordering::Relaxed);
             let dump = self.render_watchdog_dump(stalled, ctx);
             eprintln!("{dump}");
-            dumps.lock().push(dump);
+            ctx.dumps.lock().push(dump);
             if self.panic_policy == PanicPolicy::Poison {
-                panic_payload.lock().get_or_insert_with(|| {
+                ctx.panic_payload.lock().get_or_insert_with(|| {
                     Box::new(format!(
                         "janus watchdog: no commit progress within {interval:?}"
                     )) as Box<dyn std::any::Any + Send>
@@ -711,9 +921,9 @@ impl Janus {
     }
 
     /// Everything whose movement counts as progress to the watchdog.
-    fn progress_vector(&self, ctx: &RunCtx<'_>) -> [u64; 7] {
+    fn progress_vector(&self, ctx: &BatchCtx) -> [u64; 7] {
         [
-            ctx.oracle.now(),
+            ctx.oracle().now(),
             // Relaxed: diagnostic sampling only — any observed movement
             // counts as progress, staleness just delays one tick.
             ctx.turn.load(Ordering::Relaxed),
@@ -728,14 +938,14 @@ impl Janus {
     /// The watchdog's diagnostic dump: what every worker was doing when
     /// progress stopped, how many were parked behind someone else, and
     /// which location classes were carrying the conflicts.
-    fn render_watchdog_dump(&self, stalled: Duration, ctx: &RunCtx<'_>) -> String {
+    fn render_watchdog_dump(&self, stalled: Duration, ctx: &BatchCtx) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
             out,
             "janus watchdog: no commit progress for {stalled:?} \
              (commit seq {}, {} commits, {} retries, {} failed)",
-            ctx.oracle.now(),
+            ctx.oracle().now(),
             ctx.counters.commits.load(Ordering::Relaxed),
             ctx.counters.retries.load(Ordering::Relaxed),
             ctx.counters.tasks_failed.load(Ordering::Relaxed),
@@ -771,7 +981,7 @@ impl Janus {
         task: &Task,
         tid: u64,
         worker: usize,
-        ctx: &RunCtx<'_>,
+        ctx: &BatchCtx,
         obs: Option<&RingHandle>,
     ) {
         // Consecutive aborts of this task (drives the backoff curve) and
@@ -797,7 +1007,7 @@ impl Janus {
                 // escalation token so escalated and degraded retries
                 // serialize against each other; without a controller the
                 // run-level token serves.
-                match ctx.controller {
+                match ctx.controller.as_ref() {
                     Some(c) => (Some(c.force_guard()), None),
                     None => (None, Some(ctx.escalation.lock())),
                 }
@@ -808,7 +1018,7 @@ impl Janus {
             // for the whole re-execution; first attempts stay optimistic.
             // An escalated attempt already holds the same token (the
             // mutex is not reentrant).
-            let _serial = match ctx.controller {
+            let _serial = match ctx.controller.as_ref() {
                 Some(c) if attempt > 0 && !escalated => c.serial_guard(&aborted_classes),
                 _ => None,
             };
@@ -823,15 +1033,15 @@ impl Janus {
             // because validation is per-location and each location
             // lives in exactly one shard (its snapshot value and its
             // window entries come from one consistent cut).
-            let n = ctx.shards.len();
-            let begin = ctx.oracle.now();
+            let n = ctx.shards().len();
+            let begin = ctx.oracle().now();
             if self.gc_history {
-                ctx.active.register(begin);
+                ctx.active().register(begin);
             }
             let mut begin_pos: Vec<u64> = Vec::with_capacity(n);
             let mut maps: Vec<janus_persist::PersistentMap<janus_log::LocId, crate::store::Slot>> =
                 Vec::with_capacity(n);
-            for shard in ctx.shards {
+            for shard in ctx.shards() {
                 let g = shard.data.read();
                 begin_pos.push(g.head());
                 maps.push(if self.eager_privatization {
@@ -896,7 +1106,7 @@ impl Janus {
                         // abort reason keeps these bailouts out of
                         // contention attribution.
                         if self.gc_history {
-                            ctx.active.unregister(begin);
+                            ctx.active().unregister(begin);
                         }
                         if let Some(o) = obs {
                             o.record(EventKind::Abort {
@@ -916,6 +1126,12 @@ impl Janus {
             // validation extension below and, on success, becomes the
             // history segment other transactions validate against.
             let txn_log = Arc::new(CommittedLog::new(std::mem::take(&mut tx.log)));
+            // Publish this attempt's footprint to the cross-batch gate
+            // before validating: successor batches can start proving
+            // disjointness while this transaction is still in flight.
+            if let Some(g) = ctx.gate.as_deref() {
+                g.note_executed(tid, txn_log.fingerprint());
+            }
             // The shards this transaction touched, ascending — the
             // canonical lock order of the commit path below.
             let mut touched: Vec<usize> = txn_log.index().locs.keys().map(|l| l.shard(n)).collect();
@@ -973,7 +1189,7 @@ impl Janus {
             loop {
                 ctx.phases.set(worker, phase::VALIDATING, tid);
                 if let Some(o) = obs {
-                    o.set_clock(ctx.oracle.now());
+                    o.set_clock(ctx.oracle().now());
                 }
                 // GETCOMMITTEDHISTORY, per touched shard — each read
                 // lock only clones `Arc`s to that shard's new committed
@@ -986,7 +1202,7 @@ impl Janus {
                 // location lives in exactly one shard.
                 let mut delta: Vec<Arc<CommittedLog>> = Vec::new();
                 for (k, &s) in touched.iter().enumerate() {
-                    let g = ctx.shards[s].data.read();
+                    let g = ctx.shards()[s].data.read();
                     let head = g.head();
                     if head > validated[k] {
                         g.collect_from(validated[k], &mut delta);
@@ -1027,7 +1243,7 @@ impl Janus {
                 if conflict {
                     ctx.counters.retries.fetch_add(1, Ordering::Relaxed);
                     if self.gc_history {
-                        ctx.active.unregister(begin);
+                        ctx.active().unregister(begin);
                     }
                     if let Some(o) = obs {
                         o.record(EventKind::Abort {
@@ -1035,7 +1251,7 @@ impl Janus {
                             reason: AbortReason::Conflict,
                         });
                     }
-                    if let Some(c) = ctx.controller {
+                    if let Some(c) = ctx.controller.as_ref() {
                         // The decomposition index holds one class per
                         // distinct location — clone from there instead of
                         // once per logged operation.
@@ -1050,7 +1266,9 @@ impl Janus {
                             }
                         }
                     }
-                    let hint = ctx.source.on_abort(worker, (tid - 1) as usize, attempt);
+                    let hint = ctx
+                        .source
+                        .on_abort(worker, (tid - ctx.first_tid) as usize, attempt);
                     attempt += 1;
                     if hint.steps > 0 {
                         if let Some(o) = obs {
@@ -1074,6 +1292,43 @@ impl Janus {
                         std::thread::sleep(Duration::from_micros(plan.stall_micros(tid, attempt)));
                     }
                 }
+                // The cross-batch commit gate: inside a block pipeline,
+                // a transaction whose footprint may intersect the
+                // predecessor batch parks here until that batch is done
+                // (batch boundaries are commit barriers only for
+                // conflicting footprints). Parking re-uses the
+                // ordered-wait phase word — same meaning: waiting on a
+                // predecessor's commit. Staleness accrued while parked
+                // is caught by the per-shard head check below, which
+                // re-validates just the delta.
+                if let Some(g) = ctx.gate.as_deref() {
+                    if !g.may_commit(tid, txn_log.fingerprint()) {
+                        ctx.counters.gate_waits.fetch_add(1, Ordering::Relaxed);
+                        ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
+                        let mut parker = Parker::new();
+                        loop {
+                            if ctx.poisoned.load(Ordering::Acquire) {
+                                // This batch is failing wholesale; the
+                                // gate may never open. Bail like an
+                                // ordered waiter.
+                                if self.gc_history {
+                                    ctx.active().unregister(begin);
+                                }
+                                if let Some(o) = obs {
+                                    o.record(EventKind::Abort {
+                                        task: tid,
+                                        reason: AbortReason::Poisoned,
+                                    });
+                                }
+                                return;
+                            }
+                            if g.may_commit(tid, txn_log.fingerprint()) {
+                                break;
+                            }
+                            parker.pause();
+                        }
+                    }
+                }
                 // COMMIT: write-lock exactly the touched shards, in
                 // ascending shard order (the global lock-ordering
                 // invariant that makes per-shard commits deadlock-free).
@@ -1082,8 +1337,8 @@ impl Janus {
                     let mut guards = Vec::with_capacity(touched.len());
                     for &s in &touched {
                         let t0 = Instant::now();
-                        guards.push(ctx.shards[s].data.write());
-                        ctx.shards[s].stats.lock_wait(t0.elapsed());
+                        guards.push(ctx.shards()[s].data.write());
+                        ctx.shards()[s].stats.lock_wait(t0.elapsed());
                     }
                     // Per-shard head check, replacing the old global
                     // `clock == now` test: if any touched shard's
@@ -1097,7 +1352,7 @@ impl Janus {
                     // are fully ordered by that shard's lock, so every
                     // shard's history stays seq-monotone and pruning
                     // below the watermark drops exactly a prefix.
-                    let seq = ctx.oracle.ticket();
+                    let seq = ctx.oracle().ticket();
                     for (k, g) in guards.iter_mut().enumerate() {
                         // Replay the pre-grouped plan: each touched
                         // value is cloned out of the persistent store
@@ -1120,7 +1375,7 @@ impl Janus {
                             seq,
                             log: Arc::clone(&publish[k]),
                         });
-                        ctx.shards[touched[k]].stats.commit();
+                        ctx.shards()[touched[k]].stats.commit();
                     }
                     ctx.counters.commits.fetch_add(1, Ordering::Relaxed);
                     if let Some(o) = obs {
@@ -1128,17 +1383,17 @@ impl Janus {
                         o.record(EventKind::Commit { task: tid });
                     }
                     if self.gc_history {
-                        ctx.active.unregister(begin);
+                        ctx.active().unregister(begin);
                         // Epoch reclamation: prune the held shards
                         // below the minimum active begin ticket (capped
                         // by the oracle when no transaction is in
                         // flight). The watermark read is lock-free.
-                        let floor = ctx.active.watermark().min(ctx.oracle.now());
+                        let floor = ctx.active().watermark().min(ctx.oracle().now());
                         let mut reclaimed = 0;
                         for (k, g) in guards.iter_mut().enumerate() {
                             let dropped = g.prune(floor);
                             if dropped > 0 {
-                                ctx.shards[touched[k]].stats.reclaimed(dropped);
+                                ctx.shards()[touched[k]].stats.reclaimed(dropped);
                             }
                             reclaimed += dropped;
                         }
@@ -1158,8 +1413,8 @@ impl Janus {
                 // Scheduler bookkeeping happens after the shard locks
                 // are released: none of it is on the commit critical
                 // path.
-                ctx.source.on_commit(worker, (tid - 1) as usize);
-                if let Some(c) = ctx.controller {
+                ctx.source.on_commit(worker, (tid - ctx.first_tid) as usize);
+                if let Some(c) = ctx.controller.as_ref() {
                     if let Some(on) = c.record(&[], false) {
                         if let Some(o) = obs {
                             o.record(EventKind::SchedDegrade { on });
@@ -1184,11 +1439,16 @@ impl Janus {
         begin: u64,
         attempt: u32,
         payload: Box<dyn std::any::Any + Send>,
-        ctx: &RunCtx<'_>,
+        ctx: &BatchCtx,
         obs: Option<&RingHandle>,
     ) {
         if self.gc_history {
-            ctx.active.unregister(begin);
+            ctx.active().unregister(begin);
+        }
+        // The gate must not wait forever on a task that will never
+        // produce a log.
+        if let Some(g) = ctx.gate.as_deref() {
+            g.note_failed(tid);
         }
         ctx.counters.tasks_failed.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = obs {
@@ -1215,7 +1475,7 @@ impl Janus {
     /// history entry: shard windows are positional, so a skipped turn
     /// leaves no hole for successors to validate against (the old
     /// clock-indexed history needed an empty tombstone log here).
-    fn release_turn_with_tombstone(&self, tid: u64, worker: usize, ctx: &RunCtx<'_>) {
+    fn release_turn_with_tombstone(&self, tid: u64, worker: usize, ctx: &BatchCtx) {
         ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
         let mut parker = Parker::new();
         // Acquire/Release on the turn as in the commit path.
@@ -1227,7 +1487,7 @@ impl Janus {
             }
             parker.pause();
         }
-        let _ = ctx.oracle.ticket();
+        let _ = ctx.oracle().ticket();
         ctx.counters.tombstones.fetch_add(1, Ordering::Relaxed);
         ctx.turn.store(tid + 1, Ordering::Release);
     }
@@ -1879,6 +2139,108 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("watchdog"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn session_batches_accumulate_and_assign_global_tids() {
+        // Two batches on one session: the second validates against (and
+        // builds on) the first's commits, and its task ids continue
+        // where the first stopped.
+        let mut store = Store::new();
+        let acc = store.alloc("acc", Value::int(0));
+        let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(3);
+        let session = janus.open_session(store);
+        let batch = |lo: i64, hi: i64| -> Vec<Task> {
+            (lo..=hi)
+                .map(|d| Task::new(move |tx: &mut TxView| tx.add(acc, d)))
+                .collect()
+        };
+        let b1 = janus.run_batch(&session, batch(1, 10), &SpawnExecutor, None);
+        assert_eq!(b1.stats.commits, 10);
+        assert_eq!(b1.first_tid, 1);
+        assert_eq!(
+            session.store().value(acc),
+            Some(&Value::int((1..=10).sum()))
+        );
+        let b2 = janus.run_batch(&session, batch(11, 20), &SpawnExecutor, None);
+        assert_eq!(b2.stats.commits, 10);
+        assert_eq!(b2.first_tid, 11, "task ids are dense across batches");
+        assert_eq!(session.commit_seq(), 20);
+        let (final_store, report) = session.finish();
+        assert_eq!(final_store.value(acc), Some(&Value::int((1..=20).sum())));
+        assert_eq!(report.0.iter().map(|s| s.commits).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn batch_poison_is_scoped_to_its_batch() {
+        // A Poison panic fails its own run_batch call; the session —
+        // and a subsequent batch — keep working.
+        let mut store = Store::new();
+        let acc = store.alloc("acc", Value::int(0));
+        let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(2);
+        let session = janus.open_session(store);
+        let mut tasks: Vec<Task> = (1..=4)
+            .map(|d| Task::new(move |tx: &mut TxView| tx.add(acc, d)))
+            .collect();
+        tasks.push(Task::new(|_tx: &mut TxView| panic!("batch boom")));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            janus.run_batch(&session, tasks, &SpawnExecutor, None)
+        }));
+        assert!(result.is_err(), "the poisoned batch propagates its panic");
+        let survivors: Vec<Task> = (1..=4)
+            .map(|d| Task::new(move |tx: &mut TxView| tx.add(acc, 10 * d)))
+            .collect();
+        let b2 = janus.run_batch(&session, survivors, &SpawnExecutor, None);
+        assert_eq!(b2.stats.commits, 4, "the session stays live");
+        assert!(!b2.poisoned);
+        let v = session
+            .store()
+            .value(acc)
+            .and_then(Value::as_int)
+            .expect("int");
+        assert!(v >= 100, "second batch's adds all landed: {v}");
+    }
+
+    /// A gate that denies each transaction's first poll and opens on the
+    /// second — every committer parks exactly once, deterministically,
+    /// exercising the park-and-poll commit path without cross-thread
+    /// timing.
+    #[derive(Default)]
+    struct OpenOnSecondPoll {
+        polls: parking_lot::Mutex<std::collections::BTreeMap<u64, u32>>,
+    }
+
+    impl CommitGate for OpenOnSecondPoll {
+        fn note_executed(&self, _tid: u64, _fp: &Fingerprint) {}
+
+        fn note_failed(&self, _tid: u64) {}
+
+        fn may_commit(&self, tid: u64, _fp: &Fingerprint) -> bool {
+            let mut polls = self.polls.lock();
+            let n = polls.entry(tid).or_insert(0);
+            *n += 1;
+            *n >= 2
+        }
+    }
+
+    #[test]
+    fn commit_gate_parks_committers_until_it_opens() {
+        let mut store = Store::new();
+        let acc = store.alloc("acc", Value::int(0));
+        let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(4);
+        let session = janus.open_session(store);
+        let tasks: Vec<Task> = (1..=8)
+            .map(|d| Task::new(move |tx: &mut TxView| tx.add(acc, d)))
+            .collect();
+        let gate = Arc::new(OpenOnSecondPoll::default());
+        let b = janus.run_batch(&session, tasks, &SpawnExecutor, Some(gate));
+        assert_eq!(b.stats.commits, 8);
+        assert_eq!(
+            b.stats.commit_gate_waits, 8,
+            "every committer parks exactly once at the gate"
+        );
+        let (final_store, _) = session.finish();
+        assert_eq!(final_store.value(acc), Some(&Value::int((1..=8).sum())));
     }
 
     #[test]

@@ -145,6 +145,35 @@ pub(crate) fn merge_slots(shards: Vec<Shard>) -> (PersistentMap<LocId, Slot>, Sh
     (slots, report)
 }
 
+/// Non-consuming variant of [`merge_slots`] for long-lived sessions:
+/// reassembles a point-in-time view of the slots by read-locking one
+/// shard at a time. A torn cut across shards is sound for the same
+/// reason per-begin snapshots are: each location lives in exactly one
+/// shard.
+pub(crate) fn snapshot_slots(shards: &[Shard]) -> PersistentMap<LocId, Slot> {
+    let mut slots = PersistentMap::default();
+    for shard in shards {
+        let g = shard.data.read();
+        for (loc, slot) in g.slots.iter() {
+            slots.insert(*loc, slot.clone());
+        }
+    }
+    slots
+}
+
+/// Non-consuming variant of the [`merge_slots`] report for long-lived
+/// sessions: snapshots every shard's counters and retained-history
+/// length without tearing the shards down.
+pub(crate) fn report(shards: &[Shard]) -> ShardReport {
+    ShardReport(
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.stats.snapshot(i, s.data.read().history.len()))
+            .collect(),
+    )
+}
+
 /// The commit-sequence oracle: a single fetch-add ticket counter that
 /// replaces the global commit clock. The counter starts at 1 (matching
 /// the seed protocol's clock), every commit — and every released ordered
@@ -262,6 +291,12 @@ impl ShardCounters {
     /// Records entries reclaimed from this shard.
     pub fn reclaimed(&self, n: u64) {
         self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Entries reclaimed from this shard so far (sessions subtract a
+    /// baseline to attribute reclamation to one batch).
+    pub fn reclaimed_total(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 
     /// Records one write-lock acquisition wait.

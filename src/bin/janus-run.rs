@@ -6,7 +6,7 @@
 //! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
 //!                            [--threads N] [--shards N] [--scale N] [--seed N]
 //!                            [--cache <file>] [--eager] [--no-gc]
-//!                            [--schedule fifo|backoff|affinity]
+//!                            [--schedule fifo|backoff|affinity] [--footprints mine|shard]
 //!                            [--degrade-threshold R] [--degrade-window N]
 //!                            [--panic-policy poison|isolate] [--max-attempts N]
 //!                            [--watchdog-ms N] [--fault-seed N] [--fault-rate R]
@@ -33,8 +33,12 @@
 //!
 //! `--schedule` picks the retry/dispatch policy: `fifo` (the default;
 //! immediate retry), `backoff` (deterministic randomized exponential
-//! backoff) or `affinity` (tasks routed to workers by footprint overlap,
-//! mined from a sequential hindsight pre-run). `--degrade-threshold R`
+//! backoff) or `affinity` (tasks routed to workers by footprint overlap).
+//! With affinity, `--footprints` picks the prediction source: `mine`
+//! (default) profiles a sequential hindsight pre-run, `shard` routes
+//! from the workload's declared footprints coarsened to shard
+//! identities — no pre-run, so the run starts immediately.
+//! `--degrade-threshold R`
 //! enables serial-fallback degradation: when a `--degrade-window`-sized
 //! window of attempts retries at ratio >= R, retries of hot-class tasks
 //! serialize until the window cools.
@@ -55,13 +59,16 @@ use janus::detect::{CachedSequenceDetector, ConflictDetector, SequenceDetector, 
 use janus::fault::FaultPlan;
 use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snapshot};
 use janus::sat::global_solver_stats;
-use janus::sched::{Affinity, Backoff, DegradeConfig, SchedulePolicy, TrainedFootprints};
+use janus::sched::{
+    Affinity, Backoff, DegradeConfig, ExactFootprints, SchedulePolicy, ShardFootprints,
+    TrainedFootprints,
+};
 use janus::train::{train, CommutativityCache, FrozenCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--shards N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--shards N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--footprints mine|shard]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +91,7 @@ const VALUE_FLAGS: &[&str] = &[
     "watchdog-ms",
     "fault-seed",
     "fault-rate",
+    "footprints",
 ];
 const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics"];
 
@@ -339,16 +347,39 @@ fn cmd_run(args: &Args) -> ExitCode {
     let schedule: Arc<dyn SchedulePolicy> = match schedule_name {
         "fifo" => Arc::new(janus::sched::Fifo),
         "backoff" => Arc::new(Backoff::default()),
-        "affinity" => {
-            // Hindsight profiling: mine each production task's exact
-            // footprint from a sequential pre-run on a cloned store,
-            // then route overlapping tasks to the same worker.
-            eprintln!("mining footprints from a sequential pre-run...");
-            let (_, training) = Janus::run_sequential(scenario.store.clone(), &scenario.tasks);
-            Arc::new(Affinity::new(Arc::new(
-                TrainedFootprints::from_training_run(&training),
-            )))
-        }
+        "affinity" => match args.value("footprints").unwrap_or("mine") {
+            "mine" => {
+                // Hindsight profiling: mine each production task's exact
+                // footprint from a sequential pre-run on a cloned store,
+                // then route overlapping tasks to the same worker.
+                eprintln!("mining footprints from a sequential pre-run...");
+                let (_, training) = Janus::run_sequential(scenario.store.clone(), &scenario.tasks);
+                Arc::new(Affinity::new(Arc::new(
+                    TrainedFootprints::from_training_run(&training),
+                )))
+            }
+            "shard" => {
+                // No pre-run: route from the workload's declared
+                // footprints, coarsened to the shard identities the
+                // commit path actually locks. Skips the sequential
+                // mining pass that doubles wall-clock on large inputs.
+                if scenario.footprints.is_empty() {
+                    eprintln!(
+                        "error: workload {name} declares no footprints; use --footprints mine"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("routing by declared footprints at shard granularity (no pre-run)...");
+                Arc::new(Affinity::new(Arc::new(ShardFootprints::new(
+                    Arc::new(ExactFootprints(scenario.footprints.clone())),
+                    shards,
+                ))))
+            }
+            other => {
+                eprintln!("error: flag --footprints: expected mine|shard, got {other:?}");
+                return usage();
+            }
+        },
         other => {
             eprintln!("unknown schedule {other:?}");
             return ExitCode::FAILURE;

@@ -1,0 +1,496 @@
+//! `janus-serve` — a long-running block-execution service over one
+//! persistent JANUS store.
+//!
+//! ```text
+//! janus-serve [--threads N] [--shards N] [--locs N]
+//!             [--mode pipelined|barrier] [--ordered]
+//!             [--max-inflight N] [--detector sequence|write-set]
+//!             [--panic-policy poison|isolate] [--max-attempts N]
+//!             [--watchdog-ms N] [--fault-seed N] [--fault-rate R]
+//!             [--metrics] [--listen ADDR]
+//! ```
+//!
+//! The service boots `--locs` integer accounts (classes `acct0..`,
+//! value 0) and then speaks a line protocol on stdin/stdout — or, with
+//! `--listen ADDR`, on successive TCP connections:
+//!
+//! ```text
+//! batch <id> <item> ...     submit one block; items are `i:+d` (add d
+//!                           to account i) or `i>j:d` (transfer d from
+//!                           i to j, two ops in one transaction)
+//!   -> admitted <id> txns=<n>   queued for execution
+//!   -> shed <id>                inflight queue full; batch dropped
+//! read <i>                  -> value <i> <v>   committed value now
+//! stats                     -> stats admitted=... shed=... ...
+//! drain                     wait for every admitted block
+//!   -> done <id> ... (one per block, as blocks retire)
+//!   -> drained commit_seq=<n>
+//! quit                      drain, report, exit (EOF does the same)
+//!   -> bye commit_seq=<n> txns_committed=<n>
+//! ```
+//!
+//! Every admitted block eventually produces exactly one
+//! `done <id> status=committed|failed commits=<c> ...` line. Failure is
+//! block-scoped: a poison panic or watchdog fire inside one block
+//! yields `status=failed` for that block and the service keeps serving
+//! — the satellite containment guarantee, exercised by the CI serve
+//! job with `--fault-rate`.
+//!
+//! Admission control is a bounded inflight queue (`--max-inflight`,
+//! default 4): when the pipeline lags, new batches are *shed* with a
+//! distinct response instead of queueing without bound, and the queue
+//! depth histogram lands in the `--metrics` report under
+//! `serve.inflight_depth`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use janus::block::{
+    Admission, AdmissionQueue, BlockExecutor, BlockOutcome, BlockStatus, PipelineMode, ServeStats,
+};
+use janus::core::{Janus, PanicPolicy, Store, Task};
+use janus::detect::{ConflictDetector, SequenceDetector, WriteSetDetector};
+use janus::fault::FaultPlan;
+use janus::log::LocId;
+use janus::obs::MetricsRegistry;
+use janus::relational::Value;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  janus-serve [--threads N] [--shards N] [--locs N] [--mode pipelined|barrier]\n              [--ordered] [--max-inflight N] [--detector sequence|write-set]\n              [--panic-policy poison|isolate] [--max-attempts N] [--watchdog-ms N]\n              [--fault-seed N] [--fault-rate R] [--metrics] [--listen ADDR]"
+    );
+    ExitCode::from(2)
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "threads",
+    "shards",
+    "locs",
+    "mode",
+    "max-inflight",
+    "detector",
+    "panic-policy",
+    "max-attempts",
+    "watchdog-ms",
+    "fault-seed",
+    "fault-rate",
+    "listen",
+];
+const BOOL_FLAGS: &[&str] = &["ordered", "metrics"];
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            if VALUE_FLAGS.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                flags.push((name.to_string(), Some(value)));
+            } else if BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), None));
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: invalid value {v:?}")),
+        }
+    }
+}
+
+/// One protocol command, as handed to the pipeline consumer. Batches go
+/// through bounded admission; everything else is control plane.
+enum Item {
+    Block { id: String, tasks: Vec<Task> },
+    Read { acct: usize },
+    Stats,
+    Drain,
+    Quit,
+}
+
+/// Parses one `batch` item token into a transaction over the accounts.
+/// `i:+d` / `i:-d` adds `d` to account `i`; `i>j:d` moves `d` from `i`
+/// to `j` as a single two-op transaction.
+fn parse_txn(token: &str, accounts: &[LocId]) -> Result<Task, String> {
+    let account = |s: &str| -> Result<LocId, String> {
+        let i: usize = s.parse().map_err(|_| format!("bad account {s:?}"))?;
+        accounts
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("account {i} out of range (locs={})", accounts.len()))
+    };
+    if let Some((from, rest)) = token.split_once('>') {
+        let (to, amt) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad transfer {token:?} (want i>j:d)"))?;
+        let (src, dst) = (account(from)?, account(to)?);
+        let amt: i64 = amt.parse().map_err(|_| format!("bad amount {amt:?}"))?;
+        Ok(Task::new(move |tx| {
+            tx.add(src, -amt);
+            tx.add(dst, amt);
+        }))
+    } else if let Some((acct, delta)) = token.split_once(':') {
+        let loc = account(acct)?;
+        let delta: i64 = delta.parse().map_err(|_| format!("bad delta {delta:?}"))?;
+        Ok(Task::new(move |tx| tx.add(loc, delta)))
+    } else {
+        Err(format!("bad item {token:?} (want i:d or i>j:d)"))
+    }
+}
+
+/// Renders one retired block as its `done` protocol line.
+fn done_line(id: &str, outcome: &BlockOutcome) -> String {
+    let status = match outcome.status {
+        BlockStatus::Committed => "committed",
+        BlockStatus::Failed => "failed",
+    };
+    let mut line = format!(
+        "done {id} status={status} commits={} retries={} latency_us={}",
+        outcome.commits(),
+        outcome.batch.as_ref().map_or(0, |b| b.stats.retries),
+        outcome.latency.as_micros(),
+    );
+    if let Some(err) = &outcome.error {
+        line.push_str(&format!(" error={:?}", err));
+    }
+    line
+}
+
+/// The pipeline consumer: owns the executor, drains the admission
+/// queue, writes `done`/`value`/`stats` lines.
+fn consume(
+    mut exec: BlockExecutor,
+    queue: Arc<AdmissionQueue<Item>>,
+    accounts: Vec<LocId>,
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+    metrics: bool,
+) {
+    let stats = Arc::clone(queue.stats());
+    // Block ids admitted but not yet reported, in submission order
+    // (the executor retires strictly FIFO).
+    let mut pending: std::collections::VecDeque<String> = Default::default();
+    let say = |line: String| {
+        let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    };
+    let report = |retired: Vec<BlockOutcome>, pending: &mut std::collections::VecDeque<String>| {
+        for outcome in retired {
+            let id = pending.pop_front().unwrap_or_else(|| "?".into());
+            stats.note_completed(1);
+            say(done_line(&id, &outcome));
+        }
+    };
+    while let Some(item) = queue.take() {
+        match item {
+            Item::Block { id, tasks } => {
+                pending.push_back(id);
+                let submitted = exec.submit(tasks);
+                report(submitted.retired, &mut pending);
+            }
+            Item::Read { acct } => match accounts.get(acct) {
+                Some(&loc) => {
+                    let snapshot = exec.store_snapshot();
+                    let v = snapshot.value(loc).and_then(Value::as_int).unwrap_or(0);
+                    say(format!("value {acct} {v}"));
+                }
+                None => say(format!("error account {acct} out of range")),
+            },
+            Item::Stats => {
+                report(exec.drain(), &mut pending);
+                let s = stats.report();
+                let b = exec.stats().report(exec.stream_wall_micros());
+                say(format!(
+                    "stats admitted={} shed={} completed={} txns_in={} txns_committed={} \
+                     blocks_failed={} gate_waits={} overlap_permille={}",
+                    s.admitted,
+                    s.shed,
+                    s.completed,
+                    s.txns_in,
+                    b.txns_committed,
+                    b.blocks_failed,
+                    b.gate_waits,
+                    b.overlap_permille,
+                ));
+            }
+            Item::Drain => {
+                report(exec.drain(), &mut pending);
+                say(format!("drained commit_seq={}", exec.commit_seq()));
+            }
+            Item::Quit => break,
+        }
+    }
+    report(exec.drain(), &mut pending);
+    let commit_seq = exec.commit_seq();
+    let wall = exec.stream_wall_micros();
+    let block_stats = Arc::clone(exec.stats());
+    let txns_committed = block_stats.report(wall).txns_committed;
+    let (_store, shard_report, tail) = exec.finish();
+    debug_assert!(tail.is_empty(), "drained before finish");
+    if metrics {
+        let mut m = MetricsRegistry::new();
+        block_stats.export(wall, &mut m);
+        stats.export(&mut m);
+        m.absorb(&shard_report);
+        m.merge_histogram("shard.lock_wait_ns", &shard_report.lock_wait_ns());
+        say("--- metrics ---".to_string());
+        let rendered = m.render();
+        for line in rendered.lines() {
+            say(line.to_string());
+        }
+    }
+    say(format!(
+        "bye commit_seq={commit_seq} txns_committed={txns_committed}"
+    ));
+}
+
+/// The protocol reader: parses lines, offers batches through admission,
+/// forwards control commands. Returns when the client quits or EOF.
+fn serve_connection(
+    input: impl BufRead,
+    queue: &AdmissionQueue<Item>,
+    accounts: &[LocId],
+    out: &Arc<Mutex<Box<dyn Write + Send>>>,
+) -> bool {
+    let stats = Arc::clone(queue.stats());
+    let say = |line: String| {
+        let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    };
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => {}
+            Some("batch") => {
+                let Some(id) = words.next() else {
+                    say("error batch needs an id".into());
+                    continue;
+                };
+                let tasks: Result<Vec<Task>, String> =
+                    words.map(|t| parse_txn(t, accounts)).collect();
+                match tasks {
+                    Err(e) => say(format!("error {e}")),
+                    Ok(tasks) if tasks.is_empty() => say("error empty batch".into()),
+                    Ok(tasks) => {
+                        let n = tasks.len() as u64;
+                        match queue.offer(Item::Block {
+                            id: id.to_string(),
+                            tasks,
+                        }) {
+                            Admission::Admitted => {
+                                stats.note_txns_in(n);
+                                say(format!("admitted {id} txns={n}"));
+                            }
+                            Admission::Shed => say(format!("shed {id}")),
+                            Admission::Closed => say(format!("closed {id}")),
+                        }
+                    }
+                }
+            }
+            Some("read") => match words.next().and_then(|w| w.parse().ok()) {
+                Some(acct) => queue.push(Item::Read { acct }),
+                None => say("error read needs an account index".into()),
+            },
+            Some("stats") => queue.push(Item::Stats),
+            Some("drain") => queue.push(Item::Drain),
+            Some("quit") => {
+                queue.push(Item::Quit);
+                return true;
+            }
+            Some(other) => say(format!("error unknown command {other:?}")),
+        }
+    }
+    false
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let parsed = (|| -> Result<(usize, usize, usize, usize, u64, u64), String> {
+        Ok((
+            args.numeric("threads", 4)?,
+            args.numeric("shards", 8)?,
+            args.numeric("locs", 64)?,
+            args.numeric("max-inflight", 4)?,
+            args.numeric("max-attempts", 0u64)?,
+            args.numeric("watchdog-ms", 0u64)?,
+        ))
+    })();
+    let (threads, shards, locs, max_inflight, max_attempts, watchdog_ms) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if locs == 0 || max_inflight == 0 {
+        eprintln!("error: --locs and --max-inflight must be at least 1");
+        return usage();
+    }
+    let mode = match args.value("mode").unwrap_or("pipelined") {
+        "pipelined" => PipelineMode::Pipelined,
+        "barrier" => PipelineMode::Barrier,
+        other => {
+            eprintln!("error: flag --mode: expected pipelined|barrier, got {other:?}");
+            return usage();
+        }
+    };
+    let detector: Arc<dyn ConflictDetector> = match args.value("detector").unwrap_or("sequence") {
+        "sequence" => Arc::new(SequenceDetector::new()),
+        "write-set" => Arc::new(WriteSetDetector::new()),
+        other => {
+            eprintln!("error: flag --detector: expected sequence|write-set, got {other:?}");
+            return usage();
+        }
+    };
+    let panic_policy = match args.value("panic-policy").unwrap_or("poison") {
+        "poison" => PanicPolicy::Poison,
+        "isolate" => PanicPolicy::Isolate,
+        other => {
+            eprintln!("error: flag --panic-policy: expected poison|isolate, got {other:?}");
+            return usage();
+        }
+    };
+    let fault_rate = match args.value("fault-rate").map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(r)) if (0.0..=1.0).contains(&r) => Some(r),
+        Some(_) => {
+            eprintln!("error: flag --fault-rate: expected a rate in [0, 1]");
+            return usage();
+        }
+    };
+    let fault_seed = match args.numeric::<u64>("fault-seed", 0) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let mut store = Store::new();
+    let accounts: Vec<LocId> = (0..locs)
+        .map(|i| store.alloc(format!("acct{i}").as_str(), Value::int(0)))
+        .collect();
+
+    let mut janus = Janus::new(detector)
+        .threads(threads)
+        .shards(shards)
+        .ordered(args.flag("ordered"))
+        .panic_policy(panic_policy);
+    if max_attempts > 0 {
+        janus = janus.max_attempts(max_attempts as u32);
+    }
+    if watchdog_ms > 0 {
+        janus = janus.watchdog(std::time::Duration::from_millis(watchdog_ms));
+    }
+    if args.value("fault-seed").is_some() || fault_rate.is_some() {
+        janus = janus.faults(Arc::new(FaultPlan::seeded(
+            fault_seed,
+            fault_rate.unwrap_or(FaultPlan::DEFAULT_RATE),
+        )));
+        {
+            // Injected panics are expected (and block-scoped under
+            // either policy); keep their backtraces out of the service
+            // log. Genuine panics still print.
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("janus-fault:"));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+        }
+    }
+
+    let exec = BlockExecutor::new(janus, store, mode);
+    let queue = Arc::new(AdmissionQueue::new(
+        max_inflight,
+        Arc::new(ServeStats::default()),
+    ));
+    let metrics = args.flag("metrics");
+
+    eprintln!(
+        "janus-serve: {threads} threads, {shards} shards, {locs} accounts, mode={mode:?}, \
+         max-inflight={max_inflight}"
+    );
+
+    if let Some(addr) = args.value("listen") {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("janus-serve: listening on {addr} (one session; quit ends the service)");
+        let Ok((conn, peer)) = listener.accept() else {
+            eprintln!("error: accept failed");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("janus-serve: client {peer}");
+        let Ok(write_half) = conn.try_clone() else {
+            eprintln!("error: cannot clone connection");
+            return ExitCode::FAILURE;
+        };
+        let out: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(write_half)));
+        let consumer = {
+            let (queue, accounts, out) = (Arc::clone(&queue), accounts.clone(), Arc::clone(&out));
+            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics))
+        };
+        if !serve_connection(BufReader::new(conn), &queue, &accounts, &out) {
+            queue.push(Item::Quit);
+        }
+        let _ = consumer.join();
+    } else {
+        let out: Arc<Mutex<Box<dyn Write + Send>>> =
+            Arc::new(Mutex::new(Box::new(std::io::stdout())));
+        let consumer = {
+            let (queue, accounts, out) = (Arc::clone(&queue), accounts.clone(), Arc::clone(&out));
+            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics))
+        };
+        let stdin = std::io::stdin();
+        if !serve_connection(stdin.lock(), &queue, &accounts, &out) {
+            queue.push(Item::Quit);
+        }
+        let _ = consumer.join();
+    }
+    ExitCode::SUCCESS
+}

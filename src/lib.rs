@@ -26,6 +26,7 @@
 //! | [`obs`] | `janus-obs` | lifecycle tracing, abort attribution, the unified metrics registry |
 //! | [`sched`] | `janus-sched` | contention-aware scheduling: backoff, affinity routing, serial-fallback degradation |
 //! | [`fault`] | `janus-fault` | deterministic fault-injection plans for chaos testing |
+//! | [`block`] | `janus-block` | the pipelined block-executor service: warm worker pool, cross-batch commit gating, admission control |
 //! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
 //!
 //! # Quickstart
@@ -119,6 +120,11 @@ pub mod sched {
 /// `janus-fault`).
 pub mod fault {
     pub use janus_fault::*;
+}
+
+/// The pipelined block-executor service (re-export of `janus-block`).
+pub mod block {
+    pub use janus_block::*;
 }
 
 /// The five evaluation benchmarks (re-export of `janus-workloads`).
