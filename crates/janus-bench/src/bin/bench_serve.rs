@@ -22,8 +22,17 @@
 //! shedding or duplicated by retries), and transfers must conserve the
 //! total balance.
 //!
-//! Usage: `bench-serve [--quick] [OUT.json]` (default `BENCH_serve.json`).
+//! With `--wal [POLICY]` the pipelined stream additionally runs with
+//! the commit journal attached — once at the given group-commit policy
+//! (default `every-n:8`) and once at `always` — and the journal
+//! overhead lands in a `wal_overhead` section of the JSON. Gate:
+//! group-commit durability must keep >= 0.7x of the no-WAL pipelined
+//! throughput.
+//!
+//! Usage: `bench-serve [--quick] [--wal [POLICY]] [OUT.json]`
+//! (default `BENCH_serve.json`).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,6 +41,7 @@ use janus_core::{Janus, Store, Task};
 use janus_detect::SequenceDetector;
 use janus_log::LocId;
 use janus_relational::Value;
+use janus_wal::{FsyncPolicy, Wal};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +122,18 @@ impl ModeResult {
 }
 
 fn run_mode(mode: PipelineMode, blocks: Vec<Vec<Task>>) -> ModeResult {
+    run_mode_wal(mode, blocks, None)
+}
+
+/// [`run_mode`] with an optional commit journal attached: every commit
+/// is framed and appended under the given fsync policy, and the journal
+/// is flushed with the final drain (the same promise `janus-serve`
+/// makes before printing `drained`).
+fn run_mode_wal(
+    mode: PipelineMode,
+    blocks: Vec<Vec<Task>>,
+    wal_cfg: Option<(PathBuf, FsyncPolicy)>,
+) -> ModeResult {
     let mut store = Store::new();
     let accounts: Vec<LocId> = (0..ACCOUNTS)
         .map(|i| store.alloc(format!("acct{i}").as_str(), Value::int(0)))
@@ -122,7 +144,14 @@ fn run_mode(mode: PipelineMode, blocks: Vec<Vec<Task>>) -> ModeResult {
     // coincide; the assert keeps that honest.)
     assert_eq!(accounts.len(), ACCOUNTS);
 
-    let janus = Janus::new(Arc::new(SequenceDetector::new())).threads(THREADS);
+    let mut janus = Janus::new(Arc::new(SequenceDetector::new())).threads(THREADS);
+    let wal = wal_cfg.map(|(dir, policy)| {
+        let _ = std::fs::remove_dir_all(&dir);
+        Wal::open(&dir, policy, 0).expect("open wal")
+    });
+    if let Some(wal) = &wal {
+        janus = janus.commit_sink(wal.sink());
+    }
     let mut exec = BlockExecutor::new(janus, store, mode);
     let t0 = Instant::now();
     let mut rows = Vec::new();
@@ -145,6 +174,9 @@ fn run_mode(mode: PipelineMode, blocks: Vec<Vec<Task>>) -> ModeResult {
         note(submitted.retired, &mut rows, &mut cum, &mut failed);
     }
     note(exec.drain(), &mut rows, &mut cum, &mut failed);
+    if let Some(wal) = &wal {
+        wal.flush().expect("flush wal");
+    }
     let wall = t0.elapsed();
 
     let report = exec.stats().report(exec.stream_wall_micros());
@@ -206,11 +238,31 @@ fn mode_json(r: &ModeResult) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    // `--wal` optionally eats a following policy token, so the out-path
+    // scan must skip whatever `--wal` consumed.
+    let mut wal_policy: Option<FsyncPolicy> = None;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--wal" => {
+                wal_policy = Some(FsyncPolicy::EveryN(8));
+                if let Some(next) = iter.peek() {
+                    if let Ok(p) = next.parse::<FsyncPolicy>() {
+                        wal_policy = Some(p);
+                        iter.next();
+                    }
+                }
+            }
+            other if !other.starts_with("--") => out_path = other.to_string(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: bench-serve [--quick] [--wal [POLICY]] [OUT.json]");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let blocks_n = if quick { 16 } else { 48 };
     let per_block = THREADS; // one txn per worker: service-sized blocks
@@ -257,12 +309,58 @@ fn main() {
     }
     let speedup = pipelined.txns_per_s() / barrier.txns_per_s();
 
+    // The durability tax: rerun the identical pipelined stream with the
+    // journal attached — once at the group-commit policy, once at
+    // `always` — and compare against the no-WAL pipelined run.
+    let wal_section = wal_policy.map(|policy| {
+        let scratch = PathBuf::from("target/tmp");
+        let group = run_mode_wal(
+            PipelineMode::Pipelined,
+            build_blocks(seed, blocks_n, per_block, &proto, think),
+            Some((scratch.join("bench-wal-group"), policy)),
+        );
+        let always = run_mode_wal(
+            PipelineMode::Pipelined,
+            build_blocks(seed, blocks_n, per_block, &proto, think),
+            Some((scratch.join("bench-wal-always"), FsyncPolicy::Always)),
+        );
+        for r in [&group, &always] {
+            assert_eq!(r.blocks_failed, 0, "wal run: no block may fail");
+            assert_eq!(
+                r.txns_committed, expected,
+                "wal run: every transaction commits exactly once"
+            );
+        }
+        let group_ratio = group.txns_per_s() / pipelined.txns_per_s();
+        let always_ratio = always.txns_per_s() / pipelined.txns_per_s();
+        eprintln!(
+            "wal overhead ({policy}): group={:.1} txn/s ({:.0}% of no-wal), \
+             always={:.1} txn/s ({:.0}% of no-wal)",
+            group.txns_per_s(),
+            group_ratio * 100.0,
+            always.txns_per_s(),
+            always_ratio * 100.0,
+        );
+        (policy, group, always, group_ratio, always_ratio)
+    });
+
+    let wal_json = match &wal_section {
+        None => String::new(),
+        Some((policy, group, always, group_ratio, always_ratio)) => format!(
+            "  \"wal_overhead\": {{\n  \"policy\": \"{policy}\",\n  \
+             \"group_commit_ratio\": {group_ratio:.3},\n  \"always_ratio\": {always_ratio:.3},\n  \
+             \"off\": {},\n  \"group_commit\": {},\n  \"always\": {}\n  }},\n",
+            mode_json(&pipelined),
+            mode_json(group),
+            mode_json(always),
+        ),
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"timeline\": \"real\",\n  \
          \"workload\": \"zipfian transfer service (s={ZIPF_S}, think={}us)\",\n  \
          \"threads\": {THREADS},\n  \"accounts\": {ACCOUNTS},\n  \"blocks\": {blocks_n},\n  \
-         \"txns_per_block\": {per_block},\n  \"speedup_pipelined_vs_barrier\": {speedup:.3},\n  \
-         \"barrier\": {},\n  \"pipelined\": {}\n}}\n",
+         \"txns_per_block\": {per_block},\n  \"speedup_pipelined_vs_barrier\": {speedup:.3},\n\
+         {wal_json}  \"barrier\": {},\n  \"pipelined\": {}\n}}\n",
         think.as_micros(),
         mode_json(&barrier),
         mode_json(&pipelined),
@@ -277,4 +375,14 @@ fn main() {
         speedup >= 1.3,
         "pipelined/barrier throughput ratio below gate: {speedup:.2}"
     );
+    // Gate: group-commit durability may cost at most 30% of the no-WAL
+    // pipelined throughput (the think time dominates; the journal
+    // append is buffered and fsyncs amortize across the group).
+    if let Some((policy, _, _, group_ratio, _)) = &wal_section {
+        assert!(
+            *group_ratio >= 0.7,
+            "wal group-commit ({policy}) keeps only {:.0}% of no-wal throughput (gate 70%)",
+            group_ratio * 100.0
+        );
+    }
 }

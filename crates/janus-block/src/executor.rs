@@ -107,6 +107,10 @@ pub struct BlockExecutor {
     mode: PipelineMode,
     stats: Arc<BlockStats>,
     seq: u64,
+    /// Commit-clock offset for recovered services: the session counts
+    /// from 1, [`BlockExecutor::commit_seq`] reports the global
+    /// sequence `base + session`.
+    seq_base: u64,
     prev: Option<Arc<BatchTracker>>,
     /// Every tracker ever linked, for overlap accounting.
     trackers: Vec<Arc<BatchTracker>>,
@@ -129,6 +133,7 @@ impl BlockExecutor {
             mode,
             stats: Arc::new(BlockStats::default()),
             seq: 0,
+            seq_base: 0,
             prev: None,
             trackers: Vec::new(),
             inflight: VecDeque::new(),
@@ -136,6 +141,15 @@ impl BlockExecutor {
             wall: Duration::ZERO,
             janus,
         }
+    }
+
+    /// Offsets the reported commit clock by a recovered base: a service
+    /// that replayed `base` journaled tickets on boot reports
+    /// continuations as `base + 1, base + 2, …`, keeping one dense
+    /// global sequence across restarts.
+    pub fn with_seq_base(mut self, base: u64) -> Self {
+        self.seq_base = base;
+        self
     }
 
     /// The pipeline mode in use.
@@ -160,9 +174,11 @@ impl BlockExecutor {
         self.session.store()
     }
 
-    /// Committed transactions so far, per the session's commit clock.
+    /// Committed transactions so far, per the session's commit clock —
+    /// global (offset by any recovered base, see
+    /// [`BlockExecutor::with_seq_base`]).
     pub fn commit_seq(&self) -> u64 {
-        self.session.commit_seq()
+        self.seq_base + self.session.commit_seq()
     }
 
     /// Blocks currently executing.

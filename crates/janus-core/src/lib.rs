@@ -63,7 +63,8 @@ mod txview;
 
 pub use exec::{Job, JobExecutor, SpawnExecutor};
 pub use runtime::{
-    BatchOutcome, CommitGate, Janus, Outcome, PanicPolicy, RunStats, Session, Task, TaskFailure,
+    BatchOutcome, CommitGate, CommitSink, Janus, Outcome, PanicPolicy, RunStats, Session, Task,
+    TaskFailure,
 };
 pub use shard::{ShardReport, ShardStatsSnapshot};
 pub use store::{SnapshotState, Store};

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use janus_detect::ConflictDetector;
 use janus_fault::{FaultKind, FaultPlan};
-use janus_log::{ClassId, CommittedLog, Fingerprint, HistoryWindow, SHARD_SPACE};
+use janus_log::{ClassId, CommittedLog, Fingerprint, HistoryWindow, Op, SHARD_SPACE};
 use janus_obs::{AbortReason, EventKind, Recorder, RingHandle};
 use janus_sched::{
     backoff, DegradeConfig, DegradeController, Fifo, Parker, SchedStats, SchedulePolicy, TaskSource,
@@ -145,6 +145,36 @@ pub trait CommitGate: Send + Sync {
 
     /// May a validated transaction with this fingerprint commit now?
     fn may_commit(&self, tid: u64, fingerprint: &Fingerprint) -> bool;
+}
+
+/// An observer of every commit ticket the session oracle issues — the
+/// seam the durable commit journal (`janus-wal`) hangs off.
+///
+/// [`CommitSink::committed`] is invoked inside the commit critical
+/// section, with every touched shard's write lock still held,
+/// immediately after the ticket draw and the shard publishes. That
+/// placement is the durability contract: every ticket the oracle ever
+/// issues reaches the sink exactly once — as a commit, or (for a failed
+/// ordered task's released turn) as a skip — so a sink can reconstruct
+/// the dense commit sequence. Commits touching disjoint shards run
+/// concurrently, so *calls arrive out of ticket order*; an ordering
+/// sink must reorder internally (the WAL buffers by ticket and drains
+/// the contiguous prefix).
+///
+/// Implementations must be fast and must never take a shard lock —
+/// they run under all of the committer's shard locks, and anything
+/// heavier than an append-to-buffer lengthens every conflicting
+/// commit's critical section.
+pub trait CommitSink: Send + Sync {
+    /// One committed transaction: its commit ticket, the bitmask of
+    /// store shards it touched, and its full operation log (reads
+    /// included; sinks that persist effects filter on
+    /// [`Op::is_write`]).
+    fn committed(&self, seq: u64, shard_mask: u64, ops: &[Op]);
+
+    /// One consumed-but-unpublished ticket: a failed ordered task's
+    /// commit turn, released with a tombstone.
+    fn skipped(&self, seq: u64);
 }
 
 /// The state that outlives one batch: the commit-sequence oracle, the
@@ -478,6 +508,7 @@ pub struct Janus {
     max_attempts: Option<u32>,
     watchdog: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
+    commit_sink: Option<Arc<dyn CommitSink>>,
 }
 
 impl Janus {
@@ -500,6 +531,7 @@ impl Janus {
             max_attempts: None,
             watchdog: None,
             faults: None,
+            commit_sink: None,
         }
     }
 
@@ -547,6 +579,16 @@ impl Janus {
     /// injection site is a single branch on `None`.
     pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a commit sink: every commit ticket the session oracle
+    /// issues is reported to the sink from inside the commit critical
+    /// section (see [`CommitSink`] for the ordering contract). With no
+    /// sink attached (the default), the commit path pays a single
+    /// branch on `None`.
+    pub fn commit_sink(mut self, sink: Arc<dyn CommitSink>) -> Self {
+        self.commit_sink = Some(sink);
         self
     }
 
@@ -1378,6 +1420,15 @@ impl Janus {
                         ctx.shards()[touched[k]].stats.commit();
                     }
                     ctx.counters.commits.fetch_add(1, Ordering::Relaxed);
+                    // The durability seam: report the committed ticket
+                    // while the touched shard locks are still held, so
+                    // every ticket reaches the sink exactly once (see
+                    // [`CommitSink`] for why calls may still arrive out
+                    // of ticket order across disjoint shards).
+                    if let Some(sink) = &self.commit_sink {
+                        let mask = touched.iter().fold(0u64, |m, &s| m | (1u64 << s));
+                        sink.committed(seq, mask, txn_log.ops());
+                    }
                     if let Some(o) = obs {
                         o.set_clock(seq + 1);
                         o.record(EventKind::Commit { task: tid });
@@ -1487,7 +1538,12 @@ impl Janus {
             }
             parker.pause();
         }
-        let _ = ctx.oracle().ticket();
+        let seq = ctx.oracle().ticket();
+        // The consumed ticket must still reach the sink: journals keep
+        // the seq stream dense by recording an explicit skip.
+        if let Some(sink) = &self.commit_sink {
+            sink.skipped(seq);
+        }
         ctx.counters.tombstones.fetch_add(1, Ordering::Relaxed);
         ctx.turn.store(tid + 1, Ordering::Release);
     }

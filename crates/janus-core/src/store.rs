@@ -111,6 +111,57 @@ impl Store {
         }
     }
 
+    /// Replays a decoded effect stream (location + mutating op kind)
+    /// onto the store, grouping per location — the recovery-side twin
+    /// of [`Store::apply_log`], fed by the durable commit journal,
+    /// which persists effects without their footprints or results.
+    ///
+    /// Returns the first location that is not allocated in this store,
+    /// if any — journal replay against a mis-provisioned boot store
+    /// must fail loudly, not panic.
+    pub fn apply_effects(&mut self, effects: &[(LocId, janus_log::OpKind)]) -> Result<(), LocId> {
+        let mut touched: std::collections::HashMap<LocId, Slot> = std::collections::HashMap::new();
+        for (loc, kind) in effects {
+            let slot = match touched.entry(*loc) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(self.slots.get(loc).ok_or(*loc)?.clone())
+                }
+            };
+            kind.apply(&mut slot.value);
+        }
+        for (loc, slot) in touched {
+            self.slots.insert(loc, slot);
+        }
+        Ok(())
+    }
+
+    /// Every allocated location with its class and current value, in
+    /// location order — the iteration a store snapshot serializes.
+    pub fn entries(&self) -> impl Iterator<Item = (LocId, &ClassId, &Value)> {
+        self.slots
+            .iter()
+            .map(|(loc, slot)| (*loc, &slot.class, &slot.value))
+    }
+
+    /// The allocation counter: how many locations [`Store::alloc`] has
+    /// issued. Persisted in snapshots so a restored store keeps
+    /// allocating fresh, non-colliding ids.
+    pub fn alloc_count(&self) -> u64 {
+        self.next
+    }
+
+    /// Rebuilds a store from snapshot parts: the allocation counter and
+    /// the full `(location, class, value)` listing, as produced by
+    /// [`Store::alloc_count`] and [`Store::entries`].
+    pub fn restore(next: u64, entries: impl IntoIterator<Item = (LocId, ClassId, Value)>) -> Store {
+        let mut slots = PersistentMap::default();
+        for (loc, class, value) in entries {
+            slots.insert(loc, Slot { class, value });
+        }
+        Store { slots, next }
+    }
+
     /// Extracts a plain location→value map (the [`MapState`] form used by
     /// training).
     pub fn to_map_state(&self) -> MapState {
@@ -213,6 +264,44 @@ mod tests {
         assert_eq!(snap.value(a), Some(&Value::int(1)));
         assert_eq!(s.value(a), Some(&Value::int(9)));
         assert_eq!(snap.value_of(a), Some(Value::int(1)));
+    }
+
+    #[test]
+    fn restore_roundtrips_entries_and_counter() {
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(4));
+        let b = s.alloc("y", Value::str("hi"));
+        let entries: Vec<_> = s
+            .entries()
+            .map(|(l, c, v)| (l, c.clone(), v.clone()))
+            .collect();
+        assert_eq!(entries.len(), 2);
+        let mut restored = Store::restore(s.alloc_count(), entries);
+        assert_eq!(restored.value(a), Some(&Value::int(4)));
+        assert_eq!(restored.value(b), Some(&Value::str("hi")));
+        // The counter survives: a post-restore alloc gets a fresh id.
+        let c = restored.alloc("x", Value::int(0));
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(restored.len(), 3);
+    }
+
+    #[test]
+    fn apply_effects_replays_and_rejects_unknown_locs() {
+        use janus_log::{OpKind, ScalarOp};
+        let mut s = Store::new();
+        let a = s.alloc("x", Value::int(10));
+        s.apply_effects(&[
+            (a, OpKind::Scalar(ScalarOp::Add(5))),
+            (a, OpKind::Scalar(ScalarOp::Max(100))),
+        ])
+        .expect("allocated location");
+        assert_eq!(s.value(a), Some(&Value::int(100)));
+        let ghost = LocId(a.0 + (1 << SHARD_BITS));
+        assert_eq!(
+            s.apply_effects(&[(ghost, OpKind::Scalar(ScalarOp::Add(1)))]),
+            Err(ghost)
+        );
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //!   injection decision a pure function of `(seed, kind, subject,
 //!   attempt)`) or an *explicit* plan (a finite site list, for
 //!   regression tests that need one precise fault).
-//! * [`FaultKind`] — the four injection points threaded through the
+//! * [`FaultKind`] — the five injection points threaded through the
 //!   runtime: task-body panics and forced validation conflicts and
 //!   commit-stall delays (`janus-core`), forced commutativity-cache
-//!   misses (`janus-detect`).
+//!   misses (`janus-detect`), and deterministic crash points in the
+//!   durable commit journal (`janus-wal`), addressed per [`CrashSite`].
 //! * [`FaultStats`] — monotone injection counters implementing
 //!   [`janus_obs::Snapshot`], so chaos runs surface `faults_injected`
 //!   through the same metrics registry as every other subsystem.
@@ -52,25 +53,31 @@ pub enum FaultKind {
     /// decides the verdict (exercises degraded detection). Subject:
     /// [`stable_key`] of the location class label.
     CacheMiss,
+    /// Kill the process model at a durability boundary in the commit
+    /// journal (exercises crash recovery). Subject: the commit ticket
+    /// being journaled; attempt: the [`CrashSite`] being crossed.
+    CrashPoint,
 }
 
 impl FaultKind {
     /// All kinds, in a stable order (the per-kind counter layout).
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::TaskPanic,
         FaultKind::ForcedConflict,
         FaultKind::CommitStall,
         FaultKind::CacheMiss,
+        FaultKind::CrashPoint,
     ];
 
     /// A short lower-case label ("panic", "conflict", "stall",
-    /// "cache-miss").
+    /// "cache-miss", "crash").
     pub fn label(self) -> &'static str {
         match self {
             FaultKind::TaskPanic => "panic",
             FaultKind::ForcedConflict => "conflict",
             FaultKind::CommitStall => "stall",
             FaultKind::CacheMiss => "cache-miss",
+            FaultKind::CrashPoint => "crash",
         }
     }
 
@@ -80,6 +87,54 @@ impl FaultKind {
             FaultKind::ForcedConflict => 1,
             FaultKind::CommitStall => 2,
             FaultKind::CacheMiss => 3,
+            FaultKind::CrashPoint => 4,
+        }
+    }
+}
+
+/// The durability boundaries a [`FaultKind::CrashPoint`] site can kill
+/// at, encoded into the site's `attempt` coordinate ([`CrashSite::attempt`])
+/// so explicit plans address one boundary of one commit precisely.
+///
+/// The three sites bracket the journal append: before the record exists
+/// anywhere, after it is buffered but before it is forced to disk (the
+/// group-commit window — a crash here models a torn tail), and after
+/// the fsync returns (the record must survive recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashSite {
+    /// Before the record is appended: the commit is lost entirely.
+    PreAppend,
+    /// After the append, before the fsync: the record may be torn or
+    /// missing on recovery, but never half-applied.
+    PostAppendPreFsync,
+    /// After the fsync returned: recovery must replay the record.
+    PostFsync,
+}
+
+impl CrashSite {
+    /// All sites, in append order.
+    pub const ALL: [CrashSite; 3] = [
+        CrashSite::PreAppend,
+        CrashSite::PostAppendPreFsync,
+        CrashSite::PostFsync,
+    ];
+
+    /// The site's `attempt` coordinate in a [`FaultSite`] /
+    /// [`FaultPlan::should_inject`] call.
+    pub fn attempt(self) -> u32 {
+        match self {
+            CrashSite::PreAppend => 0,
+            CrashSite::PostAppendPreFsync => 1,
+            CrashSite::PostFsync => 2,
+        }
+    }
+
+    /// A short label ("pre-append", "pre-fsync", "post-fsync").
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashSite::PreAppend => "pre-append",
+            CrashSite::PostAppendPreFsync => "pre-fsync",
+            CrashSite::PostFsync => "post-fsync",
         }
     }
 }
@@ -111,7 +166,7 @@ enum Mode {
 /// plan. Implements [`janus_obs::Snapshot`] (source `"fault"`).
 #[derive(Debug, Default)]
 pub struct FaultStats {
-    by_kind: [AtomicU64; 4],
+    by_kind: [AtomicU64; 5],
 }
 
 impl FaultStats {
@@ -390,6 +445,35 @@ mod tests {
             assert_eq!(a, plan.stall_micros(9, attempt));
             assert!((50..=2000).contains(&a), "stall {a}µs within bounds");
         }
+    }
+
+    #[test]
+    fn crash_sites_address_one_boundary_of_one_commit() {
+        // Kill commit 7 exactly in the group-commit window.
+        let plan = FaultPlan::from_sites(vec![FaultSite {
+            kind: FaultKind::CrashPoint,
+            subject: 7,
+            attempt: CrashSite::PostAppendPreFsync.attempt(),
+        }]);
+        for site in CrashSite::ALL {
+            for seq in [6, 7, 8] {
+                let fires = plan.should_inject(FaultKind::CrashPoint, seq, site.attempt());
+                assert_eq!(
+                    fires,
+                    seq == 7 && site == CrashSite::PostAppendPreFsync,
+                    "seq={seq} site={}",
+                    site.label()
+                );
+            }
+        }
+        assert_eq!(plan.stats().injected_of(FaultKind::CrashPoint), 1);
+        assert!(plan
+            .stats()
+            .counters()
+            .contains(&("injected_crash".to_string(), 1)));
+        // The attempt coordinates are dense and ordered like the append.
+        let attempts: Vec<u32> = CrashSite::ALL.iter().map(|s| s.attempt()).collect();
+        assert_eq!(attempts, vec![0, 1, 2]);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!   their decomposition (computed once, at commit time) and zero-copy
 //!   windows of shared segments, the currency of the incremental
 //!   validation pipeline.
+//! * [`wire`] — the binary effect/value codec shared by the durable
+//!   commit journal (`janus-wal`) and its recovery reader.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@ mod committed;
 mod decompose;
 mod loc;
 mod op;
+pub mod wire;
 
 pub use committed::{CommittedLog, DecomposedLoc, DecomposedLog, Fingerprint, HistoryWindow};
 pub use decompose::{decompose, CellKey, LocHistory};

@@ -1,0 +1,471 @@
+//! Binary record encoding for the durable commit journal.
+//!
+//! The write-ahead log (`janus-wal`) persists the commit-ordered effect
+//! stream: for every committed transaction, the mutations it replayed
+//! onto the shared store. This module is the codec — a compact,
+//! versionless little-endian encoding of effects (`LocId` + mutating
+//! [`OpKind`]) and of whole [`Value`]s (for store snapshots), shared by
+//! the journal writer and the recovery reader so the two can never
+//! drift apart.
+//!
+//! Only *effects* are journaled: `read` and `select` observe state but
+//! do not change it, so [`encode_effect`] rejects them — replaying the
+//! encoded mutations in commit order reconstructs the store exactly
+//! (the determinism that makes hindsight validation sound is the same
+//! determinism that makes log replay sound).
+//!
+//! Framing (length prefixes, checksums, record types) lives in
+//! `janus-wal`; this module encodes payload bodies only.
+
+use janus_relational::{Fd, Key, RelOp, Relation, Scalar, Schema, Tuple, Value};
+
+use crate::{LocId, OpKind, ScalarOp};
+
+/// A malformed byte sequence, reported with the offset where decoding
+/// failed — recovery wraps this into its loud corruption errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset (within the buffer handed to the cursor) of the
+    /// failure.
+    pub offset: usize,
+    /// What was malformed.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over a byte string — the journal's record checksum. Stable
+/// across platforms and runs (the same function that keys class-label
+/// hashing and persistfmt v2 cache files).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    crate::committed::fnv1a(bytes)
+}
+
+// ---------------------------------------------------------------- write
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_scalar(buf: &mut Vec<u8>, s: &Scalar) {
+    match s {
+        Scalar::Unit => buf.push(0),
+        Scalar::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Scalar::Int(i) => {
+            buf.push(2);
+            put_i64(buf, *i);
+        }
+        Scalar::Str(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_scalars(buf: &mut Vec<u8>, scalars: impl ExactSizeIterator<Item = impl AsScalar>) {
+    put_u32(buf, scalars.len() as u32);
+    for s in scalars {
+        put_scalar(buf, s.as_scalar());
+    }
+}
+
+/// `&Scalar`-yielding iterators come in both owned-ref and slice-iter
+/// shapes; this tiny adapter lets [`put_scalars`] take either.
+trait AsScalar {
+    fn as_scalar(&self) -> &Scalar;
+}
+
+impl AsScalar for &Scalar {
+    fn as_scalar(&self) -> &Scalar {
+        self
+    }
+}
+
+/// Encodes a whole [`Value`] — scalar or relation (schema, functional
+/// dependency and tuples included), the unit of store snapshots.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Scalar(s) => {
+            buf.push(0);
+            put_scalar(buf, s);
+        }
+        Value::Rel(r) => {
+            buf.push(1);
+            let schema = r.schema();
+            put_u32(buf, schema.columns().len() as u32);
+            for c in schema.columns() {
+                put_str(buf, c);
+            }
+            match schema.fd() {
+                None => buf.push(0),
+                Some(fd) => {
+                    buf.push(1);
+                    put_u32(buf, fd.domain().len() as u32);
+                    for &c in fd.domain() {
+                        put_u32(buf, c as u32);
+                    }
+                    put_u32(buf, fd.range().len() as u32);
+                    for &c in fd.range() {
+                        put_u32(buf, c as u32);
+                    }
+                }
+            }
+            put_u32(buf, r.len() as u32);
+            for t in r.iter() {
+                put_scalars(buf, t.iter());
+            }
+        }
+    }
+}
+
+/// Encodes one journaled effect: the target location plus a *mutating*
+/// operation kind. Non-effects (`read`, `select`) are rejected — they
+/// have no place in a replay log.
+pub fn encode_effect(buf: &mut Vec<u8>, loc: LocId, kind: &OpKind) -> Result<(), WireError> {
+    put_u64(buf, loc.0);
+    match kind {
+        OpKind::Scalar(ScalarOp::Write(s)) => {
+            buf.push(0);
+            put_scalar(buf, s);
+        }
+        OpKind::Scalar(ScalarOp::Add(d)) => {
+            buf.push(1);
+            put_i64(buf, *d);
+        }
+        OpKind::Scalar(ScalarOp::Max(v)) => {
+            buf.push(2);
+            put_i64(buf, *v);
+        }
+        OpKind::Rel(RelOp::Insert(t)) => {
+            buf.push(3);
+            put_scalars(buf, t.iter());
+        }
+        OpKind::Rel(RelOp::Remove(t)) => {
+            buf.push(4);
+            put_scalars(buf, t.iter());
+        }
+        OpKind::Rel(RelOp::RemoveKey(k)) => {
+            buf.push(5);
+            put_scalars(buf, k.components().iter());
+        }
+        OpKind::Rel(RelOp::Clear) => buf.push(6),
+        OpKind::Scalar(ScalarOp::Read) | OpKind::Rel(RelOp::Select(_)) => {
+            return Err(WireError {
+                offset: buf.len(),
+                message: format!("{kind} is not an effect (reads are not journaled)"),
+            });
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- read
+
+/// A bounds-checked reader over an encoded payload.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> WireError {
+        WireError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, WireError> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn take_scalar(&mut self) -> Result<Scalar, WireError> {
+        match self.take_u8()? {
+            0 => Ok(Scalar::Unit),
+            1 => Ok(Scalar::Bool(self.take_u8()? != 0)),
+            2 => Ok(Scalar::Int(self.take_i64()?)),
+            3 => Ok(Scalar::Str(self.take_str()?.into())),
+            t => Err(self.err(format!("unknown scalar tag {t}"))),
+        }
+    }
+
+    fn take_scalars(&mut self) -> Result<Vec<Scalar>, WireError> {
+        let n = self.take_u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            // Each scalar takes at least one byte; a count beyond the
+            // remaining bytes is corrupt, not a huge allocation request.
+            return Err(self.err(format!("scalar count {n} exceeds remaining bytes")));
+        }
+        (0..n).map(|_| self.take_scalar()).collect()
+    }
+}
+
+/// Decodes one [`Value`] (inverse of [`encode_value`]).
+pub fn decode_value(c: &mut Cursor<'_>) -> Result<Value, WireError> {
+    match c.take_u8()? {
+        0 => Ok(Value::Scalar(c.take_scalar()?)),
+        1 => {
+            let ncols = c.take_u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols.min(1024));
+            for _ in 0..ncols {
+                columns.push(c.take_str()?);
+            }
+            let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+            let schema = match c.take_u8()? {
+                0 => Schema::new(&col_refs),
+                1 => {
+                    let nd = c.take_u32()? as usize;
+                    let domain: Vec<usize> = (0..nd)
+                        .map(|_| c.take_u32().map(|v| v as usize))
+                        .collect::<Result<_, _>>()?;
+                    let nr = c.take_u32()? as usize;
+                    let range: Vec<usize> = (0..nr)
+                        .map(|_| c.take_u32().map(|v| v as usize))
+                        .collect::<Result<_, _>>()?;
+                    Schema::with_fd(&col_refs, Fd::new(&domain, &range))
+                }
+                t => {
+                    return Err(WireError {
+                        offset: c.pos(),
+                        message: format!("unknown fd tag {t}"),
+                    })
+                }
+            };
+            let ntuples = c.take_u32()? as usize;
+            let mut tuples = Vec::with_capacity(ntuples.min(4096));
+            for _ in 0..ntuples {
+                tuples.push(Tuple::new(c.take_scalars()?));
+            }
+            Ok(Value::Rel(Relation::from_tuples(schema, tuples)))
+        }
+        t => Err(WireError {
+            offset: c.pos(),
+            message: format!("unknown value tag {t}"),
+        }),
+    }
+}
+
+/// Decodes one journaled effect (inverse of [`encode_effect`]).
+pub fn decode_effect(c: &mut Cursor<'_>) -> Result<(LocId, OpKind), WireError> {
+    let loc = LocId(c.take_u64()?);
+    let kind = match c.take_u8()? {
+        0 => OpKind::Scalar(ScalarOp::Write(c.take_scalar()?)),
+        1 => OpKind::Scalar(ScalarOp::Add(c.take_i64()?)),
+        2 => OpKind::Scalar(ScalarOp::Max(c.take_i64()?)),
+        3 => OpKind::Rel(RelOp::Insert(Tuple::new(c.take_scalars()?))),
+        4 => OpKind::Rel(RelOp::Remove(Tuple::new(c.take_scalars()?))),
+        5 => OpKind::Rel(RelOp::RemoveKey(Key::new(c.take_scalars()?))),
+        6 => OpKind::Rel(RelOp::Clear),
+        t => {
+            return Err(WireError {
+                offset: c.pos(),
+                message: format!("unknown effect tag {t}"),
+            })
+        }
+    };
+    Ok((loc, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_relational::Formula;
+
+    fn roundtrip_effect(loc: LocId, kind: OpKind) {
+        let mut buf = Vec::new();
+        encode_effect(&mut buf, loc, &kind).expect("effect encodes");
+        let mut c = Cursor::new(&buf);
+        let (l2, k2) = decode_effect(&mut c).expect("effect decodes");
+        assert_eq!(l2, loc);
+        assert_eq!(k2, kind);
+        assert!(c.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn effects_roundtrip() {
+        roundtrip_effect(LocId(7), OpKind::Scalar(ScalarOp::Write(Scalar::Int(-4))));
+        roundtrip_effect(
+            LocId(u64::MAX),
+            OpKind::Scalar(ScalarOp::Write(Scalar::str("héllo\tworld"))),
+        );
+        roundtrip_effect(LocId(0), OpKind::Scalar(ScalarOp::Add(i64::MIN)));
+        roundtrip_effect(LocId(1), OpKind::Scalar(ScalarOp::Max(99)));
+        roundtrip_effect(
+            LocId(3),
+            OpKind::Rel(RelOp::Insert(Tuple::new(vec![
+                Scalar::Int(1),
+                Scalar::Bool(true),
+                Scalar::Unit,
+            ]))),
+        );
+        roundtrip_effect(
+            LocId(3),
+            OpKind::Rel(RelOp::Remove(Tuple::new(vec![Scalar::str("k")]))),
+        );
+        roundtrip_effect(
+            LocId(3),
+            OpKind::Rel(RelOp::RemoveKey(Key::new(vec![Scalar::Int(12)]))),
+        );
+        roundtrip_effect(LocId(3), OpKind::Rel(RelOp::Clear));
+    }
+
+    #[test]
+    fn reads_are_not_effects() {
+        let mut buf = Vec::new();
+        assert!(encode_effect(&mut buf, LocId(1), &OpKind::Scalar(ScalarOp::Read)).is_err());
+        assert!(encode_effect(
+            &mut buf,
+            LocId(1),
+            &OpKind::Rel(RelOp::Select(Formula::eq(0, 1i64)))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        for v in [
+            Value::unit(),
+            Value::bool(true),
+            Value::int(-77),
+            Value::str("snapshotted"),
+        ] {
+            let mut buf = Vec::new();
+            encode_value(&mut buf, &v);
+            let got = decode_value(&mut Cursor::new(&buf)).expect("value decodes");
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn relations_roundtrip_with_schema_and_fd() {
+        let schema = Schema::with_fd(&["k", "v"], Fd::new(&[0], &[1]));
+        let rel = Relation::from_tuples(
+            schema,
+            vec![
+                Tuple::new(vec![Scalar::Int(1), Scalar::Int(10)]),
+                Tuple::new(vec![Scalar::Int(2), Scalar::Int(20)]),
+            ],
+        );
+        let v = Value::Rel(rel);
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &v);
+        let got = decode_value(&mut Cursor::new(&buf)).expect("relation decodes");
+        assert_eq!(got, v);
+        // The fd survives: re-inserting a duplicate key displaces.
+        let r = got.as_rel().expect("relation");
+        assert_eq!(r.schema().fd().expect("fd").domain(), &[0]);
+
+        // And a plain schema (no fd) roundtrips too.
+        let plain = Value::Rel(Relation::from_tuples(
+            Schema::new(&["a"]),
+            vec![Tuple::new(vec![Scalar::Unit])],
+        ));
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &plain);
+        assert_eq!(decode_value(&mut Cursor::new(&buf)).expect("plain"), plain);
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_closed() {
+        let mut buf = Vec::new();
+        encode_effect(
+            &mut buf,
+            LocId(9),
+            &OpKind::Scalar(ScalarOp::Write(Scalar::str("payload"))),
+        )
+        .unwrap();
+        for cut in 0..buf.len() {
+            let err = decode_effect(&mut Cursor::new(&buf[..cut]));
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // A corrupt scalar count is rejected without allocating.
+        let mut bad = Vec::new();
+        put_u64(&mut bad, 1);
+        bad.push(3); // rel-insert
+        put_u32(&mut bad, u32::MAX); // absurd tuple arity
+        assert!(decode_effect(&mut Cursor::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn checksum_is_fnv1a() {
+        // The empty-string FNV-1a offset basis — pins the algorithm.
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+    }
+}

@@ -1,0 +1,585 @@
+//! The journal writer: segmented appends, group-commit fsync, store
+//! snapshots with segment truncation, and deterministic crash points.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use janus_core::{CommitSink, Store};
+use janus_fault::{CrashSite, FaultKind, FaultPlan};
+use janus_log::{wire, Op};
+
+use crate::stats::WalStats;
+
+/// Segment-file magic, followed by the segment's first commit ticket.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"JWALSEG1";
+/// Snapshot-file magic, followed by the checksummed snapshot body.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"JWALSNP1";
+/// Clean-shutdown-marker magic, followed by the final synced ticket.
+pub const CLEAN_MAGIC: [u8; 8] = *b"JWALCLN1";
+/// The clean-shutdown marker's file name inside the journal directory.
+pub const CLEAN_MARKER: &str = "CLEAN";
+
+/// Record type: a committed transaction's effects.
+pub(crate) const REC_COMMIT: u8 = 1;
+/// Record type: a consumed-but-unpublished ticket (ordered tombstone).
+pub(crate) const REC_SKIP: u8 = 2;
+
+/// The segment file name for a first ticket (`seg-<16hex>.jwal`).
+pub fn segment_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:016x}.jwal")
+}
+
+/// The snapshot file name for a watermark (`snap-<16hex>.jsnap`).
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.jsnap")
+}
+
+/// Parses the sequence number out of a `prefix<16hex>suffix` file name.
+pub(crate) fn parse_seq_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// When the group-commit fsync happens.
+///
+/// Records are buffered in userspace until a flush writes and fsyncs
+/// them in one batch. The batching window is exactly the window a
+/// process kill can lose: recovery returns the fsynced prefix (plus
+/// whatever of the written-but-unsynced tail the OS kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Flush + fsync after every record: nothing committed is ever lost,
+    /// at one fsync per commit.
+    Always,
+    /// Flush + fsync once per `n` buffered records (group commit).
+    EveryN(u64),
+    /// Flush + fsync from a background thread every `ms` milliseconds.
+    IntervalMs(u64),
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    /// Parses `always`, `every-n:<N>` or `interval-ms:<N>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "always" {
+            return Ok(FsyncPolicy::Always);
+        }
+        if let Some(n) = s.strip_prefix("every-n:") {
+            return match n.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("every-n wants a positive count, got {n:?}")),
+            };
+        }
+        if let Some(ms) = s.strip_prefix("interval-ms:") {
+            return match ms.parse::<u64>() {
+                Ok(ms) if ms > 0 => Ok(FsyncPolicy::IntervalMs(ms)),
+                _ => Err(format!("interval-ms wants a positive duration, got {ms:?}")),
+            };
+        }
+        Err(format!(
+            "unknown fsync policy {s:?} (expected always, every-n:<N> or interval-ms:<N>)"
+        ))
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-n:{n}"),
+            FsyncPolicy::IntervalMs(ms) => write!(f, "interval-ms:{ms}"),
+        }
+    }
+}
+
+/// The journal's mutable core, under one mutex: reordering state,
+/// userspace buffer, and the open segment.
+struct Inner {
+    file: File,
+    pending: BTreeMap<u64, Vec<u8>>,
+    next_seq: u64,
+    buf: Vec<u8>,
+    unsynced: u64,
+    buffered_seq: u64,
+    synced_seq: u64,
+    /// Set by a simulated crash point or a fatal I/O error: every later
+    /// operation is a silent no-op, modeling the dead process.
+    dead: bool,
+}
+
+/// A segmented, checksummed write-ahead commit journal.
+///
+/// Hangs off the runtime's [`CommitSink`] seam (see [`Wal::sink`]):
+/// every commit ticket the session oracle issues arrives exactly once —
+/// possibly out of ticket order, since commits on disjoint shards run
+/// concurrently — and is reordered internally (a `BTreeMap` keyed by
+/// ticket, drained as the contiguous prefix extends). Drained records
+/// accumulate in a userspace buffer until the [`FsyncPolicy`] flushes
+/// them: the buffer is the group-commit window, and exactly what a
+/// crash can lose.
+///
+/// Record frame: `u32 len | payload | u64 fnv1a(payload)`. Commit
+/// payloads carry the ticket, the touched-shard bitmask and the
+/// transaction's mutating effects in `janus-log` wire encoding;
+/// tombstone payloads carry just the ticket, keeping the journaled
+/// ticket stream dense.
+pub struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    base_seq: u64,
+    stats: Arc<WalStats>,
+    faults: Option<Arc<FaultPlan>>,
+    inner: Mutex<Inner>,
+    shutdown: AtomicBool,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Wal {
+    /// Opens a journal in `dir` (created if missing), journaling tickets
+    /// above `base_seq` — the recovered commit floor, `0` for a fresh
+    /// store. Consumes any clean-shutdown marker (the journal is live
+    /// again) and starts a fresh segment at `base_seq + 1`; an existing
+    /// file under that name can only be the header-only remnant of a
+    /// boot that appended nothing, so truncating it destroys no records.
+    pub fn open(dir: impl AsRef<Path>, policy: FsyncPolicy, base_seq: u64) -> io::Result<Arc<Wal>> {
+        Wal::open_with_faults(dir, policy, base_seq, None)
+    }
+
+    /// [`Wal::open`] with a fault plan: [`FaultKind::CrashPoint`] sites
+    /// (subject: the global commit ticket; attempt: a
+    /// [`CrashSite::attempt`]) kill the journal at that durability
+    /// boundary — it stops accepting work, exactly like a dead process,
+    /// while the files stay on disk for [`crate::recover`].
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        base_seq: u64,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<Arc<Wal>> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let marker = dir.join(CLEAN_MARKER);
+        if marker.exists() {
+            fs::remove_file(&marker)?;
+        }
+        let (file, _path) = new_segment(&dir, base_seq + 1)?;
+        let wal = Arc::new(Wal {
+            dir,
+            policy,
+            base_seq,
+            stats: Arc::new(WalStats::default()),
+            faults,
+            inner: Mutex::new(Inner {
+                file,
+                pending: BTreeMap::new(),
+                next_seq: base_seq + 1,
+                buf: Vec::new(),
+                unsynced: 0,
+                buffered_seq: base_seq,
+                synced_seq: base_seq,
+                dead: false,
+            }),
+            shutdown: AtomicBool::new(false),
+            flusher: Mutex::new(None),
+        });
+        if let FsyncPolicy::IntervalMs(ms) = policy {
+            let weak = Arc::downgrade(&wal);
+            let handle = std::thread::Builder::new()
+                .name("janus-wal-flush".into())
+                .spawn(move || loop {
+                    std::thread::park_timeout(Duration::from_millis(ms.max(1)));
+                    let Some(wal) = weak.upgrade() else { break };
+                    if wal.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let _ = wal.flush();
+                })
+                .expect("spawn the wal flusher thread");
+            *wal.flusher.lock().unwrap() = Some(handle);
+        }
+        Ok(wal)
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The commit floor this journal opened above: session-local tickets
+    /// are offset by this before journaling.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The journal's counters.
+    pub fn stats(&self) -> &Arc<WalStats> {
+        &self.stats
+    }
+
+    /// The highest ticket known durable (fsynced).
+    pub fn synced_seq(&self) -> u64 {
+        self.inner.lock().unwrap().synced_seq
+    }
+
+    /// The highest ticket drained into the userspace buffer.
+    pub fn buffered_seq(&self) -> u64 {
+        self.inner.lock().unwrap().buffered_seq
+    }
+
+    /// Whether a crash point or fatal I/O error killed this journal.
+    pub fn is_dead(&self) -> bool {
+        self.inner.lock().unwrap().dead
+    }
+
+    /// The [`CommitSink`] adapter to hand to
+    /// [`janus_core::Janus::commit_sink`]. Session-local tickets are
+    /// offset by [`Wal::base_seq`] into the global sequence.
+    pub fn sink(self: &Arc<Self>) -> Arc<WalSink> {
+        Arc::new(WalSink {
+            wal: Arc::clone(self),
+        })
+    }
+
+    /// Flushes the userspace buffer to the segment and fsyncs it — one
+    /// group-commit batch. No-op on a dead journal.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Ok(());
+        }
+        self.flush_inner(&mut inner)
+    }
+
+    /// Serializes the store and its commit watermark to a snapshot file,
+    /// rolls the journal onto a fresh segment above the watermark, and
+    /// deletes every segment (and older snapshot) at or below it.
+    ///
+    /// Must be called at a quiescent point: every issued ticket already
+    /// journaled (drained, no pending reordering gaps) and the store
+    /// reflecting all of them — in practice, after a drain barrier.
+    /// Returns the snapshot watermark.
+    pub fn snapshot_and_truncate(&self, store: &Store) -> io::Result<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Ok(inner.synced_seq);
+        }
+        self.flush_inner(&mut inner)?;
+        let seq = inner.synced_seq;
+
+        let mut body = Vec::new();
+        wire::put_u64(&mut body, seq);
+        wire::put_u64(&mut body, store.alloc_count());
+        let entries: Vec<_> = store.entries().collect();
+        wire::put_u32(&mut body, entries.len() as u32);
+        for (loc, class, value) in entries {
+            wire::put_u64(&mut body, loc.0);
+            wire::put_str(&mut body, class.label());
+            wire::encode_value(&mut body, value);
+        }
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&body);
+        wire::put_u64(&mut out, wire::checksum(&body));
+
+        // Write-then-rename so a crash mid-snapshot leaves either the
+        // old state or the new one, never a half-written snapshot under
+        // the real name.
+        let tmp = self.dir.join("snap.tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+        drop(f);
+        fs::rename(&tmp, self.dir.join(snapshot_name(seq)))?;
+
+        let (file, _path) = new_segment(&self.dir, seq + 1)?;
+        inner.file = file;
+        inner.next_seq = inner.next_seq.max(seq + 1);
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = match parse_seq_name(name, "seg-", ".jwal") {
+                Some(first) => first <= seq,
+                None => matches!(
+                    parse_seq_name(name, "snap-", ".jsnap"),
+                    Some(s) if s < seq
+                ),
+            };
+            if stale {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// Flushes, fsyncs and writes the clean-shutdown marker stating the
+    /// final synced ticket: the next boot trusts the tail instead of
+    /// torn-scanning it. No-op (no marker) on a dead journal — a crashed
+    /// process never shuts down cleanly.
+    pub fn mark_clean(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Ok(());
+        }
+        self.flush_inner(&mut inner)?;
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&CLEAN_MAGIC);
+        wire::put_u64(&mut out, inner.synced_seq);
+        let mut f = File::create(self.dir.join(CLEAN_MARKER))?;
+        f.write_all(&out)?;
+        f.sync_data()
+    }
+
+    /// Accepts one framed record for `seq` and drains the contiguous
+    /// prefix into the buffer, applying the fsync policy and any armed
+    /// crash points.
+    fn submit(&self, seq: u64, frame: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return;
+        }
+        if let Some(plan) = &self.faults {
+            if plan.should_inject(FaultKind::CrashPoint, seq, CrashSite::PreAppend.attempt()) {
+                // Dead before the record exists anywhere: this commit —
+                // and everything still pending — is lost to recovery.
+                inner.dead = true;
+                self.stats.crash_points.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        inner.pending.insert(seq, frame);
+        while !inner.dead {
+            let next = inner.next_seq;
+            let Some(frame) = inner.pending.remove(&next) else {
+                break;
+            };
+            let frame_len = frame.len();
+            if frame[4] == REC_COMMIT {
+                self.stats.appends.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.skips.fetch_add(1, Ordering::Relaxed);
+            }
+            self.stats
+                .bytes
+                .fetch_add(frame_len as u64, Ordering::Relaxed);
+            inner.buf.extend_from_slice(&frame);
+            inner.buffered_seq = next;
+            inner.next_seq = next + 1;
+            inner.unsynced += 1;
+            if let Some(plan) = &self.faults {
+                if plan.should_inject(
+                    FaultKind::CrashPoint,
+                    next,
+                    CrashSite::PostAppendPreFsync.attempt(),
+                ) {
+                    // The kill lands mid-write: a strict prefix of the
+                    // buffered bytes reaches the file — cutting this
+                    // record in half — and no fsync happens. Earlier
+                    // buffered records ride along un-torn, modeling
+                    // page-cache survival of a process kill.
+                    let keep = inner.buf.len() - frame_len.div_ceil(2);
+                    let torn = inner.buf[..keep].to_vec();
+                    let _ = inner.file.write_all(&torn);
+                    inner.buf.clear();
+                    inner.dead = true;
+                    self.stats.crash_points.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if plan.should_inject(FaultKind::CrashPoint, next, CrashSite::PostFsync.attempt()) {
+                    // The record reached disk; the process dies on the
+                    // next instruction. Recovery must replay it.
+                    let _ = self.flush_inner(&mut inner);
+                    inner.dead = true;
+                    self.stats.crash_points.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            let due = match self.policy {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::EveryN(n) => inner.unsynced >= n,
+                FsyncPolicy::IntervalMs(_) => false,
+            };
+            if due {
+                if let Err(_e) = self.flush_inner(&mut inner) {
+                    inner.dead = true;
+                    self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn flush_inner(&self, inner: &mut Inner) -> io::Result<()> {
+        if inner.buf.is_empty() {
+            inner.synced_seq = inner.buffered_seq;
+            return Ok(());
+        }
+        inner.file.write_all(&inner.buf)?;
+        inner.file.sync_data()?;
+        inner.buf.clear();
+        inner.unsynced = 0;
+        inner.synced_seq = inner.buffered_seq;
+        self.stats.fsync_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.flusher.lock().unwrap().take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("base_seq", &self.base_seq)
+            .finish()
+    }
+}
+
+/// The [`CommitSink`] adapter over a journal: offsets session-local
+/// tickets by the journal's recovered base and frames the records.
+pub struct WalSink {
+    wal: Arc<Wal>,
+}
+
+impl CommitSink for WalSink {
+    fn committed(&self, seq: u64, shard_mask: u64, ops: &[Op]) {
+        let global = self.wal.base_seq + seq;
+        self.wal
+            .submit(global, commit_frame(global, shard_mask, ops));
+    }
+
+    fn skipped(&self, seq: u64) {
+        let global = self.wal.base_seq + seq;
+        self.wal.submit(global, skip_frame(global));
+    }
+}
+
+/// Creates (truncating) and headers a segment file.
+fn new_segment(dir: &Path, first_seq: u64) -> io::Result<(File, PathBuf)> {
+    let path = dir.join(segment_name(first_seq));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)?;
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(&SEGMENT_MAGIC);
+    wire::put_u64(&mut header, first_seq);
+    file.write_all(&header)?;
+    file.sync_data()?;
+    Ok((file, path))
+}
+
+/// Frames a payload: `u32 len | payload | u64 fnv1a(payload)`.
+pub(crate) fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    wire::put_u32(&mut out, payload.len() as u32);
+    let sum = wire::checksum(&payload);
+    out.extend_from_slice(&payload);
+    wire::put_u64(&mut out, sum);
+    out
+}
+
+/// Frames one commit record: ticket, shard mask, and the log's mutating
+/// effects (reads cost nothing to replay and are dropped).
+pub(crate) fn commit_frame(seq: u64, shard_mask: u64, ops: &[Op]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.push(REC_COMMIT);
+    wire::put_u64(&mut payload, seq);
+    wire::put_u64(&mut payload, shard_mask);
+    let count_at = payload.len();
+    wire::put_u32(&mut payload, 0);
+    let mut n: u32 = 0;
+    for op in ops {
+        if !op.kind.is_write() {
+            continue;
+        }
+        wire::encode_effect(&mut payload, op.loc, &op.kind)
+            .expect("a write op kind encodes as an effect");
+        n += 1;
+    }
+    payload[count_at..count_at + 4].copy_from_slice(&n.to_le_bytes());
+    frame(payload)
+}
+
+/// Frames one tombstone record: just the consumed ticket.
+pub(crate) fn skip_frame(seq: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(REC_SKIP);
+    wire::put_u64(&mut payload, seq);
+    frame(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for (s, want) in [
+            ("always", FsyncPolicy::Always),
+            ("every-n:8", FsyncPolicy::EveryN(8)),
+            ("interval-ms:25", FsyncPolicy::IntervalMs(25)),
+        ] {
+            let got: FsyncPolicy = s.parse().expect("policy parses");
+            assert_eq!(got, want);
+            assert_eq!(got.to_string(), s, "display is the parse inverse");
+        }
+        for bad in ["", "sometimes", "every-n:0", "every-n:x", "interval-ms:-1"] {
+            assert!(
+                bad.parse::<FsyncPolicy>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn file_names_roundtrip_their_sequence() {
+        assert_eq!(segment_name(1), "seg-0000000000000001.jwal");
+        assert_eq!(
+            parse_seq_name(&segment_name(0xdead_beef), "seg-", ".jwal"),
+            Some(0xdead_beef)
+        );
+        assert_eq!(
+            parse_seq_name(&snapshot_name(42), "snap-", ".jsnap"),
+            Some(42)
+        );
+        assert_eq!(parse_seq_name("seg-xyz.jwal", "seg-", ".jwal"), None);
+        assert_eq!(parse_seq_name("seg-01.jwal", "seg-", ".jwal"), None);
+    }
+
+    #[test]
+    fn frames_checksum_their_payload() {
+        let f = skip_frame(7);
+        let len = u32::from_le_bytes(f[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, 9);
+        assert_eq!(f.len(), 4 + len + 8);
+        assert_eq!(f[4], REC_SKIP);
+        let payload = &f[4..4 + len];
+        let stored = u64::from_le_bytes(f[4 + len..].try_into().unwrap());
+        assert_eq!(stored, wire::checksum(payload));
+    }
+}

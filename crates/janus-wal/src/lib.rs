@@ -1,0 +1,39 @@
+//! Durable commit journal for JANUS: a segmented, checksummed
+//! write-ahead log over the commit-ordered effect stream.
+//!
+//! The runtime already produces the one artifact durability needs: a
+//! totally-ordered committed schedule, ticketed by the session oracle.
+//! This crate persists it. A [`Wal`] hangs off the runtime's
+//! [`janus_core::CommitSink`] seam and appends one record per ticket —
+//! the commit's mutating effects in `janus-log` wire encoding, or a
+//! tombstone for a released ordered turn — framed as
+//! `u32 len | payload | u64 fnv1a(payload)` in segment files. Records
+//! buffer in userspace until the configured [`FsyncPolicy`] flushes and
+//! fsyncs them in one batch: the group-commit window is exactly the
+//! suffix a crash can lose.
+//!
+//! [`Wal::snapshot_and_truncate`] serializes the store and its commit
+//! watermark at a quiescent point, then drops every segment below the
+//! watermark; [`recover`] rebuilds a store from the newest snapshot
+//! plus the journal tail, exactly once per ticket, truncating a torn
+//! tail (unclean shutdowns only) and failing loudly — both hashes in
+//! the error — on mid-log corruption. [`FaultKind::CrashPoint`] sites
+//! from `janus-fault` kill the journal deterministically at the three
+//! durability boundaries ([`janus_fault::CrashSite`]) so chaos tests
+//! can recover from every one.
+//!
+//! [`FaultKind::CrashPoint`]: janus_fault::FaultKind::CrashPoint
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod journal;
+mod recover;
+mod stats;
+
+pub use journal::{
+    segment_name, snapshot_name, FsyncPolicy, Wal, WalSink, CLEAN_MAGIC, CLEAN_MARKER,
+    SEGMENT_MAGIC, SNAPSHOT_MAGIC,
+};
+pub use recover::{recover, Recovered, WalError};
+pub use stats::WalStats;

@@ -8,6 +8,7 @@
 //!             [--panic-policy poison|isolate] [--max-attempts N]
 //!             [--watchdog-ms N] [--fault-seed N] [--fault-rate R]
 //!             [--metrics] [--listen ADDR]
+//!             [--wal-dir DIR] [--wal-fsync always|every-n:N|interval-ms:N]
 //! ```
 //!
 //! The service boots `--locs` integer accounts (classes `acct0..`,
@@ -41,6 +42,26 @@
 //! distinct response instead of queueing without bound, and the queue
 //! depth histogram lands in the `--metrics` report under
 //! `serve.inflight_depth`.
+//!
+//! # Durability
+//!
+//! With `--wal-dir DIR` every committed transaction is journaled to a
+//! write-ahead log (fsync cadence per `--wal-fsync`, default
+//! `every-n:8` group commit). On boot the service replays any existing
+//! journal into the freshly provisioned store before serving, reporting
+//! `recovered commit_seq=<n>` on stderr, and continues the global
+//! commit sequence from there — exactly once, deduped by commit ticket.
+//! `drained commit_seq=<n>` is only printed after the journal is
+//! flushed and fsynced up to `n`.
+//!
+//! Shutdown: `quit` (or EOF) drains the pipeline, flushes + fsyncs the
+//! journal, snapshots the store (truncating journaled segments below
+//! the watermark) and writes a clean-shutdown marker, so the next boot
+//! skips torn-tail scanning. SIGTERM and SIGKILL are deliberately *not*
+//! handled — the process dies mid-flight and the next boot recovers
+//! from the journal; kill-safety is the design, not a gap. A boot
+//! without the marker forces full tail verification (and truncates a
+//! torn tail, counting it in `wal.torn_tail_truncations`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -55,10 +76,11 @@ use janus::fault::FaultPlan;
 use janus::log::LocId;
 use janus::obs::MetricsRegistry;
 use janus::relational::Value;
+use janus::wal::{recover, FsyncPolicy, Wal};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-serve [--threads N] [--shards N] [--locs N] [--mode pipelined|barrier]\n              [--ordered] [--max-inflight N] [--detector sequence|write-set]\n              [--panic-policy poison|isolate] [--max-attempts N] [--watchdog-ms N]\n              [--fault-seed N] [--fault-rate R] [--metrics] [--listen ADDR]"
+        "usage:\n  janus-serve [--threads N] [--shards N] [--locs N] [--mode pipelined|barrier]\n              [--ordered] [--max-inflight N] [--detector sequence|write-set]\n              [--panic-policy poison|isolate] [--max-attempts N] [--watchdog-ms N]\n              [--fault-seed N] [--fault-rate R] [--metrics] [--listen ADDR]\n              [--wal-dir DIR] [--wal-fsync always|every-n:N|interval-ms:N]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +98,8 @@ const VALUE_FLAGS: &[&str] = &[
     "fault-seed",
     "fault-rate",
     "listen",
+    "wal-dir",
+    "wal-fsync",
 ];
 const BOOL_FLAGS: &[&str] = &["ordered", "metrics"];
 
@@ -185,13 +209,17 @@ fn done_line(id: &str, outcome: &BlockOutcome) -> String {
 }
 
 /// The pipeline consumer: owns the executor, drains the admission
-/// queue, writes `done`/`value`/`stats` lines.
+/// queue, writes `done`/`value`/`stats` lines. With a journal attached,
+/// `drained commit_seq=<n>` is only printed once the journal is fsynced
+/// through `n`, and the final exit path snapshots the store and leaves
+/// a clean-shutdown marker.
 fn consume(
     mut exec: BlockExecutor,
     queue: Arc<AdmissionQueue<Item>>,
     accounts: Vec<LocId>,
     out: Arc<Mutex<Box<dyn Write + Send>>>,
     metrics: bool,
+    wal: Option<Arc<Wal>>,
 ) {
     let stats = Arc::clone(queue.stats());
     // Block ids admitted but not yet reported, in submission order
@@ -243,6 +271,13 @@ fn consume(
             }
             Item::Drain => {
                 report(exec.drain(), &mut pending);
+                // The drained line is a durability promise: everything
+                // at or below this sequence survives a kill.
+                if let Some(wal) = &wal {
+                    if let Err(e) = wal.flush() {
+                        say(format!("error wal flush failed: {e}"));
+                    }
+                }
                 say(format!("drained commit_seq={}", exec.commit_seq()));
             }
             Item::Quit => break,
@@ -253,14 +288,30 @@ fn consume(
     let wall = exec.stream_wall_micros();
     let block_stats = Arc::clone(exec.stats());
     let txns_committed = block_stats.report(wall).txns_committed;
-    let (_store, shard_report, tail) = exec.finish();
+    let (store, shard_report, tail) = exec.finish();
     debug_assert!(tail.is_empty(), "drained before finish");
+    if let Some(wal) = &wal {
+        // Clean shutdown: everything is drained, so the store is
+        // quiescent — snapshot it, truncate journaled history below the
+        // watermark, and leave the marker that lets the next boot skip
+        // tail verification.
+        match wal.snapshot_and_truncate(&store) {
+            Ok(seq) => eprintln!("janus-serve: snapshot at commit_seq={seq}"),
+            Err(e) => eprintln!("janus-serve: snapshot failed: {e}"),
+        }
+        if let Err(e) = wal.mark_clean() {
+            eprintln!("janus-serve: clean-shutdown marker failed: {e}");
+        }
+    }
     if metrics {
         let mut m = MetricsRegistry::new();
         block_stats.export(wall, &mut m);
         stats.export(&mut m);
         m.absorb(&shard_report);
         m.merge_histogram("shard.lock_wait_ns", &shard_report.lock_wait_ns());
+        if let Some(wal) = &wal {
+            m.absorb(wal.stats().as_ref());
+        }
         say("--- metrics ---".to_string());
         let rendered = m.render();
         for line in rendered.lines() {
@@ -402,10 +453,62 @@ fn main() -> ExitCode {
         }
     };
 
+    let wal_policy = match args
+        .value("wal-fsync")
+        .unwrap_or("every-n:8")
+        .parse::<FsyncPolicy>()
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: flag --wal-fsync: {e}");
+            return usage();
+        }
+    };
+
     let mut store = Store::new();
     let accounts: Vec<LocId> = (0..locs)
         .map(|i| store.alloc(format!("acct{i}").as_str(), Value::int(0)))
         .collect();
+
+    // With a journal directory, replay whatever survived the last run
+    // into the freshly provisioned store before serving anything, and
+    // restart the global commit sequence where it left off.
+    let mut seq_base = 0u64;
+    let wal: Option<Arc<Wal>> = match args.value("wal-dir") {
+        None => None,
+        Some(dir) => {
+            let rec = match recover(std::path::Path::new(dir), store) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    eprintln!("error: wal recovery failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "janus-serve: recovered commit_seq={} (commits={} skips={} dupes={} \
+                 torn_truncated={} snapshot={:?} clean={})",
+                rec.commit_seq,
+                rec.commits_replayed,
+                rec.skips_replayed,
+                rec.duplicates_skipped,
+                rec.torn_tail_truncations,
+                rec.snapshot_seq,
+                rec.clean,
+            );
+            seq_base = rec.commit_seq;
+            match Wal::open(std::path::Path::new(dir), wal_policy, rec.commit_seq) {
+                Ok(wal) => {
+                    wal.stats().note_recovery(&rec);
+                    store = rec.store;
+                    Some(wal)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open wal in {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     let mut janus = Janus::new(detector)
         .threads(threads)
@@ -417,6 +520,9 @@ fn main() -> ExitCode {
     }
     if watchdog_ms > 0 {
         janus = janus.watchdog(std::time::Duration::from_millis(watchdog_ms));
+    }
+    if let Some(wal) = &wal {
+        janus = janus.commit_sink(wal.sink());
     }
     if args.value("fault-seed").is_some() || fault_rate.is_some() {
         janus = janus.faults(Arc::new(FaultPlan::seeded(
@@ -440,7 +546,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let exec = BlockExecutor::new(janus, store, mode);
+    let exec = BlockExecutor::new(janus, store, mode).with_seq_base(seq_base);
     let queue = Arc::new(AdmissionQueue::new(
         max_inflight,
         Arc::new(ServeStats::default()),
@@ -460,31 +566,76 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        eprintln!("janus-serve: listening on {addr} (one session; quit ends the service)");
-        let Ok((conn, peer)) = listener.accept() else {
-            eprintln!("error: accept failed");
-            return ExitCode::FAILURE;
-        };
-        eprintln!("janus-serve: client {peer}");
-        let Ok(write_half) = conn.try_clone() else {
-            eprintln!("error: cannot clone connection");
-            return ExitCode::FAILURE;
-        };
-        let out: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(write_half)));
+        eprintln!("janus-serve: listening on {addr} (successive sessions; quit ends the service)");
+        // One consumer thread outlives every client session; its output
+        // sink is swapped to point at whichever connection is current.
+        // A sink that starts life as io::sink() keeps pre-connection
+        // (and post-disconnect) chatter from going anywhere surprising.
+        let out: Arc<Mutex<Box<dyn Write + Send>>> =
+            Arc::new(Mutex::new(Box::new(std::io::sink())));
         let consumer = {
-            let (queue, accounts, out) = (Arc::clone(&queue), accounts.clone(), Arc::clone(&out));
-            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics))
+            let (queue, accounts, out, wal) = (
+                Arc::clone(&queue),
+                accounts.clone(),
+                Arc::clone(&out),
+                wal.clone(),
+            );
+            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics, wal))
         };
-        if !serve_connection(BufReader::new(conn), &queue, &accounts, &out) {
-            queue.push(Item::Quit);
-        }
+        // A transient accept() failure (EMFILE, aborted handshake, ...)
+        // must not take down the whole service: retry with bounded
+        // exponential backoff, and only give up after several failures
+        // in a row with no intervening successful session.
+        let mut consecutive_failures = 0u32;
+        let failed = loop {
+            match listener.accept() {
+                Ok((conn, peer)) => {
+                    consecutive_failures = 0;
+                    eprintln!("janus-serve: client {peer}");
+                    let write_half = match conn.try_clone() {
+                        Ok(w) => w,
+                        Err(e) => {
+                            eprintln!("janus-serve: cannot clone connection for {peer}: {e}");
+                            continue;
+                        }
+                    };
+                    *out.lock().unwrap_or_else(|e| e.into_inner()) = Box::new(write_half);
+                    if serve_connection(BufReader::new(conn), &queue, &accounts, &out) {
+                        break false;
+                    }
+                    *out.lock().unwrap_or_else(|e| e.into_inner()) = Box::new(std::io::sink());
+                    eprintln!("janus-serve: client {peer} disconnected; awaiting next session");
+                }
+                Err(e) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures > 5 {
+                        eprintln!(
+                            "error: accept failed {consecutive_failures} times in a row: {e}"
+                        );
+                        queue.push(Item::Quit);
+                        break true;
+                    }
+                    let wait_ms = 10u64 << consecutive_failures;
+                    eprintln!("janus-serve: accept failed ({e}); retrying in {wait_ms}ms");
+                    std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+                }
+            }
+        };
         let _ = consumer.join();
+        if failed {
+            return ExitCode::FAILURE;
+        }
     } else {
         let out: Arc<Mutex<Box<dyn Write + Send>>> =
             Arc::new(Mutex::new(Box::new(std::io::stdout())));
         let consumer = {
-            let (queue, accounts, out) = (Arc::clone(&queue), accounts.clone(), Arc::clone(&out));
-            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics))
+            let (queue, accounts, out, wal) = (
+                Arc::clone(&queue),
+                accounts.clone(),
+                Arc::clone(&out),
+                wal.clone(),
+            );
+            std::thread::spawn(move || consume(exec, queue, accounts, out, metrics, wal))
         };
         let stdin = std::io::stdin();
         if !serve_connection(stdin.lock(), &queue, &accounts, &out) {

@@ -27,6 +27,7 @@
 //! | [`sched`] | `janus-sched` | contention-aware scheduling: backoff, affinity routing, serial-fallback degradation |
 //! | [`fault`] | `janus-fault` | deterministic fault-injection plans for chaos testing |
 //! | [`block`] | `janus-block` | the pipelined block-executor service: warm worker pool, cross-batch commit gating, admission control |
+//! | [`wal`] | `janus-wal` | the durable commit journal: segmented write-ahead log, snapshots, crash recovery |
 //! | [`workloads`] | `janus-workloads` | the five evaluation benchmarks |
 //!
 //! # Quickstart
@@ -125,6 +126,12 @@ pub mod fault {
 /// The pipelined block-executor service (re-export of `janus-block`).
 pub mod block {
     pub use janus_block::*;
+}
+
+/// The durable commit journal and crash recovery (re-export of
+/// `janus-wal`).
+pub mod wal {
+    pub use janus_wal::*;
 }
 
 /// The five evaluation benchmarks (re-export of `janus-workloads`).
