@@ -1,0 +1,243 @@
+//! Work-stealing lane benchmark emitting `BENCH_steal.json`.
+//!
+//! Two workloads isolate the dispatch layer from detection and commit
+//! contention — every task writes its own private location, so no task
+//! ever aborts and wall clock is pure dispatch:
+//!
+//! * **hot-queue** — affinity routing piles every task onto one
+//!   worker's lane (identical footprints). Without stealing the lane
+//!   owner runs the whole batch serially; with stealing the idle
+//!   workers halve the hot queue among themselves. Task bodies *sleep*
+//!   rather than spin, so the speedup materializes even on a one-core
+//!   container (the waiting overlaps like I/O), and the measured ratio
+//!   reflects the dispatch layer, not the host's core count.
+//! * **uniform** — round-robin placement spreads the batch evenly;
+//!   stealing has nothing useful to move and must stay out of the way.
+//!
+//! Gates (asserted in-binary and re-checked by CI from the JSON):
+//! stealing ≥ 1.5× the sealed-lane baseline on hot-queue, ≥ 0.95× on
+//! uniform, and every configuration commits every transaction exactly
+//! once onto the expected final store.
+//!
+//! Usage: `bench-steal [--quick] [OUT.json]` (default `BENCH_steal.json`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use janus_core::{Janus, Store, Task, TxView};
+use janus_detect::WriteSetDetector;
+use janus_relational::Value;
+use janus_sched::{Affinity, ExactFootprints, SchedulePolicy, WorkSteal};
+
+/// `n` conflict-free sleepy tasks: task `i` sleeps `work` then bumps its
+/// own location. Disjoint write sets ⇒ zero aborts ⇒ the run's wall
+/// clock is dispatch plus sleep overlap, nothing else.
+fn disjoint_sleepers(n: usize, work: Duration) -> (Store, Vec<Task>, Vec<janus_log::LocId>) {
+    let mut store = Store::new();
+    let locs: Vec<_> = (0..n)
+        .map(|i| store.alloc(format!("d{i}").as_str(), Value::int(0)))
+        .collect();
+    let tasks = locs
+        .iter()
+        .map(|&loc| {
+            Task::new(move |tx: &mut TxView| {
+                std::thread::sleep(work);
+                let v = tx.read_int(loc);
+                tx.write(loc, v + 1);
+            })
+        })
+        .collect();
+    (store, tasks, locs)
+}
+
+struct Row {
+    workload: &'static str,
+    stealing: bool,
+    wall: Duration,
+    commits: u64,
+    steal_batches: u64,
+    stolen_tasks: u64,
+    parks_with_work: u64,
+}
+
+/// Best-of-`reps` run of one configuration; panics unless every task
+/// commits exactly once and the final store is exact.
+fn measure(
+    workload: &'static str,
+    stealing: bool,
+    policy: &dyn Fn() -> Arc<dyn SchedulePolicy>,
+    n: usize,
+    work: Duration,
+    threads: usize,
+    reps: usize,
+) -> Row {
+    let mut best: Option<Row> = None;
+    for _ in 0..reps {
+        let (store, tasks, locs) = disjoint_sleepers(n, work);
+        let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+            .threads(threads)
+            .schedule(policy())
+            .run(store, tasks);
+        assert_eq!(
+            outcome.stats.commits, n as u64,
+            "{workload} stealing={stealing}: every task commits exactly once"
+        );
+        assert_eq!(outcome.stats.retries, 0, "disjoint tasks never retry");
+        for &l in &locs {
+            assert_eq!(
+                outcome.store.value(l),
+                Some(&Value::int(1)),
+                "{workload} stealing={stealing}: lost or duplicated transaction at {l}"
+            );
+        }
+        let row = Row {
+            workload,
+            stealing,
+            wall: outcome.stats.wall,
+            commits: outcome.stats.commits,
+            steal_batches: outcome.sched.steal.batches,
+            stolen_tasks: outcome.sched.steal.stolen_tasks,
+            parks_with_work: outcome.sched.steal.parks_with_work,
+        };
+        if best.as_ref().is_none_or(|b| row.wall < b.wall) {
+            best = Some(row);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_steal.json".to_string());
+
+    let n = if quick { 96 } else { 160 };
+    let work = Duration::from_micros(if quick { 250 } else { 400 });
+    let threads = 4usize;
+    // Task bodies sleep, so wall jitter is scheduler noise; best-of-5
+    // keeps the uniform ratio (expected ~1.0) out of the noise floor.
+    let reps = 5usize;
+
+    // Hot queue: identical footprints route the whole batch to one lane.
+    let hot_fp = vec![vec![0u64]; n];
+    let hot = |fp: Vec<Vec<u64>>, steal: bool| -> Arc<dyn SchedulePolicy> {
+        let a = Affinity::new(Arc::new(ExactFootprints(fp)));
+        Arc::new(if steal { a } else { a.without_stealing() })
+    };
+    let rows = vec![
+        measure(
+            "hot-queue",
+            true,
+            &|| hot(hot_fp.clone(), true),
+            n,
+            work,
+            threads,
+            reps,
+        ),
+        measure(
+            "hot-queue",
+            false,
+            &|| hot(hot_fp.clone(), false),
+            n,
+            work,
+            threads,
+            reps,
+        ),
+        measure(
+            "uniform",
+            true,
+            &|| Arc::new(WorkSteal::new(20120611)),
+            n,
+            work,
+            threads,
+            reps,
+        ),
+        measure(
+            "uniform",
+            false,
+            &|| Arc::new(WorkSteal::new(20120611).without_stealing()),
+            n,
+            work,
+            threads,
+            reps,
+        ),
+    ];
+
+    let wall_of = |workload: &str, stealing: bool| -> f64 {
+        rows.iter()
+            .find(|r| r.workload == workload && r.stealing == stealing)
+            .map(|r| r.wall.as_secs_f64())
+            .expect("measured configuration")
+    };
+    // Ratios are sealed-lane wall over stealing wall: > 1 means the
+    // thieves paid for themselves.
+    let hot_ratio = wall_of("hot-queue", false) / wall_of("hot-queue", true);
+    let uniform_ratio = wall_of("uniform", false) / wall_of("uniform", true);
+    let hot_steals = rows
+        .iter()
+        .find(|r| r.workload == "hot-queue" && r.stealing)
+        .map(|r| r.steal_batches)
+        .unwrap_or(0);
+
+    let mut json = String::from("{\n  \"bench\": \"steal\",\n  \"timeline\": \"real\",\n");
+    json.push_str(&format!(
+        "  \"tasks\": {n},\n  \"threads\": {threads},\n  \
+         \"task_sleep_us\": {},\n  \"hot_ratio\": {hot_ratio:.3},\n  \
+         \"uniform_ratio\": {uniform_ratio:.3},\n  \"rows\": [\n",
+        work.as_micros()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"stealing\": {}, \"wall_s\": {:.6}, \
+             \"commits\": {}, \"steal_batches\": {}, \"stolen_tasks\": {}, \
+             \"parks_with_work\": {}}}{}\n",
+            r.workload,
+            r.stealing,
+            r.wall.as_secs_f64(),
+            r.commits,
+            r.steal_batches,
+            r.stolen_tasks,
+            r.parks_with_work,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_steal.json");
+
+    for r in &rows {
+        eprintln!(
+            "{:9} stealing={:5}  wall={:9.4}ms  commits={}  batches={:3}  \
+             moved={:3}  parks-with-work={}",
+            r.workload,
+            r.stealing,
+            r.wall.as_secs_f64() * 1e3,
+            r.commits,
+            r.steal_batches,
+            r.stolen_tasks,
+            r.parks_with_work,
+        );
+    }
+    println!(
+        "hot-queue speedup {hot_ratio:.2}x ({hot_steals} steal batches), \
+         uniform ratio {uniform_ratio:.2}x"
+    );
+    println!("wrote {out_path} ({} configs)", rows.len());
+
+    // Gates. The hot-queue bound is the satellite's success metric: idle
+    // lanes must at least halve the serial drain (1.5x leaves headroom
+    // for dispatch overhead); on uniform queues stealing must cost at
+    // most 5%.
+    assert!(
+        hot_ratio >= 1.5,
+        "hot-queue stealing speedup below gate: {hot_ratio:.2}x"
+    );
+    assert!(
+        uniform_ratio >= 0.95,
+        "uniform stealing overhead above gate: {uniform_ratio:.2}x"
+    );
+    assert!(hot_steals > 0, "hot-queue run never stole");
+}

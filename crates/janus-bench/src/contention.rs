@@ -4,7 +4,7 @@
 //! the tasks read-modify-write one shared hot counter (a non-commuting
 //! access pattern under write-set detection, so every overlapping pair
 //! aborts), while the rest increment private locations. The sweep runs
-//! every scheduling policy (`fifo`, `backoff`, `affinity`), with and
+//! every scheduling policy (`fifo`, `backoff`, `affinity`, `steal`), with and
 //! without serial-fallback degradation, against a sequential baseline —
 //! measuring how much of the seed scheduler's hot-restart retry storm
 //! each policy removes, and what the degraded worst case costs.
@@ -14,14 +14,16 @@ use std::time::{Duration, Instant};
 
 use janus_core::{Janus, Store, Task, TxView};
 use janus_detect::WriteSetDetector;
-use janus_sched::{Affinity, Backoff, DegradeConfig, ExactFootprints, Fifo, SchedulePolicy};
+use janus_sched::{
+    Affinity, Backoff, DegradeConfig, ExactFootprints, Fifo, SchedulePolicy, WorkSteal,
+};
 
 /// One measured point of the contention sweep.
 #[derive(Debug, Clone)]
 pub struct ContentionPoint {
     /// Percentage of tasks hitting the shared hot counter.
     pub hot_pct: u32,
-    /// Scheduling policy label ("fifo", "backoff", "affinity").
+    /// Scheduling policy label ("fifo", "backoff", "affinity", "steal").
     pub policy: &'static str,
     /// Whether serial-fallback degradation was enabled.
     pub degrade: bool,
@@ -144,6 +146,7 @@ pub fn contention_sweep(quick: bool) -> Vec<ContentionPoint> {
                     scenario.footprints.clone(),
                 )))),
             ),
+            ("steal", Arc::new(WorkSteal::new(7))),
         ];
         for (label, policy) in policies {
             for degrade in [false, true] {

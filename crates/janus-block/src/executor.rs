@@ -2,8 +2,11 @@
 //! two batches in flight.
 //!
 //! Each submitted block runs as one `run_batch` on a shared
-//! [`Session`], dispatched through the warm [`WorkerPool`] by a
-//! *conductor* thread. In [`PipelineMode::Pipelined`], block N+1's
+//! [`Session`], dispatched through the warm [`WorkerPool`] by one of
+//! `depth` persistent *conductor* threads fed over a channel (no
+//! per-block thread spawn; reuse shows up as `blocks_conducted /
+//! conductors` in [`PoolStats`]). In [`PipelineMode::Pipelined`],
+//! block N+1's
 //! speculative execution overlaps block N's validation and commit; a
 //! [`CommitGate`](janus_core::CommitGate) linking the two trackers
 //! keeps the equivalent serial order at "all of N before any
@@ -17,15 +20,15 @@
 //! block stay live.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use janus_core::{BatchOutcome, CommitGate, Janus, Session, Store, Task};
 
 use crate::batch::{BatchTracker, OrderedLink, PipelinedLink};
-use crate::pool::WorkerPool;
+use crate::pool::{PoolStats, WorkerPool};
 use crate::stats::BlockStats;
 
 /// How block boundaries are treated.
@@ -94,7 +97,89 @@ pub struct Submitted {
 }
 
 struct Inflight {
-    handle: JoinHandle<BlockOutcome>,
+    /// Delivers the outcome once a conductor finishes the block.
+    rx: mpsc::Receiver<BlockOutcome>,
+}
+
+/// A block's unit of conductor work: runs the batch, then delivers the
+/// outcome on the block's private channel.
+type ConductJob = Box<dyn FnOnce() + Send>;
+
+/// The persistent conductor crew: `depth` long-lived threads pulling
+/// [`ConductJob`]s off one shared channel. Replaces the per-block
+/// `janus-block-{seq}` spawn — a streamed service conducts thousands of
+/// blocks on the same `depth` threads, and the reuse is visible as
+/// `blocks_conducted / conductors`.
+struct Conductors {
+    /// `None` only during [`Drop`], which closes the channel to let the
+    /// threads drain and exit.
+    tx: Option<mpsc::Sender<ConductJob>>,
+    threads: Vec<JoinHandle<()>>,
+    conducted: Arc<AtomicU64>,
+}
+
+impl Conductors {
+    fn new(depth: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<ConductJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let conducted = Arc::new(AtomicU64::new(0));
+        let threads = (0..depth)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let conducted = Arc::clone(&conducted);
+                std::thread::Builder::new()
+                    .name(format!("janus-conductor-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while waiting for
+                        // the next job, never while conducting it, so
+                        // sibling conductors stay schedulable.
+                        let job = {
+                            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            rx.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                conducted.fetch_add(1, Ordering::Relaxed);
+                                job();
+                            }
+                            // Channel closed: the executor dropped us.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn block conductor")
+            })
+            .collect();
+        Conductors {
+            tx: Some(tx),
+            threads,
+            conducted,
+        }
+    }
+
+    fn submit(&self, job: ConductJob) {
+        self.tx
+            .as_ref()
+            .expect("conductors live until drop")
+            .send(job)
+            .expect("a conductor is always listening");
+    }
+
+    fn count(&self) -> u64 {
+        self.threads.len() as u64
+    }
+
+    fn conducted(&self) -> u64 {
+        self.conducted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Conductors {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
 }
 
 /// A long-lived executor: one [`Session`], one warm [`WorkerPool`],
@@ -114,6 +199,7 @@ pub struct BlockExecutor {
     prev: Option<Arc<BatchTracker>>,
     /// Every tracker ever linked, for overlap accounting.
     trackers: Vec<Arc<BatchTracker>>,
+    conductors: Conductors,
     inflight: VecDeque<Inflight>,
     /// First submit, for the stream-wall half of the overlap ratio.
     first_submit: Option<Instant>,
@@ -136,6 +222,7 @@ impl BlockExecutor {
             seq_base: 0,
             prev: None,
             trackers: Vec::new(),
+            conductors: Conductors::new(mode.depth()),
             inflight: VecDeque::new(),
             first_submit: None,
             wall: Duration::ZERO,
@@ -165,6 +252,17 @@ impl BlockExecutor {
     /// The warm pool (for its thread-reuse counters).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// Pool counters with the executor's conductor-reuse figures filled
+    /// in: `blocks_conducted / conductors` is how many blocks each
+    /// persistent conductor thread has driven.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            conductors: self.conductors.count(),
+            blocks_conducted: self.conductors.conducted(),
+            ..self.pool.stats()
+        }
     }
 
     /// A read snapshot of the session's current store. Taken without
@@ -226,11 +324,17 @@ impl BlockExecutor {
         let session = Arc::clone(&self.session);
         let pool = Arc::clone(&self.pool);
         let stats = Arc::clone(&self.stats);
-        let handle = std::thread::Builder::new()
-            .name(format!("janus-block-{seq}"))
-            .spawn(move || conduct(seq, janus, session, pool, tasks, gate, tracker, stats))
-            .expect("spawn block conductor");
-        self.inflight.push_back(Inflight { handle });
+        let (otx, orx) = mpsc::channel();
+        // `conduct` takes the session/pool handles by value and drops
+        // them before returning, so by the time the outcome is sent —
+        // and thus by the time `finish` can observe the drained
+        // pipeline — the conductor holds no session reference and
+        // `Arc::try_unwrap` there stays sound.
+        self.conductors.submit(Box::new(move || {
+            let outcome = conduct(seq, janus, session, pool, tasks, gate, tracker, stats);
+            let _ = otx.send(outcome);
+        }));
+        self.inflight.push_back(Inflight { rx: orx });
         Submitted { seq, retired }
     }
 
@@ -293,9 +397,9 @@ impl BlockExecutor {
 
     fn retire_oldest(&mut self) -> BlockOutcome {
         let block = self.inflight.pop_front().expect("non-empty pipeline");
-        // Conductors catch batch unwinds themselves; a join error would
+        // Conductors catch batch unwinds themselves; a recv error would
         // mean the conductor harness itself panicked.
-        let outcome = block.handle.join().expect("conductor never panics");
+        let outcome = block.rx.recv().expect("conductor delivers an outcome");
         self.stats
             .overlapped_commits
             .store(self.overlapped_commits(), Ordering::Relaxed);
@@ -507,9 +611,30 @@ mod tests {
         let blocks: Vec<Vec<Task>> = (0..6).map(|_| counter_tasks(acct, 4, 1)).collect();
         let outcomes = exec.execute_blocks(blocks);
         assert_eq!(outcomes.len(), 6);
-        let pool = exec.pool().stats();
+        let pool = exec.pool_stats();
         assert_eq!(pool.dispatches, 6, "one pool dispatch per block");
         assert_eq!(pool.lanes, 6, "2 * (threads + 1) warm lanes");
         assert_eq!(pool.jobs_run, 12, "worker jobs only; no watchdog armed");
+        assert_eq!(pool.conductors, 2, "pipeline depth, not one per block");
+        assert_eq!(
+            pool.blocks_conducted, 6,
+            "every block on a reused conductor"
+        );
+    }
+
+    #[test]
+    fn barrier_mode_keeps_a_single_persistent_conductor() {
+        let mut store = Store::new();
+        let acct = store.alloc("acct", Value::int(0));
+        let mut exec = BlockExecutor::new(janus(2), store, PipelineMode::Barrier);
+        for _ in 0..4 {
+            let o = exec.execute_block(counter_tasks(acct, 2, 1));
+            assert_eq!(o.status, BlockStatus::Committed);
+        }
+        let pool = exec.pool_stats();
+        assert_eq!(pool.conductors, 1);
+        assert_eq!(pool.blocks_conducted, 4, "4x reuse of the one conductor");
+        let (store, _, _) = exec.finish();
+        assert_eq!(store.value(acct), Some(&Value::int(8)));
     }
 }

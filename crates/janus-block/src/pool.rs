@@ -1,35 +1,55 @@
 //! The persistent worker pool: warm threads reused across batches.
 //!
-//! One pool thread per *lane*. A batch reserves one lane per worker job
-//! (all-or-nothing, so two pipelined batches can never deadlock on a
-//! half-reservation), each lane runs exactly one job to completion
-//! through its own injection slot, then returns itself to the free
-//! list. The lane's thread never exits between batches — the
-//! thread-reuse half of the ROADMAP's work-stealing refactor — and the
-//! free list is a LIFO stack, so a steady barrier-mode caller gets the
-//! same (cache-warm) lanes back batch after batch, while a pipelined
-//! caller alternates between two lane sets.
+//! One pool thread per *lane*. A batch reserves one lane per worker
+//! job, each lane runs exactly one job to completion through its own
+//! injection slot, then returns itself to the free list. The lane's
+//! thread never exits between batches — the thread-reuse half of the
+//! ROADMAP's work-stealing refactor — and the free list is a LIFO
+//! stack, so a steady barrier-mode caller gets the same (cache-warm)
+//! lanes back batch after batch, while a pipelined caller alternates
+//! between two lane sets.
+//!
+//! When a dispatch wants more lanes than are free, the excess jobs land
+//! in a shared *overflow* queue instead of blocking the caller: a lane
+//! that completes its job steals queued work from the overflow (FIFO,
+//! so earlier batches drain first) before idling. Reservation never
+//! holds-and-waits, so concurrent dispatches cannot deadlock on partial
+//! reservations, and oversubscribed dispatches degrade to bounded
+//! parallelism instead of panicking.
 //!
 //! Uses `std::sync` primitives throughout: the pool needs a `Condvar`,
 //! which the in-repo `parking_lot` shim does not provide.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use janus_core::{Job, JobExecutor};
 
-/// Shared pool state: one injection slot per lane plus the free-lane
-/// stack.
-struct PoolShared {
-    lanes: Vec<Lane>,
+/// The free-lane stack and the overflow queue, guarded together: a lane
+/// decides "steal overflow work or go idle" in one critical section, so
+/// a job can never be queued while a lane slips onto the free list.
+struct FreeState {
     /// Indices of lanes with no job in flight. LIFO: the most recently
     /// freed (warmest) lanes are handed out first.
-    free: Mutex<Vec<usize>>,
+    lanes: Vec<usize>,
+    /// Jobs dispatched while no lane was free, drained FIFO by lanes
+    /// as they complete their slot jobs.
+    overflow: VecDeque<Job>,
+}
+
+/// Shared pool state: one injection slot per lane plus the free-lane
+/// stack and overflow queue.
+struct PoolShared {
+    lanes: Vec<Lane>,
+    free: Mutex<FreeState>,
     free_cv: Condvar,
     shutdown: AtomicBool,
     jobs_run: AtomicU64,
     dispatches: AtomicU64,
+    overflow_queued: AtomicU64,
+    overflow_stolen: AtomicU64,
 }
 
 /// One lane's injection slot: the single job the lane's thread should
@@ -63,11 +83,16 @@ impl WorkerPool {
                     cv: Condvar::new(),
                 })
                 .collect(),
-            free: Mutex::new((0..lanes).rev().collect()),
+            free: Mutex::new(FreeState {
+                lanes: (0..lanes).rev().collect(),
+                overflow: VecDeque::new(),
+            }),
             free_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             jobs_run: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            overflow_queued: AtomicU64::new(0),
+            overflow_stolen: AtomicU64::new(0),
         });
         let threads = (0..lanes)
             .map(|i| {
@@ -99,12 +124,16 @@ impl WorkerPool {
             lanes: self.shared.lanes.len() as u64,
             jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
             dispatches: self.shared.dispatches.load(Ordering::Relaxed),
+            overflow_queued: self.shared.overflow_queued.load(Ordering::Relaxed),
+            overflow_stolen: self.shared.overflow_stolen.load(Ordering::Relaxed),
+            conductors: 0,
+            blocks_conducted: 0,
         }
     }
 }
 
 /// Point-in-time pool counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Persistent threads in the pool.
     pub lanes: u64,
@@ -112,6 +141,17 @@ pub struct PoolStats {
     pub jobs_run: u64,
     /// `run_jobs` calls (batch dispatches) served.
     pub dispatches: u64,
+    /// Jobs that found no free lane and were queued on the overflow.
+    pub overflow_queued: u64,
+    /// Overflow jobs a freed lane stole instead of idling.
+    pub overflow_stolen: u64,
+    /// Persistent conductor threads (filled by the block executor; a
+    /// bare pool reports 0).
+    pub conductors: u64,
+    /// Blocks conducted by those persistent threads — `blocks_conducted
+    /// / conductors` is the reuse factor the per-block-spawn scheme
+    /// never got above 1.
+    pub blocks_conducted: u64,
 }
 
 fn lane_loop(idx: usize, shared: &PoolShared) {
@@ -133,12 +173,25 @@ fn lane_loop(idx: usize, shared: &PoolShared) {
         // catch their own unwinds, so a panicking batch job can never
         // kill a pool thread.
         job();
-        // The lane frees itself only after its job completed, so a
-        // reservation always gets idle threads.
-        let mut free = shared.free.lock().unwrap_or_else(|e| e.into_inner());
-        free.push(idx);
-        drop(free);
-        shared.free_cv.notify_all();
+        // Before idling, steal queued overflow work: a free lane whose
+        // injection slot is empty serves waiting jobs instead of
+        // parking while dispatched batches run undermanned.
+        loop {
+            let mut free = shared.free.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(job) = free.overflow.pop_front() {
+                drop(free);
+                shared.overflow_stolen.fetch_add(1, Ordering::Relaxed);
+                job();
+                continue;
+            }
+            // The lane frees itself only after its job completed (and
+            // the overflow is empty), so a reservation always gets
+            // idle threads.
+            free.lanes.push(idx);
+            drop(free);
+            shared.free_cv.notify_all();
+            break;
+        }
     }
 }
 
@@ -148,52 +201,55 @@ impl JobExecutor for WorkerPool {
             return;
         }
         let n = jobs.len();
-        assert!(
-            n <= self.shared.lanes.len(),
-            "batch needs {n} lanes but the pool has {}",
-            self.shared.lanes.len()
-        );
         self.shared.dispatches.fetch_add(1, Ordering::Relaxed);
-        // All-or-nothing reservation: take every lane this batch needs
-        // in one critical section, or wait. Partial reservations could
-        // deadlock two concurrent batches against each other.
-        let reserved: Vec<usize> = {
-            let mut free = self.shared.free.lock().unwrap_or_else(|e| e.into_inner());
-            while free.len() < n {
-                free = self
-                    .shared
-                    .free_cv
-                    .wait(free)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-            let cut = free.len() - n;
-            free.split_off(cut)
-        };
         // Completion latch: remaining jobs + the first panic payload.
         type Latch = (
             Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
             Condvar,
         );
         let latch: Arc<Latch> = Arc::new((Mutex::new((n, None)), Condvar::new()));
-        for (&lane_idx, job) in reserved.iter().zip(jobs) {
-            let latch = Arc::clone(&latch);
-            let shared = Arc::clone(&self.shared);
-            let wrapped: Job = Box::new(move || {
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                // Count before releasing the latch so `stats()` read
-                // after `run_jobs` returns is never stale.
-                shared.jobs_run.fetch_add(1, Ordering::Relaxed);
-                let (lock, cv) = &*latch;
-                let mut state = lock.lock().unwrap_or_else(|e| e.into_inner());
-                state.0 -= 1;
-                if let Err(payload) = result {
-                    state.1.get_or_insert(payload);
-                }
-                drop(state);
-                cv.notify_all();
-            });
+        let mut wrapped: Vec<Job> = jobs
+            .into_iter()
+            .map(|job| {
+                let latch = Arc::clone(&latch);
+                let shared = Arc::clone(&self.shared);
+                Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    // Count before releasing the latch so `stats()` read
+                    // after `run_jobs` returns is never stale.
+                    shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                    let (lock, cv) = &*latch;
+                    let mut state = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    state.0 -= 1;
+                    if let Err(payload) = result {
+                        state.1.get_or_insert(payload);
+                    }
+                    drop(state);
+                    cv.notify_all();
+                }) as Job
+            })
+            .collect();
+        // Take whatever lanes are free and queue the rest on the
+        // overflow, all in one critical section: reservation never
+        // holds-and-waits (so concurrent dispatches cannot deadlock),
+        // and no lane can go idle between the split and the queueing.
+        // The leading jobs get the lanes — `run_batch` submits its
+        // watchdog job last, so worker jobs start first when lanes are
+        // scarce.
+        let reserved: Vec<usize> = {
+            let mut free = self.shared.free.lock().unwrap_or_else(|e| e.into_inner());
+            let take = free.lanes.len().min(n);
+            let cut = free.lanes.len() - take;
+            let reserved = free.lanes.split_off(cut);
+            for job in wrapped.split_off(take) {
+                self.shared.overflow_queued.fetch_add(1, Ordering::Relaxed);
+                free.overflow.push_back(job);
+            }
+            reserved
+        };
+        for (&lane_idx, job) in reserved.iter().zip(wrapped) {
             let lane = &self.shared.lanes[lane_idx];
-            *lane.inbox.lock().unwrap_or_else(|e| e.into_inner()) = Some(wrapped);
+            *lane.inbox.lock().unwrap_or_else(|e| e.into_inner()) = Some(job);
             lane.cv.notify_one();
         }
         let (lock, cv) = &*latch;
@@ -286,6 +342,56 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4 * 8 * 2);
+    }
+
+    #[test]
+    fn oversubscribed_dispatch_overflows_instead_of_panicking() {
+        // 6 jobs on 2 lanes: 2 dispatch directly, 4 ride the overflow
+        // queue and are stolen by lanes as they free up.
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..6)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        pool.run_jobs(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 6, "every job ran");
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_run, 6);
+        assert_eq!(stats.overflow_queued, 4, "4 jobs found no free lane");
+        assert_eq!(stats.overflow_stolen, 4, "free lanes stole all of them");
+        // A worker-sized batch afterwards needs no overflow.
+        let jobs: Vec<Job> = (0..2).map(|_| Box::new(|| {}) as Job).collect();
+        pool.run_jobs(jobs);
+        assert_eq!(pool.stats().overflow_queued, 4);
+    }
+
+    #[test]
+    fn overflow_drains_fifo_across_concurrent_dispatches() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (pool, counter) = (Arc::clone(&pool), Arc::clone(&counter));
+                scope.spawn(move || {
+                    let jobs: Vec<Job> = (0..4)
+                        .map(|_| {
+                            let counter = Arc::clone(&counter);
+                            Box::new(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }) as Job
+                        })
+                        .collect();
+                    pool.run_jobs(jobs);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+        assert_eq!(pool.stats().jobs_run, 12);
     }
 
     #[test]

@@ -886,11 +886,20 @@ impl Janus {
                 break;
             }
             ctx.phases.set(w, phase::IDLE, 0);
-            let i = match ctx.source.next_task(w) {
-                Some(i) => i,
+            let dispatch = match ctx.source.next_task(w) {
+                Some(d) => d,
                 None => break,
             };
+            let i = dispatch.task;
             let tid = ctx.first_tid + i as u64;
+            if dispatch.stolen > 0 {
+                if let Some(o) = obs.as_ref() {
+                    o.record(EventKind::SchedSteal {
+                        task: tid,
+                        tasks: dispatch.stolen,
+                    });
+                }
+            }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.run_task(&ctx.tasks[i], tid, w, ctx, obs.as_ref())
             }));
@@ -1136,7 +1145,10 @@ impl Janus {
                 ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
                 // Escalating spin → yield → park instead of a bare
                 // `yield_now` loop: long waits (deep pipelines, slow
-                // predecessors) cede the core.
+                // predecessors) cede the core. The source hook lets
+                // stealing schedulers count waits that held queued
+                // work (the queue itself stays stealable throughout).
+                ctx.source.on_park(worker);
                 let mut parker = Parker::new();
                 // Acquire pairs with the committer's Release turn
                 // advance: holding the turn implies every predecessor's
@@ -1147,6 +1159,7 @@ impl Janus {
                         // spinning would hang forever. The distinct
                         // abort reason keeps these bailouts out of
                         // contention attribution.
+                        ctx.source.on_unpark(worker);
                         if self.gc_history {
                             ctx.active().unregister(begin);
                         }
@@ -1160,6 +1173,7 @@ impl Janus {
                     }
                     parker.pause();
                 }
+                ctx.source.on_unpark(worker);
             }
 
             let entry = SnapshotState::sharded(maps);
@@ -1322,7 +1336,11 @@ impl Janus {
                         ctx.phases.set(worker, phase::BACKOFF, tid);
                         // Yield the slot instead of hot-restarting; bail
                         // promptly if the run is poisoned meanwhile.
+                        // Any work still queued on this worker's lane
+                        // stays published for stealing while it sleeps.
+                        ctx.source.on_park(worker);
                         backoff::wait(hint.steps, || ctx.poisoned.load(Ordering::SeqCst));
+                        ctx.source.on_unpark(worker);
                     }
                     continue 'restart; // abort: rerun from scratch
                 }
@@ -1347,12 +1365,19 @@ impl Janus {
                     if !g.may_commit(tid, txn_log.fingerprint()) {
                         ctx.counters.gate_waits.fetch_add(1, Ordering::Relaxed);
                         ctx.phases.set(worker, phase::ORDERED_WAIT, tid);
+                        // Tell the source this worker is blocking: its
+                        // remaining queue is already published (steal
+                        // sources keep all undispatched work stealable
+                        // by construction), so gate-parking strands
+                        // nothing — the hook just counts the exposure.
+                        ctx.source.on_park(worker);
                         let mut parker = Parker::new();
                         loop {
                             if ctx.poisoned.load(Ordering::Acquire) {
                                 // This batch is failing wholesale; the
                                 // gate may never open. Bail like an
                                 // ordered waiter.
+                                ctx.source.on_unpark(worker);
                                 if self.gc_history {
                                     ctx.active().unregister(begin);
                                 }
@@ -1369,6 +1394,7 @@ impl Janus {
                             }
                             parker.pause();
                         }
+                        ctx.source.on_unpark(worker);
                     }
                 }
                 // COMMIT: write-lock exactly the touched shards, in

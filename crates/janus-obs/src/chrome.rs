@@ -104,6 +104,20 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                         ),
                     );
                 }
+                EventKind::SchedSteal { task, tasks } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"sched_steal\",\"cat\":\"sched\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                             \"args\":{{\"task\":{task},\"tasks\":{tasks},\"clock\":{}}}}}",
+                            t.tid,
+                            us(e.ts_ns),
+                            e.clock
+                        ),
+                    );
+                }
                 EventKind::SchedDegrade { on } => {
                     push_event(
                         &mut out,
@@ -220,6 +234,7 @@ mod tests {
             });
             h.record(EventKind::SchedBackoff { task: 1, steps: 5 });
             h.record(EventKind::SchedDegrade { on: true });
+            h.record(EventKind::SchedSteal { task: 1, tasks: 3 });
             h.record(EventKind::Begin { task: 1 });
             h.set_clock(2);
             h.record(EventKind::Commit { task: 1 });
@@ -232,6 +247,8 @@ mod tests {
         assert!(json.contains("conflict hot\\\"spot"));
         assert!(json.contains("\"reason\":\"writeset-overlap\""));
         assert!(json.contains("\"name\":\"sched_backoff\""));
+        assert!(json.contains("\"name\":\"sched_steal\""));
+        assert!(json.contains("\"tasks\":3"));
         assert!(json.contains("\"steps\":5"));
         assert!(json.contains("\"name\":\"sched_degrade\""));
         assert!(json.contains("\"on\":true"));

@@ -142,6 +142,15 @@ pub enum EventKind {
         /// The new degradation state.
         on: bool,
     },
+    /// An idle worker stole a batch of queued tasks from a loaded
+    /// worker; `task` is the first stolen task (the one the thief runs
+    /// next), the rest are staged for later dispatch.
+    SchedSteal {
+        /// The first stolen task's id.
+        task: u64,
+        /// Tasks transferred by the steal (including `task`).
+        tasks: u64,
+    },
     /// The attempt committed (the clock stamp is the post-commit clock).
     Commit {
         /// The committing task's id.
@@ -165,6 +174,7 @@ impl EventKind {
             EventKind::Abort { .. } => "abort",
             EventKind::SchedBackoff { .. } => "sched_backoff",
             EventKind::SchedDegrade { .. } => "sched_degrade",
+            EventKind::SchedSteal { .. } => "sched_steal",
             EventKind::Commit { .. } => "commit",
             EventKind::GcReclaim { .. } => "gc_reclaim",
         }
@@ -205,6 +215,10 @@ mod tests {
         assert_eq!(
             EventKind::SchedDegrade { on: true }.label(),
             "sched_degrade"
+        );
+        assert_eq!(
+            EventKind::SchedSteal { task: 3, tasks: 4 }.label(),
+            "sched_steal"
         );
     }
 }

@@ -38,7 +38,7 @@ impl Snapshot for janus_sat::SolverStats {
 /// A log2-bucketed histogram of `u64` samples: bucket `i` holds samples
 /// whose bit length is `i` (bucket 0 is the zero sample), so 65 buckets
 /// cover the full range with constant memory and O(1) observation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
     count: u64,
@@ -248,6 +248,9 @@ impl MetricsRegistry {
                     }
                     EventKind::SchedBackoff { steps, .. } => {
                         self.observe("backoff_steps", *steps);
+                    }
+                    EventKind::SchedSteal { tasks, .. } => {
+                        self.observe("steal_batch_tasks", *tasks);
                     }
                     EventKind::SchedDegrade { on } => {
                         if *on {

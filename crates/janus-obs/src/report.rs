@@ -92,8 +92,9 @@ pub fn text_report(trace: &Trace, top_k: usize) -> String {
         );
     }
     let backoffs = trace.count("sched_backoff");
-    if backoffs > 0 {
-        let _ = writeln!(out, "scheduler: {backoffs} backoff waits");
+    let steals = trace.count("sched_steal");
+    if backoffs > 0 || steals > 0 {
+        let _ = writeln!(out, "scheduler: {backoffs} backoff waits  {steals} steals");
     }
     let attr = attribution(trace);
     if attr.by_class.is_empty() {
@@ -162,6 +163,6 @@ mod tests {
         assert!(report.contains("hot"));
         assert!(report.contains("retry ratio: 1.000"));
         assert!(report.contains("aborts by reason: 1 conflict  0 poisoned  0 failed"));
-        assert!(report.contains("scheduler: 1 backoff waits"));
+        assert!(report.contains("scheduler: 1 backoff waits  0 steals"));
     }
 }

@@ -9,16 +9,12 @@
 //! conditions: the read/write sets mined from a sequential (training or
 //! hindsight) run.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use janus_train::TrainingRun;
-use parking_lot::Mutex;
 
-use crate::backoff::{deterministic_steps, BackoffHint};
 use crate::policy::{SchedulePolicy, TaskSource};
-use crate::stats::SchedStats;
+use crate::steal::LaneSource;
 
 /// Predicts the shared-state footprint of a task before it runs.
 pub trait FootprintPredictor: Send + Sync + std::fmt::Debug {
@@ -110,16 +106,21 @@ impl FootprintPredictor for ShardFootprints {
     }
 }
 
-/// Routes tasks to workers by predicted footprint overlap, with work
-/// stealing for liveness. Aborts (which still happen when predictions
-/// miss or stealing mixes footprints) back off on the same
-/// deterministic curve as [`Backoff`](crate::Backoff).
+/// Routes tasks to workers by predicted footprint overlap, with
+/// lock-free batch work stealing for liveness (see
+/// [`steal`](crate::steal) for the deque protocol). Aborts (which
+/// still happen when predictions miss or stealing mixes footprints)
+/// back off on the same deterministic curve as
+/// [`Backoff`](crate::Backoff).
 #[derive(Debug, Clone)]
 pub struct Affinity {
     /// The footprint oracle driving placement.
     pub predictor: Arc<dyn FootprintPredictor>,
-    /// Seed of the retry-backoff schedule.
+    /// Seed of the retry-backoff schedule and steal probe order.
     pub seed: u64,
+    /// Whether idle workers steal from loaded ones (on by default;
+    /// disabling is a measurement ablation, not a production mode).
+    pub stealing: bool,
 }
 
 impl Affinity {
@@ -129,7 +130,14 @@ impl Affinity {
         Affinity {
             predictor,
             seed: 0x006a_616e_7573,
+            stealing: true,
         }
+    }
+
+    /// Disables stealing (the bench ablation baseline).
+    pub fn without_stealing(mut self) -> Self {
+        self.stealing = false;
+        self
     }
 }
 
@@ -140,7 +148,7 @@ impl SchedulePolicy for Affinity {
 
     fn bind(&self, tasks: usize, workers: usize) -> Box<dyn TaskSource> {
         let workers = workers.max(1);
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); workers];
         let mut keys: Vec<Vec<u64>> = vec![Vec::new(); workers];
         let mut routed = 0u64;
         for task in 0..tasks {
@@ -160,81 +168,11 @@ impl SchedulePolicy for Affinity {
                     keys[best].push(*k);
                 }
             }
-            queues[best].push_back(task);
+            queues[best].push(task);
         }
-        Box::new(AffinitySource {
-            queues: queues.into_iter().map(Mutex::new).collect(),
-            remaining: AtomicUsize::new(tasks),
-            seed: self.seed,
-            routed,
-            hits: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            waits: AtomicU64::new(0),
-            steps: AtomicU64::new(0),
-        })
-    }
-}
-
-struct AffinitySource {
-    queues: Vec<Mutex<VecDeque<usize>>>,
-    remaining: AtomicUsize,
-    seed: u64,
-    routed: u64,
-    hits: AtomicU64,
-    steals: AtomicU64,
-    waits: AtomicU64,
-    steps: AtomicU64,
-}
-
-impl TaskSource for AffinitySource {
-    fn next_task(&self, worker: usize) -> Option<usize> {
-        if self.remaining.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let own = worker % self.queues.len();
-        if let Some(task) = self.queues[own].lock().pop_front() {
-            self.remaining.fetch_sub(1, Ordering::AcqRel);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(task);
-        }
-        // Own queue drained: steal from the back of the longest queue,
-        // which disturbs that worker's affinity order the least.
-        loop {
-            let victim = (0..self.queues.len())
-                .filter(|&w| w != own)
-                .max_by_key(|&w| self.queues[w].lock().len())?;
-            let stolen = self.queues[victim].lock().pop_back();
-            match stolen {
-                Some(task) => {
-                    self.remaining.fetch_sub(1, Ordering::AcqRel);
-                    self.steals.fetch_add(1, Ordering::Relaxed);
-                    return Some(task);
-                }
-                // Lost a race against the victim; rescan unless the
-                // pool is globally empty.
-                None if self.remaining.load(Ordering::Acquire) == 0 => return None,
-                None => continue,
-            }
-        }
-    }
-
-    fn on_abort(&self, _worker: usize, task: usize, attempt: u32) -> BackoffHint {
-        let steps = deterministic_steps(self.seed, task as u64, attempt, 16, 4096);
-        self.waits.fetch_add(1, Ordering::Relaxed);
-        self.steps.fetch_add(steps, Ordering::Relaxed);
-        BackoffHint { steps }
-    }
-
-    fn stats(&self) -> SchedStats {
-        SchedStats {
-            dispatched: self.hits.load(Ordering::Relaxed) + self.steals.load(Ordering::Relaxed),
-            backoff_waits: self.waits.load(Ordering::Relaxed),
-            backoff_steps: self.steps.load(Ordering::Relaxed),
-            affinity_hits: self.hits.load(Ordering::Relaxed),
-            affinity_steals: self.steals.load(Ordering::Relaxed),
-            affinity_routed: self.routed,
-            ..Default::default()
-        }
+        // Dispatch and stealing are the shared lane protocol; placement
+        // above is the only affinity-specific part.
+        Box::new(LaneSource::new(queues, self.seed, routed, self.stealing))
     }
 }
 
@@ -263,7 +201,7 @@ mod tests {
         // Each worker serves its own queue before stealing, so probing
         // worker 0 reveals which queue it owns; the hot chain {0, 2, 4}
         // must then drain in submission order from a single worker.
-        let first = source.next_task(0).expect("five tasks queued");
+        let first = source.next_task(0).expect("five tasks queued").task;
         let (hot, cold, mut hot_tasks, mut cold_tasks) = if first == 0 {
             (0, 1, vec![0usize], vec![])
         } else {
@@ -271,10 +209,10 @@ mod tests {
             (1, 0, vec![], vec![1usize])
         };
         while hot_tasks.len() < 3 {
-            hot_tasks.push(source.next_task(hot).expect("hot queue has 3 tasks"));
+            hot_tasks.push(source.next_task(hot).expect("hot queue has 3 tasks").task);
         }
         while cold_tasks.len() < 2 {
-            cold_tasks.push(source.next_task(cold).expect("cold queue has 2 tasks"));
+            cold_tasks.push(source.next_task(cold).expect("cold queue has 2 tasks").task);
         }
         assert_eq!(hot_tasks, vec![0, 2, 4], "the overlap chain serializes");
         assert_eq!(cold_tasks, vec![1, 3]);
@@ -293,7 +231,7 @@ mod tests {
             idle = 0;
             for w in 0..3 {
                 match source.next_task(w) {
-                    Some(t) => seen.push(t),
+                    Some(d) => seen.push(d.task),
                     None => idle += 1,
                 }
             }
@@ -350,7 +288,9 @@ mod tests {
         // The wrapped predictor composes with the affinity policy.
         let policy = Affinity::new(Arc::new(p));
         let source = policy.bind(3, 2);
-        let mut seen: Vec<usize> = (0..3).filter_map(|w| source.next_task(w)).collect();
+        let mut seen: Vec<usize> = (0..3)
+            .filter_map(|w| source.next_task(w).map(|d| d.task))
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2]);
     }

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
-use crate::policy::{SchedulePolicy, TaskSource};
+use crate::policy::{Dispatch, SchedulePolicy, TaskSource};
 use crate::stats::SchedStats;
 
 /// How long an aborted attempt should wait before re-executing, in
@@ -161,9 +161,9 @@ struct BackoffSource {
 }
 
 impl TaskSource for BackoffSource {
-    fn next_task(&self, _worker: usize) -> Option<usize> {
+    fn next_task(&self, _worker: usize) -> Option<Dispatch> {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.total).then_some(i)
+        (i < self.total).then(|| Dispatch::own(i))
     }
 
     fn on_abort(&self, _worker: usize, task: usize, attempt: u32) -> BackoffHint {
@@ -229,9 +229,9 @@ mod tests {
     fn backoff_source_dispenses_fifo_and_counts() {
         let policy = Backoff::new(42);
         let source = policy.bind(3, 2);
-        assert_eq!(source.next_task(0), Some(0));
-        assert_eq!(source.next_task(1), Some(1));
-        assert_eq!(source.next_task(0), Some(2));
+        assert_eq!(source.next_task(0), Some(Dispatch::own(0)));
+        assert_eq!(source.next_task(1), Some(Dispatch::own(1)));
+        assert_eq!(source.next_task(0), Some(Dispatch::own(2)));
         assert_eq!(source.next_task(1), None);
         let hint = source.on_abort(0, 1, 0);
         assert!(hint.steps >= 1 && hint.steps <= 16);

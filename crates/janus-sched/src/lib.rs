@@ -23,8 +23,12 @@
 //!   * [`Affinity`] — routes tasks to workers by predicted footprint
 //!     overlap (the read/write sets the trainer already mines), so
 //!     likely-conflicting tasks serialize on one worker's queue instead
-//!     of aborting against each other. Idle workers steal from the
-//!     longest queue, so routing never strands work.
+//!     of aborting against each other. Idle workers steal half the
+//!     longest queue in one lock-free batch, so routing never strands
+//!     work (see [`steal`] for the deque protocol).
+//!   * [`WorkSteal`] — the footprint-free variant of the same lanes:
+//!     round-robin placement plus batch stealing; also the ablation
+//!     handle benches use to measure stealing itself.
 //! * [`DegradeController`] — an abort-rate feedback loop: when the
 //!   windowed retry ratio crosses a threshold, retries of tasks that
 //!   touched the hot location classes must hold a serial token while
@@ -48,11 +52,13 @@ pub mod backoff;
 mod degrade;
 mod policy;
 mod stats;
+pub mod steal;
 
 pub use affinity::{
     Affinity, ExactFootprints, FootprintPredictor, ShardFootprints, TrainedFootprints,
 };
 pub use backoff::{Backoff, BackoffHint, Parker};
 pub use degrade::{DegradeConfig, DegradeController, SerialGuard};
-pub use policy::{Fifo, SchedulePolicy, TaskSource};
-pub use stats::SchedStats;
+pub use policy::{Dispatch, Fifo, SchedulePolicy, TaskSource};
+pub use stats::{SchedStats, StealStats};
+pub use steal::WorkSteal;

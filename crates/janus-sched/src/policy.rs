@@ -18,12 +18,34 @@ pub trait SchedulePolicy: Send + Sync + std::fmt::Debug {
     fn bind(&self, tasks: usize, workers: usize) -> Box<dyn TaskSource>;
 }
 
+/// One dispatched task plus how it reached the worker.
+///
+/// Sources that steal report the batch size of the transfer that served
+/// the dispatch, so the runtime can surface steal traffic in the trace
+/// without the source needing a recorder handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Index of the task to run.
+    pub task: usize,
+    /// Tasks transferred by the steal that served this dispatch (the
+    /// dispatched task plus everything staged for later pops); 0 when
+    /// the task came from the worker's own queue or stash.
+    pub stolen: u64,
+}
+
+impl Dispatch {
+    /// A dispatch served from the worker's own queue.
+    pub fn own(task: usize) -> Self {
+        Dispatch { task, stolen: 0 }
+    }
+}
+
 /// One run's dispatch state, shared by every worker thread.
 pub trait TaskSource: Send + Sync {
     /// The next task for worker `worker`, or `None` when the pool is
     /// drained for that worker (all sources guarantee global progress:
     /// `None` is only returned once no unstarted task remains).
-    fn next_task(&self, worker: usize) -> Option<usize>;
+    fn next_task(&self, worker: usize) -> Option<Dispatch>;
 
     /// Reports that `worker`'s attempt of `task` aborted for the
     /// `attempt`-th consecutive time (0-based) and returns how long the
@@ -33,6 +55,16 @@ pub trait TaskSource: Send + Sync {
 
     /// Reports that `worker` committed `task`.
     fn on_commit(&self, _worker: usize, _task: usize) {}
+
+    /// Reports that `worker` is about to block (gate park, ordered-turn
+    /// wait, or a backoff sleep). Stealing sources use this to note
+    /// whether the worker parks with undispatched work still queued —
+    /// such work is always published for stealing, so the hook is a
+    /// statistic, not a correctness requirement.
+    fn on_park(&self, _worker: usize) {}
+
+    /// Reports that `worker` resumed after an [`on_park`](Self::on_park).
+    fn on_unpark(&self, _worker: usize) {}
 
     /// The source's scheduling counters so far.
     fn stats(&self) -> SchedStats;
@@ -63,10 +95,10 @@ struct FifoSource {
 }
 
 impl TaskSource for FifoSource {
-    fn next_task(&self, _worker: usize) -> Option<usize> {
+    fn next_task(&self, _worker: usize) -> Option<Dispatch> {
         // The seed runtime's dispatch, verbatim: one Relaxed fetch_add.
         let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.total).then_some(i)
+        (i < self.total).then(|| Dispatch::own(i))
     }
 
     fn on_abort(&self, _worker: usize, _task: usize, _attempt: u32) -> BackoffHint {
@@ -88,10 +120,10 @@ mod tests {
     #[test]
     fn fifo_dispenses_in_submission_order() {
         let source = Fifo.bind(4, 8);
-        assert_eq!(source.next_task(3), Some(0));
-        assert_eq!(source.next_task(0), Some(1));
-        assert_eq!(source.next_task(7), Some(2));
-        assert_eq!(source.next_task(1), Some(3));
+        assert_eq!(source.next_task(3), Some(Dispatch::own(0)));
+        assert_eq!(source.next_task(0), Some(Dispatch::own(1)));
+        assert_eq!(source.next_task(7), Some(Dispatch::own(2)));
+        assert_eq!(source.next_task(1), Some(Dispatch::own(3)));
         assert_eq!(source.next_task(0), None);
         assert_eq!(source.next_task(0), None, "drained stays drained");
         assert_eq!(source.stats().dispatched, 4);

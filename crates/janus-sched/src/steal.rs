@@ -1,0 +1,634 @@
+//! Lock-free work-stealing lanes shared by the routing policies.
+//!
+//! Each worker owns a *lane*: an immutable array of routed task indices
+//! (fixed at bind time — nothing is ever pushed after placement) plus a
+//! single packed `AtomicU64` *span* word holding the live range as
+//! `head:u32 | tail:u32`. The owner pops the front with a CAS on
+//! `head + 1`; a thief steals *half* the remaining range from the back
+//! with a CAS on `tail - k`. Because the whole queue state is one word,
+//! every transition is a single CAS: batch steals are linearizable
+//! without the owner/thief race that makes multi-element steals unsound
+//! in a classic Chase–Lev deque, and there is no ABA — `head` only
+//! grows and `tail` only shrinks.
+//!
+//! A stolen batch is never copied: the thief executes the first
+//! (smallest) task and publishes the remainder as a *stash* — a second
+//! packed word `src:u16 | start:u24 | end:u24` describing a sub-range
+//! of the victim's immutable array. The stash obeys the same protocol
+//! (owner pops the front, thieves halve the back), so staged work is
+//! itself stealable. A worker only steals when its own span *and* stash
+//! are empty, which is why one stash slot per lane suffices.
+//!
+//! Two consequences fall out of the design:
+//!
+//! * **Park-then-publish is structural.** Every undispatched task lives
+//!   in a span or stash at all times — the only private state is the
+//!   task currently executing — so a worker that parks on the commit
+//!   gate or sleeps in backoff has, by construction, already published
+//!   its remaining work for stealing. The [`TaskSource::on_park`] hook
+//!   only counts how often that exposure happens.
+//! * **Ordered mode stays live.** Placement appends tasks in submission
+//!   order, steals take back sub-ranges, and a thief executes the
+//!   smallest stolen task first, so a worker's pending tasks always
+//!   have larger indices than the one it is executing. By induction the
+//!   smallest uncommitted task is always being executed, so the ordered
+//!   commit turn always advances.
+//!
+//! Victim selection is steal-from-longest, scanning lanes in a probe
+//! order derived from the policy seed and the thief's worker id, so tie
+//! breaks — and therefore dispatch traces — are reproducible for a
+//! given seed and interleaving.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::backoff::{deterministic_steps, BackoffHint};
+use crate::policy::{Dispatch, SchedulePolicy, TaskSource};
+use crate::stats::{SchedStats, StealStats};
+
+/// Stash ranges pack task indices into 24 bits.
+const MAX_TASKS: usize = 1 << 24;
+/// Stash sources pack lane indices into 16 bits.
+const MAX_LANES: usize = 1 << 16;
+
+#[inline]
+fn pack_span(head: u32, tail: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(tail)
+}
+
+#[inline]
+fn unpack_span(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+#[inline]
+fn pack_stash(src: u16, start: u32, end: u32) -> u64 {
+    (u64::from(src) << 48) | (u64::from(start & 0x00ff_ffff) << 24) | u64::from(end & 0x00ff_ffff)
+}
+
+#[inline]
+fn unpack_stash(w: u64) -> (u16, u32, u32) {
+    (
+        (w >> 48) as u16,
+        ((w >> 24) & 0x00ff_ffff) as u32,
+        (w & 0x00ff_ffff) as u32,
+    )
+}
+
+/// One worker's share of the batch.
+struct Lane {
+    /// Routed task indices, immutable after bind.
+    tasks: Box<[u32]>,
+    /// Live range of `tasks` as `head:u32 | tail:u32`.
+    span: AtomicU64,
+    /// Staged stolen range as `src:u16 | start:u24 | end:u24` over
+    /// `lanes[src].tasks`; empty when `start == end`.
+    stash: AtomicU64,
+}
+
+/// Shared steal-traffic counters (drained into [`StealStats`]).
+struct Counters {
+    hits: AtomicU64,
+    stash_pops: AtomicU64,
+    attempts: AtomicU64,
+    batches: AtomicU64,
+    stolen_tasks: AtomicU64,
+    parks_with_work: AtomicU64,
+    waits: AtomicU64,
+    steps: AtomicU64,
+    depth_buckets: [AtomicU64; 65],
+    depth_sum: AtomicU64,
+    depth_max: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            hits: AtomicU64::new(0),
+            stash_pops: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            stolen_tasks: AtomicU64::new(0),
+            parks_with_work: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            depth_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            depth_sum: AtomicU64::new(0),
+            depth_max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_depth(&self, v: u64) {
+        self.depth_buckets[(64 - v.leading_zeros()) as usize].fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(v, Ordering::Relaxed);
+        self.depth_max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// The shared [`TaskSource`] over a set of lanes. Placement (which lane
+/// each task starts on) is the policy's business; dispatch, stealing,
+/// and accounting live here.
+pub(crate) struct LaneSource {
+    lanes: Vec<Lane>,
+    /// Undispatched tasks; `next_task` returns `None` only at zero.
+    remaining: AtomicUsize,
+    stealing: bool,
+    seed: u64,
+    routed: u64,
+    /// Per-thief victim scan order, a seeded deterministic permutation.
+    probes: Vec<Vec<usize>>,
+    counters: Counters,
+}
+
+impl LaneSource {
+    /// Builds a source from per-lane task queues (each ascending in
+    /// task index — required for ordered-mode liveness).
+    pub(crate) fn new(queues: Vec<Vec<usize>>, seed: u64, routed: u64, stealing: bool) -> Self {
+        let total: usize = queues.iter().map(Vec::len).sum();
+        assert!(
+            total < MAX_TASKS,
+            "work-stealing lanes support batches under {MAX_TASKS} tasks (got {total})"
+        );
+        assert!(
+            queues.len() < MAX_LANES,
+            "work-stealing lanes support under {MAX_LANES} workers"
+        );
+        let lanes: Vec<Lane> = queues
+            .into_iter()
+            .map(|q| {
+                let tasks: Box<[u32]> = q.into_iter().map(|t| t as u32).collect();
+                let tail = tasks.len() as u32;
+                Lane {
+                    tasks,
+                    span: AtomicU64::new(pack_span(0, tail)),
+                    stash: AtomicU64::new(pack_stash(0, 0, 0)),
+                }
+            })
+            .collect();
+        let n = lanes.len();
+        let probes = (0..n)
+            .map(|me| {
+                let mut order: Vec<usize> = (0..n).filter(|&v| v != me).collect();
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                order
+            })
+            .collect();
+        LaneSource {
+            lanes,
+            remaining: AtomicUsize::new(total),
+            stealing,
+            seed,
+            routed,
+            probes,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Pops the front of `me`'s stash (tasks staged by an earlier steal).
+    fn pop_own_stash(&self, me: usize) -> Option<usize> {
+        let lane = &self.lanes[me];
+        loop {
+            let w = lane.stash.load(Ordering::Acquire);
+            let (src, s, e) = unpack_stash(w);
+            if s == e {
+                return None;
+            }
+            if lane
+                .stash
+                .compare_exchange(
+                    w,
+                    pack_stash(src, s + 1, e),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return Some(self.lanes[src as usize].tasks[s as usize] as usize);
+            }
+            // Lost a race against a thief raiding the stash; re-read.
+        }
+    }
+
+    /// Pops the front of `me`'s own span.
+    fn pop_own_span(&self, me: usize) -> Option<usize> {
+        let lane = &self.lanes[me];
+        loop {
+            let w = lane.span.load(Ordering::Acquire);
+            let (h, t) = unpack_span(w);
+            if h == t {
+                return None;
+            }
+            if lane
+                .span
+                .compare_exchange(w, pack_span(h + 1, t), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(lane.tasks[h as usize] as usize);
+            }
+        }
+    }
+
+    /// One steal probe: scan every other lane in `me`'s seeded order,
+    /// pick the longest structure (span or stash), and try to take the
+    /// back half with a single CAS. Returns the claimed range over
+    /// `lanes[src].tasks` plus the victim depth observed.
+    fn try_steal(&self, me: usize) -> Option<(usize, u32, u32)> {
+        let mut best: Option<(u32, usize, bool)> = None;
+        let mut best_len = 0u32;
+        for &v in &self.probes[me] {
+            let (h, t) = unpack_span(self.lanes[v].span.load(Ordering::Acquire));
+            if t - h > best_len {
+                best_len = t - h;
+                best = Some((t - h, v, false));
+            }
+            let (_, s, e) = unpack_stash(self.lanes[v].stash.load(Ordering::Acquire));
+            if e - s > best_len {
+                best_len = e - s;
+                best = Some((e - s, v, true));
+            }
+        }
+        let (_, v, from_stash) = best?;
+        let lane = &self.lanes[v];
+        if from_stash {
+            let w = lane.stash.load(Ordering::Acquire);
+            let (src, s, e) = unpack_stash(w);
+            let avail = e - s;
+            if avail == 0 {
+                return None;
+            }
+            let k = avail.div_ceil(2);
+            lane.stash
+                .compare_exchange(
+                    w,
+                    pack_stash(src, s, e - k),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .ok()?;
+            self.counters.observe_depth(u64::from(avail));
+            Some((src as usize, e - k, e))
+        } else {
+            let w = lane.span.load(Ordering::Acquire);
+            let (h, t) = unpack_span(w);
+            let avail = t - h;
+            if avail == 0 {
+                return None;
+            }
+            let k = avail.div_ceil(2);
+            lane.span
+                .compare_exchange(w, pack_span(h, t - k), Ordering::AcqRel, Ordering::Acquire)
+                .ok()?;
+            self.counters.observe_depth(u64::from(avail));
+            Some((v, t - k, t))
+        }
+    }
+
+    /// Tasks still queued (span + stash) on `me`'s lane.
+    fn queued(&self, me: usize) -> u64 {
+        let (h, t) = unpack_span(self.lanes[me].span.load(Ordering::Acquire));
+        let (_, s, e) = unpack_stash(self.lanes[me].stash.load(Ordering::Acquire));
+        u64::from(t - h) + u64::from(e - s)
+    }
+}
+
+impl TaskSource for LaneSource {
+    fn next_task(&self, worker: usize) -> Option<Dispatch> {
+        let me = worker % self.lanes.len();
+        let mut spins = 0u32;
+        loop {
+            if let Some(task) = self.pop_own_stash(me) {
+                self.remaining.fetch_sub(1, Ordering::AcqRel);
+                self.counters.stash_pops.fetch_add(1, Ordering::Relaxed);
+                // The transfer was reported on the steal that staged it.
+                return Some(Dispatch::own(task));
+            }
+            if let Some(task) = self.pop_own_span(me) {
+                self.remaining.fetch_sub(1, Ordering::AcqRel);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Dispatch::own(task));
+            }
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            if self.stealing {
+                self.counters.attempts.fetch_add(1, Ordering::Relaxed);
+                if let Some((src, s, e)) = self.try_steal(me) {
+                    let got = e - s;
+                    if got > 1 {
+                        // Own span and stash are empty (checked above),
+                        // and only the owner stores into an empty
+                        // stash, so a plain store cannot race.
+                        self.lanes[me]
+                            .stash
+                            .store(pack_stash(src as u16, s + 1, e), Ordering::Release);
+                    }
+                    self.remaining.fetch_sub(1, Ordering::AcqRel);
+                    self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .stolen_tasks
+                        .fetch_add(u64::from(got), Ordering::Relaxed);
+                    return Some(Dispatch {
+                        task: self.lanes[src].tasks[s as usize] as usize,
+                        stolen: u64::from(got),
+                    });
+                }
+            }
+            // Nothing claimable this instant: the last tasks are either
+            // executing or mid-transfer. Pause briefly and rescan until
+            // `remaining` confirms the batch is drained.
+            if spins < 64 {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn on_abort(&self, _worker: usize, task: usize, attempt: u32) -> BackoffHint {
+        let steps = deterministic_steps(self.seed, task as u64, attempt, 16, 4096);
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        self.counters.steps.fetch_add(steps, Ordering::Relaxed);
+        BackoffHint { steps }
+    }
+
+    fn on_park(&self, worker: usize) {
+        let me = worker % self.lanes.len();
+        if self.queued(me) > 0 {
+            self.counters
+                .parks_with_work
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> SchedStats {
+        let c = &self.counters;
+        let hits = c.hits.load(Ordering::Relaxed);
+        let stash_pops = c.stash_pops.load(Ordering::Relaxed);
+        let batches = c.batches.load(Ordering::Relaxed);
+        let buckets = std::array::from_fn(|i| c.depth_buckets[i].load(Ordering::Relaxed));
+        SchedStats {
+            dispatched: hits + stash_pops + batches,
+            backoff_waits: c.waits.load(Ordering::Relaxed),
+            backoff_steps: c.steps.load(Ordering::Relaxed),
+            affinity_hits: hits,
+            affinity_steals: stash_pops + batches,
+            affinity_routed: self.routed,
+            steal: StealStats {
+                attempts: c.attempts.load(Ordering::Relaxed),
+                batches,
+                stolen_tasks: c.stolen_tasks.load(Ordering::Relaxed),
+                parks_with_work: c.parks_with_work.load(Ordering::Relaxed),
+                queue_depth: janus_obs::Histogram::from_log2_buckets(
+                    buckets,
+                    c.depth_sum.load(Ordering::Relaxed),
+                    c.depth_max.load(Ordering::Relaxed),
+                ),
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Pure work-stealing dispatch: tasks start round-robin across the
+/// lanes (no footprint signal) and idle workers steal half the longest
+/// queue. Use [`Affinity`](crate::Affinity) when footprints are known;
+/// this policy is the footprint-free baseline and the bench ablation
+/// handle.
+#[derive(Debug, Clone)]
+pub struct WorkSteal {
+    /// Seed of the backoff schedule and the steal probe order.
+    pub seed: u64,
+    /// When false, workers never steal: a drained worker spins until
+    /// the batch ends. Measurement ablation only — it wastes the idle
+    /// cores that stealing exists to fill.
+    pub stealing: bool,
+}
+
+impl WorkSteal {
+    /// A stealing policy with the default seed.
+    pub fn new(seed: u64) -> Self {
+        WorkSteal {
+            seed,
+            stealing: true,
+        }
+    }
+
+    /// Disables stealing (the bench ablation baseline).
+    pub fn without_stealing(mut self) -> Self {
+        self.stealing = false;
+        self
+    }
+}
+
+impl Default for WorkSteal {
+    fn default() -> Self {
+        WorkSteal::new(0x006a_616e_7573)
+    }
+}
+
+impl SchedulePolicy for WorkSteal {
+    fn name(&self) -> &'static str {
+        "steal"
+    }
+
+    fn bind(&self, tasks: usize, workers: usize) -> Box<dyn TaskSource> {
+        let workers = workers.max(1);
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for task in 0..tasks {
+            queues[task % workers].push(task);
+        }
+        Box::new(LaneSource::new(queues, self.seed, 0, self.stealing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn hot_source(tasks: usize, workers: usize, stealing: bool) -> LaneSource {
+        // Everything routed to lane 0: the pathological hot queue.
+        let mut queues = vec![Vec::new(); workers];
+        queues[0] = (0..tasks).collect();
+        LaneSource::new(queues, 7, 0, stealing)
+    }
+
+    #[test]
+    fn owner_pops_front_in_order() {
+        let src = hot_source(4, 2, true);
+        let order: Vec<usize> = (0..4).map(|_| src.next_task(0).unwrap().task).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(src.next_task(0), None);
+        assert_eq!(src.stats().steal.batches, 0);
+    }
+
+    #[test]
+    fn thief_takes_half_and_stages_the_rest() {
+        let src = hot_source(32, 2, true);
+        let d = src.next_task(1).expect("steal succeeds");
+        assert_eq!(d.stolen, 16, "half of 32");
+        assert_eq!(d.task, 16, "back half starts at 16, smallest first");
+        // The staged remainder serves the thief's next pops locally.
+        for expect in 17..32 {
+            let d = src.next_task(1).unwrap();
+            assert_eq!((d.task, d.stolen), (expect, 0));
+        }
+        let stats = src.stats();
+        assert_eq!(stats.steal.batches, 1);
+        assert_eq!(stats.steal.stolen_tasks, 16);
+        assert_eq!(stats.affinity_steals, 16, "batch + 15 stash pops");
+        assert_eq!(stats.steal.queue_depth.max(), 32, "depth seen at steal");
+    }
+
+    #[test]
+    fn batch_steals_need_logarithmic_traffic() {
+        // Regression for the one-task-per-probe scheme: draining a hot
+        // queue of 32 from a single thief must cost O(log n) steal
+        // operations, not one per task.
+        let src = hot_source(32, 2, true);
+        let mut got = Vec::new();
+        while let Some(d) = src.next_task(1) {
+            got.push(d.task);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        let stats = src.stats();
+        assert!(
+            stats.steal.batches <= 8,
+            "halving steals drain 32 tasks in ≤8 batches, got {}",
+            stats.steal.batches
+        );
+        assert_eq!(stats.dispatched, 32);
+    }
+
+    #[test]
+    fn stashes_are_stealable_too() {
+        // Thief 1 steals half of lane 0's queue into its stash; once the
+        // owner drains its remaining span, the stash is the only (and
+        // longest) structure left, so thief 2 halves the stash itself.
+        let src = hot_source(32, 3, true);
+        let d1 = src.next_task(1).unwrap();
+        assert_eq!(d1.stolen, 16, "thief 1 takes the back half");
+        let mut got: Vec<usize> = vec![d1.task];
+        for _ in 0..16 {
+            got.push(src.next_task(0).unwrap().task);
+        }
+        let d2 = src.next_task(2).unwrap();
+        assert!(d2.stolen > 1, "thief 2 steals a batch from the stash");
+        assert!(d2.task > d1.task, "stolen ranges keep ascending order");
+        got.push(d2.task);
+        for w in [0, 1, 2] {
+            while let Some(d) = src.next_task(w) {
+                got.push(d.task);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_steal_mode_keeps_lanes_private() {
+        let src = Arc::new(hot_source(6, 2, false));
+        // Worker 1 spins until the owner drains everything, then None.
+        let thief = {
+            let src = Arc::clone(&src);
+            std::thread::spawn(move || src.next_task(1))
+        };
+        let mut got = Vec::new();
+        while let Some(d) = src.next_task(0) {
+            assert_eq!(d.stolen, 0);
+            got.push(d.task);
+        }
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+        assert_eq!(thief.join().unwrap(), None);
+        assert_eq!(src.stats().steal.attempts, 0);
+    }
+
+    #[test]
+    fn concurrent_workers_dispatch_each_task_exactly_once() {
+        for round in 0..16 {
+            let workers = 4;
+            let tasks = 257;
+            let mut queues = vec![Vec::new(); workers];
+            // Skewed: ~3/4 of tasks on lane 0, remainder spread.
+            for t in 0..tasks {
+                let lane = if t % 4 != 3 { 0 } else { 1 + (t % 3) };
+                queues[lane].push(t);
+            }
+            let src = Arc::new(LaneSource::new(queues, round, 0, true));
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let src = Arc::clone(&src);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(d) = src.next_task(w) {
+                            got.push(d.task);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<usize> = Vec::new();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+            assert_eq!(all.len(), tasks, "no loss, no duplication");
+            let distinct: HashSet<usize> = all.iter().copied().collect();
+            assert_eq!(distinct.len(), tasks);
+            assert_eq!(src.stats().dispatched, tasks as u64);
+        }
+    }
+
+    #[test]
+    fn probe_order_is_deterministic_per_seed() {
+        let a = LaneSource::new(vec![vec![], vec![], vec![], vec![]], 42, 0, true);
+        let b = LaneSource::new(vec![vec![], vec![], vec![], vec![]], 42, 0, true);
+        let c = LaneSource::new(vec![vec![], vec![], vec![], vec![]], 43, 0, true);
+        assert_eq!(a.probes, b.probes, "same seed, same scan order");
+        assert_ne!(a.probes, c.probes, "seed varies the order");
+        for (me, order) in a.probes.iter().enumerate() {
+            assert!(!order.contains(&me), "never probes itself");
+            assert_eq!(order.len(), 3);
+        }
+    }
+
+    #[test]
+    fn parks_with_work_counts_queued_exposure() {
+        let src = hot_source(8, 2, true);
+        src.on_park(0);
+        src.on_park(1);
+        src.on_unpark(0);
+        assert_eq!(
+            src.stats().steal.parks_with_work,
+            1,
+            "only the loaded lane parked with work"
+        );
+    }
+
+    #[test]
+    fn worksteal_policy_round_robins_and_drains() {
+        let policy = WorkSteal::new(9);
+        assert_eq!(policy.name(), "steal");
+        let src = policy.bind(10, 3);
+        let mut got = Vec::new();
+        let mut idle = 0;
+        while idle < 3 {
+            idle = 0;
+            for w in 0..3 {
+                match src.next_task(w) {
+                    Some(d) => got.push(d.task),
+                    None => idle += 1,
+                }
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

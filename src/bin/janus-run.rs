@@ -6,7 +6,8 @@
 //! janus-run run   <workload> [--detector write-set|sequence|cached|online-learning]
 //!                            [--threads N] [--shards N] [--scale N] [--seed N]
 //!                            [--cache <file>] [--eager] [--no-gc]
-//!                            [--schedule fifo|backoff|affinity] [--footprints mine|shard]
+//!                            [--schedule fifo|backoff|affinity|steal] [--footprints mine|shard]
+//!                            [--no-steal]
 //!                            [--degrade-threshold R] [--degrade-window N]
 //!                            [--panic-policy poison|isolate] [--max-attempts N]
 //!                            [--watchdog-ms N] [--fault-seed N] [--fault-rate R]
@@ -33,7 +34,11 @@
 //!
 //! `--schedule` picks the retry/dispatch policy: `fifo` (the default;
 //! immediate retry), `backoff` (deterministic randomized exponential
-//! backoff) or `affinity` (tasks routed to workers by footprint overlap).
+//! backoff), `affinity` (tasks routed to workers by footprint overlap)
+//! or `steal` (round-robin placement onto per-worker lanes). Both
+//! `affinity` and `steal` dispatch through work-stealing lanes — an
+//! idle worker takes half of the longest queue in one batch — unless
+//! `--no-steal` seals each lane (the ablation baseline).
 //! With affinity, `--footprints` picks the prediction source: `mine`
 //! (default) profiles a sequential hindsight pre-run, `shard` routes
 //! from the workload's declared footprints coarsened to shard
@@ -61,14 +66,14 @@ use janus::obs::{chrome_trace_json, text_report, MetricsRegistry, Recorder, Snap
 use janus::sat::global_solver_stats;
 use janus::sched::{
     Affinity, Backoff, DegradeConfig, ExactFootprints, SchedulePolicy, ShardFootprints,
-    TrainedFootprints,
+    TrainedFootprints, WorkSteal,
 };
 use janus::train::{train, CommutativityCache, FrozenCache, OnlineLearningCache, TrainConfig};
 use janus::workloads::{all_workloads, training_runs, workload_by_name, InputSpec, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--shards N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity]\n                           [--footprints mine|shard]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
+        "usage:\n  janus-run list\n  janus-run train <workload> [--no-abstraction] [--cache FILE]\n  janus-run run <workload> [--detector write-set|sequence|cached|online-learning]\n                           [--threads N] [--shards N] [--scale N] [--seed N] [--cache FILE]\n                           [--eager] [--no-gc] [--schedule fifo|backoff|affinity|steal]\n                           [--footprints mine|shard] [--no-steal]\n                           [--degrade-threshold R] [--degrade-window N]\n                           [--panic-policy poison|isolate] [--max-attempts N]\n                           [--watchdog-ms N] [--fault-seed N] [--fault-rate R]\n                           [--trace FILE] [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -93,7 +98,7 @@ const VALUE_FLAGS: &[&str] = &[
     "fault-rate",
     "footprints",
 ];
-const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics"];
+const BOOL_FLAGS: &[&str] = &["no-abstraction", "eager", "no-gc", "metrics", "no-steal"];
 
 struct Args {
     positional: Vec<String>,
@@ -344,9 +349,15 @@ fn cmd_run(args: &Args) -> ExitCode {
     let recorder = (trace_path.is_some() || want_metrics).then(Recorder::new);
     let scenario = w.build(&input);
     let schedule_name = args.value("schedule").unwrap_or("fifo");
+    let no_steal = args.flag("no-steal");
+    let seal = |a: Affinity| if no_steal { a.without_stealing() } else { a };
     let schedule: Arc<dyn SchedulePolicy> = match schedule_name {
         "fifo" => Arc::new(janus::sched::Fifo),
         "backoff" => Arc::new(Backoff::default()),
+        "steal" => {
+            let p = WorkSteal::new(seed);
+            Arc::new(if no_steal { p.without_stealing() } else { p })
+        }
         "affinity" => match args.value("footprints").unwrap_or("mine") {
             "mine" => {
                 // Hindsight profiling: mine each production task's exact
@@ -354,9 +365,9 @@ fn cmd_run(args: &Args) -> ExitCode {
                 // then route overlapping tasks to the same worker.
                 eprintln!("mining footprints from a sequential pre-run...");
                 let (_, training) = Janus::run_sequential(scenario.store.clone(), &scenario.tasks);
-                Arc::new(Affinity::new(Arc::new(
+                Arc::new(seal(Affinity::new(Arc::new(
                     TrainedFootprints::from_training_run(&training),
-                )))
+                ))))
             }
             "shard" => {
                 // No pre-run: route from the workload's declared
@@ -370,10 +381,10 @@ fn cmd_run(args: &Args) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("routing by declared footprints at shard granularity (no pre-run)...");
-                Arc::new(Affinity::new(Arc::new(ShardFootprints::new(
+                Arc::new(seal(Affinity::new(Arc::new(ShardFootprints::new(
                     Arc::new(ExactFootprints(scenario.footprints.clone())),
                     shards,
-                ))))
+                )))))
             }
             other => {
                 eprintln!("error: flag --footprints: expected mine|shard, got {other:?}");
@@ -533,6 +544,18 @@ fn cmd_run(args: &Args) -> ExitCode {
             outcome.sched.degrade_windows,
             outcome.sched.serial_retries,
         );
+        let steal = &outcome.sched.steal;
+        if steal.attempts > 0 || steal.parks_with_work > 0 {
+            println!(
+                "stealing: {} attempts  {} batches  {} tasks moved  {} parks with work  \
+                 victim depth {}",
+                steal.attempts,
+                steal.batches,
+                steal.stolen_tasks,
+                steal.parks_with_work,
+                steal.queue_depth.render(),
+            );
+        }
     }
     let by_class = detector.stats().conflicts_by_class();
     if !by_class.is_empty() {
@@ -566,6 +589,8 @@ fn cmd_run(args: &Args) -> ExitCode {
             let mut metrics = MetricsRegistry::new();
             metrics.absorb(&outcome.stats);
             metrics.absorb(&outcome.sched);
+            metrics.absorb(&outcome.sched.steal);
+            metrics.merge_histogram("steal.queue_depth", &outcome.sched.steal.queue_depth);
             metrics.absorb(&outcome.shard_stats);
             metrics.merge_histogram("shard.lock_wait_ns", &outcome.shard_stats.lock_wait_ns());
             metrics.absorb(detector.stats() as &dyn Snapshot);

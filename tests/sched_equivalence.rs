@@ -13,7 +13,9 @@ use std::sync::Arc;
 use janus::core::{Janus, Store, Task, TxView};
 use janus::detect::WriteSetDetector;
 use janus::relational::Value;
-use janus::sched::{Affinity, Backoff, DegradeConfig, ExactFootprints, Fifo, SchedulePolicy};
+use janus::sched::{
+    Affinity, Backoff, DegradeConfig, ExactFootprints, Fifo, SchedulePolicy, WorkSteal,
+};
 use proptest::prelude::*;
 
 /// One add-only task: bump location `loc` by `delta`. Addition commutes,
@@ -41,8 +43,15 @@ fn policies(footprints: Vec<Vec<u64>>) -> Vec<(&'static str, Arc<dyn SchedulePol
         ("backoff", Arc::new(Backoff::default())),
         (
             "affinity",
-            Arc::new(Affinity::new(Arc::new(ExactFootprints(footprints)))),
+            Arc::new(Affinity::new(Arc::new(ExactFootprints(footprints.clone())))),
         ),
+        // Same routing with lanes sealed: the no-steal ablation must be
+        // just as correct, only slower on skewed queues.
+        (
+            "affinity-nosteal",
+            Arc::new(Affinity::new(Arc::new(ExactFootprints(footprints))).without_stealing()),
+        ),
+        ("steal", Arc::new(WorkSteal::new(0xA5))),
     ]
 }
 
@@ -156,6 +165,124 @@ proptest! {
             prop_assert_eq!(got, expected, "{} @ {} threads", label, threads);
         }
     }
+}
+
+#[test]
+fn stealing_from_one_hot_lane_preserves_sums_and_engages_thieves() {
+    // Every task carries the same footprint, so affinity routing piles
+    // the whole batch onto one worker's lane; the other three workers
+    // have nothing of their own and must steal. Tasks write disjoint
+    // locations (no conflicts) but take real time, so the hot lane
+    // cannot drain before the thieves arrive.
+    let n = 48usize;
+    let mut store = Store::new();
+    let locs: Vec<_> = (0..n)
+        .map(|i| store.alloc(format!("d{i}").as_str(), Value::int(0)))
+        .collect();
+    let tasks: Vec<Task> = locs
+        .iter()
+        .map(|&loc| {
+            Task::new(move |tx: &mut TxView| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                let v = tx.read_int(loc);
+                tx.write(loc, v + 1);
+            })
+        })
+        .collect();
+    let footprints = vec![vec![0u64]; n];
+    let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+        .threads(4)
+        .schedule(Arc::new(Affinity::new(Arc::new(ExactFootprints(
+            footprints,
+        )))))
+        .run(store, tasks);
+    assert_eq!(outcome.stats.commits, n as u64);
+    for &l in &locs {
+        assert_eq!(outcome.store.value(l), Some(&Value::int(1)));
+    }
+    let steal = &outcome.sched.steal;
+    assert!(
+        steal.batches > 0,
+        "idle workers must steal from the hot lane (attempts {})",
+        steal.attempts
+    );
+    assert!(
+        steal.stolen_tasks >= steal.batches,
+        "batches move >= 1 task"
+    );
+    assert!(
+        steal.queue_depth.count() == steal.batches,
+        "one victim-depth sample per successful steal"
+    );
+    assert_eq!(
+        outcome.sched.dispatched, n as u64,
+        "stealing never duplicates or drops a dispatch"
+    );
+}
+
+#[test]
+fn ordered_hot_lane_with_stealing_matches_sequential_exactly() {
+    // The hostile combination from the issue: an order-sensitive chain,
+    // all routed to one lane, stealing enabled, commits pinned to
+    // submission order. Thieves may run tasks out of line but the turn
+    // gate must still serialize the visible effects.
+    let n = 24usize;
+    let mut store = Store::new();
+    let x = store.alloc("x", Value::int(1));
+    let build = || -> Vec<Task> {
+        (1..=n as i64)
+            .map(|d| {
+                Task::new(move |tx: &mut TxView| {
+                    let v = tx.read_int(x);
+                    tx.write(x, v.wrapping_mul(3).wrapping_add(d));
+                })
+            })
+            .collect()
+    };
+    let (seq_store, _) = Janus::run_sequential(store.clone(), &build());
+    let expected = seq_store.value(x).and_then(Value::as_int).expect("int");
+    let footprints = vec![vec![x.0]; n];
+    for threads in [2usize, 4] {
+        let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+            .threads(threads)
+            .ordered(true)
+            .schedule(Arc::new(Affinity::new(Arc::new(ExactFootprints(
+                footprints.clone(),
+            )))))
+            .run(store.clone(), build());
+        assert_eq!(outcome.stats.commits, n as u64);
+        let got = outcome.store.value(x).and_then(Value::as_int).expect("int");
+        assert_eq!(got, expected, "ordered stealing run @ {threads} threads");
+    }
+}
+
+#[test]
+fn degradation_with_stealing_still_sums_correctly() {
+    // Degradation active while thieves roam: the serial-fallback guard
+    // and the steal path must compose without losing a commit.
+    let mut store = Store::new();
+    let hot = store.alloc("hot", Value::int(0));
+    let tasks: Vec<Task> = (1..=48i64)
+        .map(|d| {
+            Task::new(move |tx: &mut TxView| {
+                let v = tx.read_int(hot);
+                tx.write(hot, v + d);
+            })
+        })
+        .collect();
+    let outcome = Janus::new(Arc::new(WriteSetDetector::new()))
+        .threads(4)
+        .schedule(Arc::new(WorkSteal::new(11)))
+        .degrade(DegradeConfig {
+            window: 4,
+            threshold: 0.25,
+        })
+        .run(store, tasks);
+    assert_eq!(outcome.stats.commits, 48);
+    assert_eq!(
+        outcome.store.value(hot),
+        Some(&Value::int((1..=48).sum::<i64>()))
+    );
 }
 
 #[test]
